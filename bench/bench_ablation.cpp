@@ -1,0 +1,172 @@
+// Ablation bench — design choices called out in DESIGN.md.
+//
+// Measures each WIRE design decision by disabling or perturbing it on two
+// representative workloads (TPCH-1 L: wide map/reduce; PageRank L: long
+// iterative stages) at the 1-minute and 15-minute charging units:
+//
+//   median-vs-mean      the paper argues the median is the right centre for
+//                       skewed distributions (§III-C)
+//   OGD on/off          policy 5's value over falling back to stage medians
+//   lookahead on/off    the DAG-driven workflow simulator vs a purely
+//                       reactive load estimate with the same steering rules
+//   first-five on/off   the Condor patch that feeds the predictor early
+//                       observations per stage
+//   oracle              clairvoyant reference-time estimates (the value of
+//                       perfect prediction)
+//   reclaim-draining    cancel scheduled drains instead of booting when the
+//                       plan grows again
+//   restart threshold   sensitivity sweep around the paper's 0.2u
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/controller.h"
+#include "exp/settings.h"
+#include "metrics/report.h"
+#include "sim/driver.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace wire;
+
+struct Variant {
+  std::string label;
+  core::WireOptions wire;
+  /// Overrides applied to the paper cloud.
+  double restart_fraction = 0.2;
+  std::uint32_t first_fire = 5;
+};
+
+struct Row {
+  std::string workload;
+  std::string variant;
+  double charging_unit = 0.0;
+  metrics::CellStats stats;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Variant> variants = [] {
+    std::vector<Variant> v;
+    v.push_back({"baseline", {}, 0.2, 5});
+    Variant mean;
+    mean.label = "mean-estimators";
+    mean.wire.predictor.use_mean = true;
+    v.push_back(mean);
+    Variant no_ogd;
+    no_ogd.label = "no-ogd";
+    no_ogd.wire.predictor.disable_ogd = true;
+    v.push_back(no_ogd);
+    Variant no_lookahead;
+    no_lookahead.label = "no-lookahead";
+    no_lookahead.wire.disable_lookahead = true;
+    v.push_back(no_lookahead);
+    Variant oracle;
+    oracle.label = "oracle-estimator";
+    oracle.wire.oracle_estimator = true;
+    v.push_back(oracle);
+    Variant reclaim;
+    reclaim.label = "reclaim-draining";
+    reclaim.wire.reclaim_draining = true;
+    v.push_back(reclaim);
+    Variant no_first_five;
+    no_first_five.label = "no-first-five";
+    no_first_five.first_fire = 0;
+    v.push_back(no_first_five);
+    Variant strict;
+    strict.label = "restart-0.05u";
+    strict.restart_fraction = 0.05;
+    v.push_back(strict);
+    Variant loose;
+    loose.label = "restart-0.5u";
+    loose.restart_fraction = 0.5;
+    v.push_back(loose);
+    return v;
+  }();
+
+  const std::vector<workload::WorkflowProfile> profiles = {
+      workload::tpch1_profile(workload::Scale::Large),
+      workload::pagerank_profile(workload::Scale::Large),
+  };
+  constexpr std::uint32_t kReps = 5;
+  const std::vector<double> units = {60.0, 900.0};
+
+  struct Job {
+    std::size_t w, v, u;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        jobs.push_back({w, v, u});
+      }
+    }
+  }
+  std::vector<Row> rows(jobs.size());
+  util::parallel_for(jobs.size(), [&](std::size_t j) {
+    const auto [w, v, u] = jobs[j];
+    const dag::Workflow wf = workload::make_workflow(profiles[w], 7);
+    Row row;
+    row.workload = profiles[w].name;
+    row.variant = variants[v].label;
+    row.charging_unit = units[u];
+    for (std::uint32_t rep = 0; rep < kReps; ++rep) {
+      sim::CloudConfig config = exp::paper_cloud(units[u]);
+      config.restart_cost_fraction = variants[v].restart_fraction;
+      config.first_fire_priority = variants[v].first_fire;
+      core::WireController controller(variants[v].wire);
+      sim::RunOptions options;
+      options.seed = util::derive_seed(31, (w * 100 + v) * 10 + rep);
+      options.initial_instances = 1;
+      row.stats.add(sim::simulate(wf, controller, config, options));
+    }
+    rows[j] = std::move(row);
+  });
+
+  std::printf(
+      "Ablation: WIRE design choices (u in {1, 15} min, %u repetitions)\n\n",
+      kReps);
+  util::CsvWriter csv(bench::results_dir() + "/ablation.csv");
+  csv.write_row({"workload", "variant", "charging_unit_s", "cost_mean",
+                 "cost_std", "makespan_mean_s", "utilization_mean",
+                 "restarts_mean"});
+  std::size_t idx = 0;
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      util::TextTable table;
+      table.set_header(
+          {"variant", "cost (units)", "makespan (s)", "util", "restarts"});
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        const Row& row = rows[idx++];
+        table.add_row({row.variant,
+                       util::fmt_mean_std(row.stats.cost_units.mean(),
+                                          row.stats.cost_units.stddev(), 1),
+                       util::fmt_mean_std(row.stats.makespan_seconds.mean(),
+                                          row.stats.makespan_seconds.stddev(),
+                                          0),
+                       util::fmt(row.stats.utilization.mean(), 2),
+                       util::fmt(row.stats.restarts.mean(), 1)});
+        csv.write_row({row.workload, row.variant,
+                       util::fmt(row.charging_unit, 0),
+                       util::fmt(row.stats.cost_units.mean(), 3),
+                       util::fmt(row.stats.cost_units.stddev(), 3),
+                       util::fmt(row.stats.makespan_seconds.mean(), 1),
+                       util::fmt(row.stats.utilization.mean(), 4),
+                       util::fmt(row.stats.restarts.mean(), 2)});
+      }
+      std::printf("%s, u = %.0f min\n%s\n",
+                  profiles[w].name.c_str(), units[u] / 60.0,
+                  table.render().c_str());
+    }
+  }
+  std::printf("series written to %s/ablation.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

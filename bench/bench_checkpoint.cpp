@@ -1,0 +1,100 @@
+// Checkpointing study (extension beyond the paper).
+//
+// The 0.2u restart-cost threshold exists because killing a task forfeits its
+// sunk work. Checkpointing salvages a fraction of that work, which should
+// let the steering policy release instances more aggressively: sweep
+// checkpoint fraction {0, 0.5, 0.9} × restart threshold {0.2u, 0.5u, 1.0u}
+// on PageRank L (long tasks — the regime where restart costs bite) at the
+// 1-minute charging unit.
+//
+// Expected shape: without checkpointing, loose thresholds cause costly
+// restarts (wasted slot-seconds grow); with strong checkpointing, loose
+// thresholds become safe and buy lower cost at similar makespan.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/controller.h"
+#include "exp/settings.h"
+#include "metrics/report.h"
+#include "sim/driver.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace wire;
+
+constexpr std::uint32_t kReps = 5;
+
+struct Cell {
+  metrics::CellStats stats;
+  util::RunningStats wasted;
+};
+
+}  // namespace
+
+int main() {
+  const dag::Workflow wf = workload::make_workflow(
+      workload::pagerank_profile(workload::Scale::Large), 7);
+  const std::vector<double> checkpoints = {0.0, 0.5, 0.9};
+  const std::vector<double> thresholds = {0.2, 0.5, 1.0};
+
+  std::vector<Cell> cells(checkpoints.size() * thresholds.size());
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) jobs.emplace_back(c, t);
+  }
+  util::parallel_for(jobs.size(), [&](std::size_t j) {
+    const auto [c, t] = jobs[j];
+    for (std::uint32_t rep = 0; rep < kReps; ++rep) {
+      sim::CloudConfig config = exp::paper_cloud(60.0);
+      config.checkpoint_fraction = checkpoints[c];
+      config.restart_cost_fraction = thresholds[t];
+      core::WireController controller;
+      sim::RunOptions options;
+      options.seed = util::derive_seed(717, j * 10 + rep);
+      options.initial_instances = 1;
+      const sim::RunResult r =
+          sim::simulate(wf, controller, config, options);
+      cells[j].stats.add(r);
+      cells[j].wasted.add(r.wasted_slot_seconds);
+    }
+  });
+
+  std::printf(
+      "Checkpointing x restart threshold: PageRank L under WIRE, u = 1 min "
+      "(%u repetitions)\n\n",
+      kReps);
+  util::CsvWriter csv(bench::results_dir() + "/checkpoint.csv");
+  csv.write_row({"checkpoint_fraction", "restart_threshold_u", "cost_mean",
+                 "makespan_mean_s", "restarts_mean", "wasted_slot_s_mean"});
+
+  util::TextTable table;
+  table.set_header({"ckpt \\ threshold", "0.2u", "0.5u", "1.0u"});
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    std::vector<std::string> row{util::fmt(checkpoints[c], 1)};
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+      const Cell& cell = cells[idx++];
+      row.push_back(util::fmt(cell.stats.cost_units.mean(), 0) + "u / " +
+                    util::fmt(cell.stats.makespan_seconds.mean(), 0) + "s / " +
+                    util::fmt(cell.stats.restarts.mean(), 1) + "rst");
+      csv.write_row({util::fmt(checkpoints[c], 2), util::fmt(thresholds[t], 2),
+                     util::fmt(cell.stats.cost_units.mean(), 3),
+                     util::fmt(cell.stats.makespan_seconds.mean(), 1),
+                     util::fmt(cell.stats.restarts.mean(), 2),
+                     util::fmt(cell.wasted.mean(), 1)});
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n(cells: charging units / makespan / task restarts)\n\n",
+              table.render().c_str());
+  std::printf("series written to %s/checkpoint.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

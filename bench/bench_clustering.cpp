@@ -1,0 +1,104 @@
+// Clustering study — task clustering × charging-unit economics.
+//
+// Figure 3 shows WIRE's elasticity collapsing when tasks are short relative
+// to the charging unit; horizontal clustering (the Pegasus lever the paper
+// cites via Chen et al. [8]) lengthens tasks. This bench quantifies the
+// interaction: Genome S (short, wide stages) under WIRE at each charging
+// unit, for clustering factors 1 (none), 4, and 16.
+//
+// Expected shape: at u = 1 min clustering barely matters (tasks already ~u);
+// at u = 30–60 min clustering recovers parallelism that unclustered short
+// tasks cannot justify, cutting makespan at equal-or-lower cost — up to the
+// point where over-clustering serializes the stage.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/controller.h"
+#include "dag/clustering.h"
+#include "exp/settings.h"
+#include "metrics/report.h"
+#include "sim/driver.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace wire;
+
+constexpr std::uint32_t kReps = 3;
+
+}  // namespace
+
+int main() {
+  const dag::Workflow base = workload::make_workflow(
+      workload::epigenomics_profile(workload::Scale::Small), 7);
+  const std::vector<std::uint32_t> factors = {1, 4, 16};
+  const std::vector<double> units = exp::paper_charging_units();
+
+  // Materialize the clustered variants once.
+  std::vector<dag::Workflow> variants;
+  for (std::uint32_t f : factors) {
+    dag::ClusterOptions options;
+    options.factor = f;
+    options.min_stage_tasks = 8;
+    variants.push_back(dag::cluster_horizontal(base, options).workflow);
+  }
+
+  struct Cell {
+    metrics::CellStats stats;
+  };
+  std::vector<Cell> cells(factors.size() * units.size());
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;
+  for (std::size_t f = 0; f < factors.size(); ++f) {
+    for (std::size_t u = 0; u < units.size(); ++u) jobs.emplace_back(f, u);
+  }
+  util::parallel_for(jobs.size(), [&](std::size_t j) {
+    const auto [f, u] = jobs[j];
+    for (std::uint32_t rep = 0; rep < kReps; ++rep) {
+      core::WireController controller;
+      sim::RunOptions options;
+      options.seed = util::derive_seed(606, j * 10 + rep);
+      options.initial_instances = 1;
+      cells[j].stats.add(sim::simulate(variants[f], controller,
+                                       exp::paper_cloud(units[u]), options));
+    }
+  });
+
+  std::printf(
+      "Clustering x charging unit: Genome S under WIRE (%u repetitions)\n"
+      "(factor 1 = unclustered; clustered jobs run members sequentially)\n\n",
+      kReps);
+  util::CsvWriter csv(bench::results_dir() + "/clustering.csv");
+  csv.write_row({"factor", "tasks", "charging_unit_s", "cost_mean",
+                 "makespan_mean_s", "utilization_mean"});
+
+  util::TextTable table;
+  table.set_header({"factor", "tasks", "u=1min cost/time", "u=15min cost/time",
+                    "u=30min cost/time", "u=60min cost/time"});
+  std::size_t idx = 0;
+  for (std::size_t f = 0; f < factors.size(); ++f) {
+    std::vector<std::string> row{std::to_string(factors[f]),
+                                 std::to_string(variants[f].task_count())};
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const Cell& cell = cells[idx++];
+      row.push_back(util::fmt(cell.stats.cost_units.mean(), 1) + " / " +
+                    util::fmt(cell.stats.makespan_seconds.mean(), 0) + "s");
+      csv.write_row({std::to_string(factors[f]),
+                     std::to_string(variants[f].task_count()),
+                     util::fmt(units[u], 0),
+                     util::fmt(cell.stats.cost_units.mean(), 3),
+                     util::fmt(cell.stats.makespan_seconds.mean(), 1),
+                     util::fmt(cell.stats.utilization.mean(), 4)});
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("series written to %s/clustering.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared helpers for the bench harnesses: output directory handling and the
+// idealized §III-E/§IV-A cloud (1 slot per instance, no variability, control
+// lag small relative to task length and charging unit).
+#pragma once
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+
+#include "sim/config.h"
+
+namespace wire::bench {
+
+/// Directory where benches drop their CSV series (created on demand).
+inline std::string results_dir() {
+  const std::filesystem::path dir = "bench_results";
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// The idealized linear-workflow cloud of §III-E / §IV-A: one slot per
+/// instance, deterministic execution, no transfer costs, unlimited site, and
+/// a control lag of min(R, U)/20 to approximate continuous monitoring.
+inline sim::CloudConfig idealized_cloud(double task_seconds,
+                                        double charging_unit) {
+  sim::CloudConfig config;
+  config.lag_seconds = std::min(task_seconds, charging_unit) / 20.0;
+  config.charging_unit_seconds = charging_unit;
+  config.slots_per_instance = 1;
+  config.max_instances = 0;  // unlimited
+  config.variability.instance_speed_sigma = 0.0;
+  config.variability.interference_sigma = 0.0;
+  config.variability.transfer_noise_sigma = 0.0;
+  config.variability.transfer_latency_seconds = 0.0;
+  config.variability.bandwidth_mb_per_s = 1e12;
+  return config;
+}
+
+}  // namespace wire::bench

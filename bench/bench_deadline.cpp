@@ -1,0 +1,147 @@
+// Deadline study (extension beyond the paper) — the cost of a latency SLO.
+//
+// Jockey-style controllers guarantee completion time; WIRE optimizes cost.
+// The DeadlinePolicy composes WIRE's predictor and load projection into an
+// SLO controller; this bench sweeps the deadline on two workloads and
+// reports the classic convex cost-vs-latency frontier, with WIRE's
+// (deadline-free) operating point for reference.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/controller.h"
+#include "exp/settings.h"
+#include "metrics/report.h"
+#include "policies/baselines.h"
+#include "policies/deadline.h"
+#include "predict/history.h"
+#include "sim/driver.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace wire;
+
+constexpr std::uint32_t kReps = 3;
+
+struct Point {
+  double deadline = 0.0;  // 0 = WIRE reference
+  metrics::CellStats stats;
+  std::uint32_t met = 0;
+};
+
+}  // namespace
+
+int main() {
+  struct Workload {
+    std::string name;
+    dag::Workflow wf;
+    std::vector<double> deadlines;
+  };
+  const std::vector<Workload> workloads = {
+      {"Genome S",
+       workload::make_workflow(workload::epigenomics_profile(
+                                   workload::Scale::Small), 7),
+       {600.0, 900.0, 1500.0, 2400.0, 3600.0}},
+      {"PageRank L",
+       workload::make_workflow(workload::pagerank_profile(
+                                   workload::Scale::Large), 7),
+       {1800.0, 2700.0, 3600.0, 5400.0, 7200.0}},
+  };
+
+  std::printf(
+      "Deadline sweep: cost of a latency SLO (u = 1 min, %u repetitions; "
+      "deadline 0 = plain WIRE)\n\n",
+      kReps);
+  util::CsvWriter csv(bench::results_dir() + "/deadline.csv");
+  csv.write_row({"workload", "deadline_s", "estimates", "cost_mean",
+                 "makespan_mean_s", "slo_met", "peak_mean"});
+
+  for (const Workload& w : workloads) {
+    // A prior full-site run supplies the Jockey-style history archive.
+    std::shared_ptr<const std::vector<predict::HistoryRecord>> archive;
+    {
+      policies::StaticPolicy full_site(12, "full-site");
+      sim::RunOptions options;
+      options.seed = util::derive_seed(910, 1);
+      options.initial_instances = 12;
+      const sim::RunResult prior =
+          sim::simulate(w.wf, full_site, exp::paper_cloud(60.0), options);
+      archive = std::make_shared<const std::vector<predict::HistoryRecord>>(
+          predict::history_from_records(prior.task_records));
+    }
+
+    // Each deadline runs in two variants: online estimates and history.
+    std::vector<double> deadlines = w.deadlines;
+    deadlines.push_back(0.0);  // WIRE reference last
+    std::vector<Point> online_points(deadlines.size());
+    std::vector<Point> history_points(deadlines.size());
+
+    util::parallel_for(deadlines.size() * 2, [&](std::size_t job) {
+      const std::size_t i = job / 2;
+      const bool with_history = job % 2 == 1;
+      Point& point = with_history ? history_points[i] : online_points[i];
+      point.deadline = deadlines[i];
+      for (std::uint32_t rep = 0; rep < kReps; ++rep) {
+        const sim::CloudConfig config = exp::paper_cloud(60.0);
+        sim::RunOptions options;
+        options.seed = util::derive_seed(909, i * 10 + rep);
+        options.initial_instances = 1;
+        sim::RunResult r;
+        if (deadlines[i] > 0.0) {
+          policies::DeadlinePolicy policy(
+              deadlines[i], with_history ? archive : nullptr);
+          r = sim::simulate(w.wf, policy, config, options);
+          if (r.makespan <= deadlines[i]) ++point.met;
+        } else {
+          core::WireController policy;
+          r = sim::simulate(w.wf, policy, config, options);
+        }
+        point.stats.add(r);
+      }
+    });
+
+    util::TextTable table;
+    table.set_header({"deadline(s)", "online cost", "online time / met",
+                      "history cost", "history time / met"});
+    for (std::size_t i = 0; i < deadlines.size(); ++i) {
+      const Point& online = online_points[i];
+      const Point& hist = history_points[i];
+      const auto met = [&](const Point& p) {
+        return p.deadline > 0.0 ? util::fmt(p.stats.makespan_seconds.mean(),
+                                            0) +
+                                      "s " + std::to_string(p.met) + "/" +
+                                      std::to_string(kReps)
+                                : util::fmt(p.stats.makespan_seconds.mean(),
+                                            0) +
+                                      "s -";
+      };
+      table.add_row({
+          online.deadline > 0.0 ? util::fmt(online.deadline, 0) : "(wire)",
+          util::fmt(online.stats.cost_units.mean(), 1),
+          met(online),
+          util::fmt(hist.stats.cost_units.mean(), 1),
+          met(hist),
+      });
+      for (const Point* p : {&online, &hist}) {
+        csv.write_row({w.name, util::fmt(p->deadline, 0),
+                       p == &hist ? "history" : "online",
+                       util::fmt(p->stats.cost_units.mean(), 3),
+                       util::fmt(p->stats.makespan_seconds.mean(), 1),
+                       p->deadline > 0.0
+                           ? util::fmt(static_cast<double>(p->met) / kReps, 2)
+                           : "-1",
+                       util::fmt(p->stats.peak_instances.mean(), 2)});
+      }
+    }
+    std::printf("%s\n%s\n", w.name.c_str(), table.render().c_str());
+  }
+  std::printf("series written to %s/deadline.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 5 — Resource cost (§IV-E).
+//
+// Runs the full §IV-C settings matrix: the eight Table I workloads under
+// {full-site, pure-reactive, reactive-conserving, wire} × charging units
+// {1, 15, 30, 60} minutes, with repeated seeded runs, and reports the mean ±
+// std of charging units consumed per run.
+//
+// Paper results to match in shape: wire has the lowest cost in most cells;
+// the other policies cost 0.93x–14.66x of wire; full-site costs
+// 4.93x–14.66x of wire.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/runner.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "workload/profiles.h"
+
+int main() {
+  using namespace wire;
+
+  exp::MatrixOptions options;
+  options.repetitions = 3;
+  const auto profiles = workload::table1_profiles();
+  const auto cells = exp::run_matrix(profiles, options);
+
+  util::CsvWriter csv(bench::results_dir() + "/fig5.csv");
+  csv.write_row({"workflow", "policy", "charging_unit_s", "cost_mean",
+                 "cost_std", "makespan_mean_s", "utilization_mean"});
+
+  std::printf("Figure 5: resource cost in charging units (mean ± std)\n\n");
+
+  const auto units = options.charging_units;
+  std::size_t idx = 0;
+  double ratio_min = 1e18, ratio_max = 0.0;      // full-site / wire
+  double other_min = 1e18, other_max = 0.0;      // any baseline / wire
+  std::uint32_t wire_cheapest = 0, cell_count = 0;
+
+  for (const auto& profile : profiles) {
+    util::TextTable table;
+    table.set_header({"policy \\ u", "1 min", "15 min", "30 min", "60 min"});
+    // cells are ordered policy-major then unit within one workflow.
+    std::vector<std::vector<const exp::CellResult*>> grid(
+        options.policies.size());
+    for (std::size_t p = 0; p < options.policies.size(); ++p) {
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        grid[p].push_back(&cells[idx++]);
+      }
+    }
+    for (std::size_t p = 0; p < options.policies.size(); ++p) {
+      std::vector<std::string> row{
+          exp::policy_label(options.policies[p])};
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        const auto& stats = grid[p][u]->stats;
+        row.push_back(util::fmt_mean_std(stats.cost_units.mean(),
+                                         stats.cost_units.stddev(), 1));
+        csv.write_row({profile.name, exp::policy_label(options.policies[p]),
+                       util::fmt(units[u], 0),
+                       util::fmt(stats.cost_units.mean(), 3),
+                       util::fmt(stats.cost_units.stddev(), 3),
+                       util::fmt(stats.makespan_seconds.mean(), 1),
+                       util::fmt(stats.utilization.mean(), 4)});
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n%s\n", profile.name.c_str(), table.render().c_str());
+
+    // Cost ratios vs wire (wire is the last policy in paper order).
+    const std::size_t wire_row = options.policies.size() - 1;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+      const double wire_cost = grid[wire_row][u]->stats.cost_units.mean();
+      ++cell_count;
+      bool cheapest = true;
+      for (std::size_t p = 0; p + 1 < options.policies.size(); ++p) {
+        const double ratio =
+            grid[p][u]->stats.cost_units.mean() / wire_cost;
+        other_min = std::min(other_min, ratio);
+        other_max = std::max(other_max, ratio);
+        if (p == 0) {  // full-site
+          ratio_min = std::min(ratio_min, ratio);
+          ratio_max = std::max(ratio_max, ratio);
+        }
+        if (ratio < 1.0) cheapest = false;
+      }
+      if (cheapest) ++wire_cheapest;
+    }
+  }
+
+  std::printf(
+      "wire is the cheapest policy in %u / %u cells\n"
+      "full-site / wire cost ratio: %.2fx – %.2fx   (paper: 4.93x – "
+      "14.66x)\n"
+      "any baseline / wire ratio:   %.2fx – %.2fx   (paper: 0.93x – "
+      "14.66x)\n",
+      wire_cheapest, cell_count, ratio_min, ratio_max, other_min, other_max);
+  std::printf("series written to %s/fig5.csv\n", bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 6 — Relative execution time (§IV-E).
+//
+// Same settings matrix as Figure 5; for each workload, every (policy,
+// charging unit) cell's mean makespan is normalized to the best cell of that
+// workload ("normalize the times across settings and resource charging units
+// to the best performance").
+//
+// Paper results to match in shape: full-site is the fastest (ratio 1); wire
+// runs show a 1.02x–3.57x slowdown overall and 1.02x–1.65x at the 1-minute
+// charging unit; performance is within 2x of optimal for most wire cells.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/runner.h"
+#include "metrics/report.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "workload/profiles.h"
+
+int main() {
+  using namespace wire;
+
+  exp::MatrixOptions options;
+  options.repetitions = 3;
+  const auto profiles = workload::table1_profiles();
+  const auto cells = exp::run_matrix(profiles, options);
+
+  util::CsvWriter csv(bench::results_dir() + "/fig6.csv");
+  csv.write_row({"workflow", "policy", "charging_unit_s", "relative_time_mean",
+                 "relative_time_std", "makespan_mean_s"});
+
+  std::printf(
+      "Figure 6: execution time relative to the best setting "
+      "(mean ± std)\n\n");
+
+  const auto units = options.charging_units;
+  std::size_t idx = 0;
+  double wire_slow_min = 1e18, wire_slow_max = 0.0;
+  double wire_1min_min = 1e18, wire_1min_max = 0.0;
+  std::uint32_t wire_within_2x = 0, wire_cells = 0;
+
+  for (const auto& profile : profiles) {
+    std::vector<std::vector<const exp::CellResult*>> grid(
+        options.policies.size());
+    double best = 1e300;
+    for (std::size_t p = 0; p < options.policies.size(); ++p) {
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        grid[p].push_back(&cells[idx++]);
+        best = std::min(best,
+                        grid[p].back()->stats.makespan_seconds.mean());
+      }
+    }
+
+    util::TextTable table;
+    table.set_header({"policy \\ u", "1 min", "15 min", "30 min", "60 min"});
+    for (std::size_t p = 0; p < options.policies.size(); ++p) {
+      std::vector<std::string> row{
+          exp::policy_label(options.policies[p])};
+      for (std::size_t u = 0; u < units.size(); ++u) {
+        const auto& stats = grid[p][u]->stats;
+        const double rel = stats.makespan_seconds.mean() / best;
+        const double rel_std = stats.makespan_seconds.stddev() / best;
+        row.push_back(util::fmt_mean_std(rel, rel_std, 2));
+        csv.write_row({profile.name, exp::policy_label(options.policies[p]),
+                       util::fmt(units[u], 0), util::fmt(rel, 4),
+                       util::fmt(rel_std, 4),
+                       util::fmt(stats.makespan_seconds.mean(), 1)});
+        if (options.policies[p] == exp::PolicyKind::Wire) {
+          wire_slow_min = std::min(wire_slow_min, rel);
+          wire_slow_max = std::max(wire_slow_max, rel);
+          ++wire_cells;
+          if (rel <= 2.0) ++wire_within_2x;
+          if (u == 0) {
+            wire_1min_min = std::min(wire_1min_min, rel);
+            wire_1min_max = std::max(wire_1min_max, rel);
+          }
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n%s\n", profile.name.c_str(), table.render().c_str());
+  }
+
+  std::printf(
+      "wire slowdown overall: %.2fx – %.2fx     (paper: 1.02x – 3.57x)\n"
+      "wire slowdown at u = 1 min: %.2fx – %.2fx (paper: 1.02x – 1.65x)\n"
+      "wire cells within 2x of best: %u / %u     (paper: 83.75%% of runs)\n",
+      wire_slow_min, wire_slow_max, wire_1min_min, wire_1min_max,
+      wire_within_2x, wire_cells);
+  std::printf("series written to %s/fig6.csv\n", bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Generalization study — beyond Table I.
+//
+// Runs the §IV-C policy comparison on the three classic Pegasus families the
+// paper's workload-characterization reference (Juve et al.) profiles but the
+// paper does not evaluate: Montage (wide-narrow-wide mosaic), CyberShake
+// (two masters -> huge fan-out -> tail), and LIGO Inspiral (repeated rounds).
+// Checks that WIRE's cost/performance story is not an artifact of the four
+// Table I shapes.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/controller.h"
+#include "exp/settings.h"
+#include "metrics/report.h"
+#include "policies/baselines.h"
+#include "sim/driver.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/pegasus_extra.h"
+
+namespace {
+
+using namespace wire;
+
+constexpr std::uint32_t kReps = 3;
+
+struct Cell {
+  std::string workflow;
+  exp::PolicyKind policy;
+  double unit = 0.0;
+  metrics::CellStats stats;
+};
+
+}  // namespace
+
+int main() {
+  struct Family {
+    std::string name;
+    dag::Workflow wf;
+  };
+  const std::vector<Family> families = {
+      {"Montage-100", workload::montage(100, 7)},
+      {"CyberShake-400", workload::cybershake(400, 7)},
+      {"LIGO-100x2", workload::ligo(100, 2, 7)},
+  };
+  const std::vector<double> units = {60.0, 900.0};
+  const auto policies = exp::all_policies();
+
+  std::vector<Cell> cells(families.size() * policies.size() * units.size());
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> jobs;
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      for (std::size_t u = 0; u < units.size(); ++u) jobs.push_back({f, p, u});
+    }
+  }
+  util::parallel_for(jobs.size(), [&](std::size_t j) {
+    const auto [f, p, u] = jobs[j];
+    Cell cell;
+    cell.workflow = families[f].name;
+    cell.policy = policies[p];
+    cell.unit = units[u];
+    const sim::CloudConfig config = exp::paper_cloud(units[u]);
+    for (std::uint32_t rep = 0; rep < kReps; ++rep) {
+      auto policy = exp::make_policy(policies[p]);
+      sim::RunOptions options;
+      options.seed = util::derive_seed(808, j * 10 + rep);
+      options.initial_instances = exp::initial_instances(policies[p], config);
+      cell.stats.add(
+          sim::simulate(families[f].wf, *policy, config, options));
+    }
+    cells[j] = std::move(cell);
+  });
+
+  std::printf(
+      "Generalization: the §IV-C comparison on Montage / CyberShake / LIGO\n"
+      "(%u repetitions; u in {1, 15} min)\n\n",
+      kReps);
+  util::CsvWriter csv(bench::results_dir() + "/generalize.csv");
+  csv.write_row({"workflow", "policy", "charging_unit_s", "cost_mean",
+                 "cost_std", "makespan_mean_s", "utilization_mean"});
+
+  std::size_t idx = 0;
+  for (const Family& family : families) {
+    std::printf("%s (%zu tasks, %zu stages)\n", family.name.c_str(),
+                family.wf.task_count(), family.wf.stage_count());
+    util::TextTable table;
+    table.set_header({"policy", "u=1min cost", "u=1min time(s)",
+                      "u=15min cost", "u=15min time(s)"});
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      const Cell& c1 = cells[idx];
+      const Cell& c15 = cells[idx + 1];
+      idx += 2;
+      table.add_row({exp::policy_label(policies[p]),
+                     util::fmt_mean_std(c1.stats.cost_units.mean(),
+                                        c1.stats.cost_units.stddev(), 1),
+                     util::fmt(c1.stats.makespan_seconds.mean(), 0),
+                     util::fmt_mean_std(c15.stats.cost_units.mean(),
+                                        c15.stats.cost_units.stddev(), 1),
+                     util::fmt(c15.stats.makespan_seconds.mean(), 0)});
+      for (const Cell* c : {&c1, &c15}) {
+        csv.write_row({c->workflow, exp::policy_label(c->policy),
+                       util::fmt(c->unit, 0),
+                       util::fmt(c->stats.cost_units.mean(), 3),
+                       util::fmt(c->stats.cost_units.stddev(), 3),
+                       util::fmt(c->stats.makespan_seconds.mean(), 1),
+                       util::fmt(c->stats.utilization.mean(), 4)});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf("series written to %s/generalize.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,193 @@
+// §IV-F — Overhead of the WIRE controller.
+//
+// The paper reports that across 127 wire runs the controller used <= 16 KB
+// of memory and consumed 0.011 % – 0.49 % of the aggregate task execution
+// time. This bench measures the same quantities for our implementation:
+// google-benchmark timings of each MAPE component (predictor harvest,
+// lookahead simulation, steering policy, full iteration) on a mid-run
+// Genome L snapshot (the largest workload: 4005 tasks), plus the controller
+// state footprint and the end-to-end controller time as a fraction of
+// aggregate task execution time.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "core/controller.h"
+#include "core/lookahead.h"
+#include "core/steering.h"
+#include "exp/settings.h"
+#include "predict/task_predictor.h"
+#include "sim/driver.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace wire;
+
+/// Builds a representative mid-run snapshot: run Genome L under WIRE and
+/// capture the monitoring state at roughly half completion.
+struct Fixture {
+  dag::Workflow wf;
+  sim::CloudConfig config;
+  sim::MonitorSnapshot snapshot;
+  std::unique_ptr<predict::TaskPredictor> predictor;
+
+  Fixture()
+      : wf(workload::make_workflow(
+            workload::epigenomics_profile(workload::Scale::Large), 7)),
+        config(exp::paper_cloud(900.0)) {
+    // Drive a wire run and steal a snapshot mid-flight via the framework
+    // master: easiest faithful route is re-simulating and capturing through
+    // a wrapping policy.
+    struct Capturing final : sim::ScalingPolicy {
+      core::WireController inner;
+      sim::MonitorSnapshot captured;
+      std::size_t target_tick = 8;
+      std::size_t ticks = 0;
+      std::string name() const override { return "capture"; }
+      void on_run_start(const dag::Workflow& w,
+                        const sim::CloudConfig& c) override {
+        inner.on_run_start(w, c);
+      }
+      sim::PoolCommand plan(const sim::MonitorSnapshot& snap) override {
+        if (++ticks == target_tick) captured = snap;
+        return inner.plan(snap);
+      }
+    };
+    Capturing capture;
+    sim::RunOptions options;
+    options.seed = 5;
+    options.initial_instances = 1;
+    sim::simulate(wf, capture, config, options);
+    snapshot = std::move(capture.captured);
+    if (snapshot.tasks.empty()) {
+      // Run finished before the target tick; take a fresh initial snapshot.
+      snapshot.tasks.assign(wf.task_count(), sim::TaskObservation{});
+      snapshot.incomplete_tasks =
+          static_cast<std::uint32_t>(wf.task_count());
+    }
+    predictor = std::make_unique<predict::TaskPredictor>(wf);
+    predictor->observe(snapshot);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_PredictorObserve(benchmark::State& state) {
+  Fixture& f = fixture();
+  predict::TaskPredictor predictor(f.wf);
+  for (auto _ : state) {
+    predictor.observe(f.snapshot);
+    benchmark::DoNotOptimize(predictor.transfer_estimate());
+  }
+}
+BENCHMARK(BM_PredictorObserve);
+
+void BM_LookaheadSimulation(benchmark::State& state) {
+  Fixture& f = fixture();
+  for (auto _ : state) {
+    const core::LookaheadResult result =
+        core::simulate_interval(f.wf, f.snapshot, *f.predictor, f.config);
+    benchmark::DoNotOptimize(result.upcoming.size());
+  }
+}
+BENCHMARK(BM_LookaheadSimulation);
+
+void BM_SteeringPolicy(benchmark::State& state) {
+  Fixture& f = fixture();
+  const core::LookaheadResult lookahead =
+      core::simulate_interval(f.wf, f.snapshot, *f.predictor, f.config);
+  for (auto _ : state) {
+    const sim::PoolCommand cmd =
+        core::steer(lookahead, f.snapshot, f.config);
+    benchmark::DoNotOptimize(cmd.grow);
+  }
+}
+BENCHMARK(BM_SteeringPolicy);
+
+void BM_FullMapeIteration(benchmark::State& state) {
+  Fixture& f = fixture();
+  core::WireController controller;
+  controller.on_run_start(f.wf, f.config);
+  for (auto _ : state) {
+    const sim::PoolCommand cmd = controller.plan(f.snapshot);
+    benchmark::DoNotOptimize(cmd.grow);
+  }
+}
+BENCHMARK(BM_FullMapeIteration);
+
+void BM_ResizePoolAlg3(benchmark::State& state) {
+  std::vector<double> load(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    load[i] = 10.0 + static_cast<double>(i % 97);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::resize_pool(load, 900.0, 4));
+  }
+}
+BENCHMARK(BM_ResizePoolAlg3)->Arg(100)->Arg(1000)->Arg(4000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // End-to-end §IV-F accounting: wall-clock controller time per run vs the
+  // aggregate task execution time, and the controller state footprint.
+  std::printf("\n--- §IV-F overhead accounting ---\n");
+  for (const workload::WorkflowProfile& profile :
+       {workload::epigenomics_profile(workload::Scale::Large),
+        workload::pagerank_profile(workload::Scale::Large),
+        workload::tpch1_profile(workload::Scale::Small)}) {
+    const dag::Workflow wf = workload::make_workflow(profile, 7);
+    core::WireController controller;
+
+    double controller_seconds = 0.0;
+    std::uint32_t iterations = 0;
+    struct Timing final : sim::ScalingPolicy {
+      core::WireController* inner;
+      double* total;
+      std::uint32_t* iters;
+      std::string name() const override { return "wire"; }
+      void on_run_start(const dag::Workflow& w,
+                        const sim::CloudConfig& c) override {
+        inner->on_run_start(w, c);
+      }
+      sim::PoolCommand plan(const sim::MonitorSnapshot& snap) override {
+        const auto begin = std::chrono::steady_clock::now();
+        sim::PoolCommand cmd = inner->plan(snap);
+        const auto end = std::chrono::steady_clock::now();
+        *total += std::chrono::duration<double>(end - begin).count();
+        ++*iters;
+        return cmd;
+      }
+    };
+    Timing timing;
+    timing.inner = &controller;
+    timing.total = &controller_seconds;
+    timing.iters = &iterations;
+
+    sim::RunOptions options;
+    options.seed = 11;
+    options.initial_instances = 1;
+    sim::simulate(wf, timing, exp::paper_cloud(900.0), options);
+
+    const double aggregate = wf.aggregate_ref_exec_seconds();
+    std::printf(
+        "%-12s: %u MAPE iterations, controller %.4f s total, state %.1f KB, "
+        "overhead %.4f%% of aggregate task time (paper: 0.011%%-0.49%%, "
+        "<=16 KB)\n",
+        profile.name.c_str(), iterations, controller_seconds,
+        controller.state_bytes() / 1024.0,
+        100.0 * controller_seconds / aggregate);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Policy shootout: the §IV-C comparison on a workload of your choice.
+//
+//   $ ./examples/policy_shootout [genome|tpch1|tpch6|pagerank] [small|large]
+//
+// Runs all four resource-management settings (full-site, pure-reactive,
+// reactive-conserving, wire) across the four paper charging units and prints
+// the Figure 5/6 style summary: charging units consumed and execution time
+// relative to the best setting.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/settings.h"
+#include "util/table.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+int main(int argc, char** argv) {
+  using namespace wire;
+
+  const std::string which = argc > 1 ? argv[1] : "tpch1";
+  const workload::Scale scale =
+      (argc > 2 && std::strcmp(argv[2], "large") == 0)
+          ? workload::Scale::Large
+          : workload::Scale::Small;
+
+  workload::WorkflowProfile profile;
+  if (which == "genome") {
+    profile = workload::epigenomics_profile(scale);
+  } else if (which == "tpch6") {
+    profile = workload::tpch6_profile(scale);
+  } else if (which == "pagerank") {
+    profile = workload::pagerank_profile(scale);
+  } else {
+    profile = workload::tpch1_profile(scale);
+  }
+
+  exp::MatrixOptions options;
+  options.repetitions = 3;
+  const auto cells = exp::run_matrix({profile}, options);
+
+  // Find the best mean makespan for the relative-time normalization.
+  double best = 1e300;
+  for (const exp::CellResult& cell : cells) {
+    best = std::min(best, cell.stats.makespan_seconds.mean());
+  }
+
+  std::printf("=== %s: %zu policies x %zu charging units, %u runs each ===\n\n",
+              profile.name.c_str(), options.policies.size(),
+              options.charging_units.size(), options.repetitions);
+
+  util::TextTable cost, time;
+  cost.set_header({"cost (units)", "1 min", "15 min", "30 min", "60 min"});
+  time.set_header({"rel. time", "1 min", "15 min", "30 min", "60 min"});
+  std::size_t idx = 0;
+  for (exp::PolicyKind policy : options.policies) {
+    std::vector<std::string> cost_row{exp::policy_label(policy)};
+    std::vector<std::string> time_row{exp::policy_label(policy)};
+    for (std::size_t u = 0; u < options.charging_units.size(); ++u) {
+      const exp::CellResult& cell = cells[idx++];
+      cost_row.push_back(util::fmt_mean_std(cell.stats.cost_units.mean(),
+                                            cell.stats.cost_units.stddev(),
+                                            1));
+      time_row.push_back(
+          util::fmt(cell.stats.makespan_seconds.mean() / best, 2) + "x");
+    }
+    cost.add_row(std::move(cost_row));
+    time.add_row(std::move(time_row));
+  }
+  std::printf("%s\n%s", cost.render().c_str(), time.render().c_str());
+  std::printf(
+      "\nReading guide: full-site is the speed bound (12 instances, idle\n"
+      "most of the time); pure-reactive chases the instantaneous load and\n"
+      "pays recharge penalties; reactive-conserving releases only at charge\n"
+      "boundaries; wire additionally predicts the upcoming load from the\n"
+      "DAG, so it grows before the width arrives and shrinks before waste\n"
+      "accumulates.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "core/controller.h"
+
+#include <algorithm>
+
+#include "core/steering.h"
+#include "predict/oracle.h"
+#include "util/check.h"
+
+namespace wire::core {
+
+WireController::WireController(const WireOptions& options)
+    : options_(options) {}
+
+void WireController::on_run_start(const dag::Workflow& workflow,
+                                  const sim::CloudConfig& config) {
+  workflow_ = &workflow;
+  config_ = config;
+  if (options_.oracle_estimator) {
+    estimator_ = std::make_unique<predict::OracleEstimator>(
+        workflow, config.variability.transfer_latency_seconds,
+        config.variability.bandwidth_mb_per_s);
+    online_ = nullptr;
+  } else if (options_.history) {
+    estimator_ =
+        std::make_unique<predict::HistoryEstimator>(workflow,
+                                                    *options_.history);
+    online_ = nullptr;
+  } else {
+    auto online =
+        std::make_unique<predict::TaskPredictor>(workflow, options_.predictor);
+    online_ = online.get();
+    estimator_ = std::move(online);
+  }
+}
+
+const predict::Estimator& WireController::estimator() const {
+  WIRE_REQUIRE(estimator_ != nullptr, "no active run");
+  return *estimator_;
+}
+
+const predict::TaskPredictor& WireController::predictor() const {
+  WIRE_REQUIRE(online_ != nullptr,
+               "no active run with the online predictor");
+  return *online_;
+}
+
+sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
+  WIRE_REQUIRE(workflow_ != nullptr, "plan before on_run_start");
+
+  // Monitor + Analyze: harvest the interval's data, refresh the models.
+  estimator_->observe(snapshot);
+
+  // Plan: project the upcoming load.
+  LookaheadResult lookahead;
+  if (options_.disable_lookahead) {
+    // Ablation: no DAG projection — only the tasks active right now.
+    for (const sim::InstanceObservation& inst : snapshot.instances) {
+      for (dag::TaskId task : inst.running_tasks) {
+        lookahead.upcoming.push_back(UpcomingTask{
+            task, estimator_->predict_remaining_occupancy(task, snapshot),
+            /*on_slot=*/true});
+        auto [it, inserted] =
+            lookahead.restart_cost.try_emplace(inst.id, 0.0);
+        it->second = std::max(it->second, snapshot.tasks[task].elapsed);
+      }
+    }
+    for (dag::TaskId task : snapshot.ready_queue) {
+      lookahead.upcoming.push_back(UpcomingTask{
+          task, estimator_->predict_remaining_occupancy(task, snapshot),
+          /*on_slot=*/false});
+    }
+  } else {
+    lookahead = simulate_interval(*workflow_, snapshot, *estimator_, config_);
+  }
+
+  // Plan + Execute: steer the pool.
+  std::uint32_t planned = 0;
+  sim::PoolCommand cmd = steer(lookahead, snapshot, config_, &planned,
+                               options_.reclaim_draining);
+
+  if (trace_listener_) {
+    MapeTrace trace;
+    trace.now = snapshot.now;
+    trace.upcoming_tasks = lookahead.upcoming.size();
+    for (const UpcomingTask& t : lookahead.upcoming) {
+      trace.upcoming_load_seconds += t.remaining_occupancy;
+    }
+    trace.planned_pool = planned;
+    trace.grow = cmd.grow;
+    trace.releases = static_cast<std::uint32_t>(cmd.releases.size());
+    trace_listener_(trace);
+  }
+  return cmd;
+}
+
+std::size_t WireController::state_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  if (estimator_) bytes += estimator_->state_bytes();
+  return bytes;
+}
+
+}  // namespace wire::core

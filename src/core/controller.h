@@ -1,0 +1,95 @@
+// The WIRE controller: the paper's MAPE loop (Fig. 1).
+//
+// Each control interval: Monitor (harvest the snapshot through the task
+// predictor), Analyze (update the per-stage models), Plan (lookahead
+// simulation + resource-steering policy), Execute (return the pool command to
+// the cloud API). The controller is a ScalingPolicy, so the same run driver
+// executes WIRE and every baseline under identical conditions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/lookahead.h"
+#include "predict/estimator.h"
+#include "predict/history.h"
+#include "predict/task_predictor.h"
+#include "sim/scaling_policy.h"
+
+namespace wire::core {
+
+struct WireOptions {
+  predict::PredictorConfig predictor;
+  /// Ablation: skip the DAG lookahead; the upcoming load is just the tasks
+  /// active right now with their predicted remaining occupancy (degrades
+  /// WIRE toward a model-informed reactive policy).
+  bool disable_lookahead = false;
+  /// Experiment: replace the online predictor with the clairvoyant
+  /// OracleEstimator (DAG reference times). Quantifies how much of WIRE's
+  /// behaviour is limited by prediction accuracy (§IV-E robustness claim).
+  bool oracle_estimator = false;
+  /// Experiment: replace the online predictor with a Jockey-style
+  /// HistoryEstimator built from this prior run (Observation 2 study).
+  /// Shared so a whole experiment matrix can reuse one archive. Takes
+  /// precedence below oracle_estimator.
+  std::shared_ptr<const std::vector<predict::HistoryRecord>> history;
+  /// Improvement over the paper: when the plan calls for growth and
+  /// instances are currently draining toward their charge boundary, cancel
+  /// drains instead of booting new instances — reclaimed capacity is
+  /// instant and its charging unit is already running. Off by default
+  /// (fidelity to Algorithm 2); the ablation bench measures it.
+  bool reclaim_draining = false;
+};
+
+/// Per-iteration trace record (consumed by the overhead bench and tests).
+struct MapeTrace {
+  sim::SimTime now = 0.0;
+  std::size_t upcoming_tasks = 0;
+  /// Sum of predicted remaining occupancy over Q_task (seconds).
+  double upcoming_load_seconds = 0.0;
+  /// Algorithm 3's planned pool size p.
+  std::uint32_t planned_pool = 0;
+  std::uint32_t grow = 0;
+  std::uint32_t releases = 0;
+};
+
+class WireController final : public sim::ScalingPolicy {
+ public:
+  explicit WireController(const WireOptions& options = {});
+
+  std::string name() const override {
+    if (options_.oracle_estimator) return "wire-oracle";
+    if (options_.history) return "wire-history";
+    return "wire";
+  }
+  void on_run_start(const dag::Workflow& workflow,
+                    const sim::CloudConfig& config) override;
+  sim::PoolCommand plan(const sim::MonitorSnapshot& snapshot) override;
+
+  /// Observer invoked after every MAPE iteration (optional).
+  void set_trace_listener(std::function<void(const MapeTrace&)> listener) {
+    trace_listener_ = std::move(listener);
+  }
+
+  /// The live estimator (valid between on_run_start and run end).
+  const predict::Estimator& estimator() const;
+
+  /// The live online predictor; requires the default (non-oracle) estimator.
+  const predict::TaskPredictor& predictor() const;
+
+  /// Controller state footprint in bytes (§IV-F overhead accounting).
+  std::size_t state_bytes() const;
+
+ private:
+  WireOptions options_;
+  const dag::Workflow* workflow_ = nullptr;
+  sim::CloudConfig config_;
+  std::unique_ptr<predict::Estimator> estimator_;
+  /// Non-null iff the estimator is the online TaskPredictor.
+  predict::TaskPredictor* online_ = nullptr;
+  std::function<void(const MapeTrace&)> trace_listener_;
+};
+
+}  // namespace wire::core

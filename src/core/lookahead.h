@@ -1,0 +1,59 @@
+// WIRE's internal workflow simulator (paper §III-B2).
+//
+// This is NOT the ground-truth simulator: it runs inside the controller, on
+// *predicted* task occupancy times, to project the execution over the next
+// control interval. Its outputs are the "upcoming load" Q_task — the tasks
+// expected to be active (running or queued) at the start of the next interval
+// with their conservatively predicted minimum remaining occupancy — and the
+// per-instance restart costs c_j (the maximum sunk occupancy of any task
+// projected to be running on the instance at that time).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dag/workflow.h"
+#include "predict/estimator.h"
+#include "sim/config.h"
+#include "sim/monitor.h"
+
+namespace wire::core {
+
+/// One entry of the upcoming load Q_task.
+struct UpcomingTask {
+  dag::TaskId task = dag::kInvalidTask;
+  /// Predicted minimum remaining slot occupancy at the start of the next
+  /// interval (seconds).
+  double remaining_occupancy = 0.0;
+  /// True if the task is projected to be occupying a slot at the start of
+  /// the next interval (as opposed to waiting in the ready queue). On-slot
+  /// tasks cannot be time-multiplexed by the pool-sizing bin-packer: their
+  /// instance is pinned for at least the next charging unit.
+  bool on_slot = false;
+};
+
+struct LookaheadResult {
+  /// Q_task in projected dispatch order (tasks already on slots first, by
+  /// projected completion; then the projected ready queue).
+  std::vector<UpcomingTask> upcoming;
+  /// Restart cost per instance: max sunk occupancy (seconds) among tasks
+  /// projected to be running on it at the start of the next interval.
+  /// Instances absent from the map have no running tasks (cost 0).
+  std::unordered_map<sim::InstanceId, double> restart_cost;
+  /// Tasks projected to complete within the interval.
+  std::uint32_t projected_completions = 0;
+};
+
+/// Projects execution from snapshot.now to snapshot.now + lag with the
+/// current resource allotment (ready non-draining instances, plus
+/// provisioning instances from when they boot; draining instances are
+/// excluded and their tasks requeued). FIFO dispatch, mirroring the
+/// framework master. The policy controller's predicted assignment may drift
+/// from the true schedule; §III-D argues (and §IV-E confirms) the effect is
+/// minor.
+LookaheadResult simulate_interval(const dag::Workflow& workflow,
+                                  const sim::MonitorSnapshot& snapshot,
+                                  const predict::Estimator& predictor,
+                                  const sim::CloudConfig& config);
+
+}  // namespace wire::core

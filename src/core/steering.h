@@ -1,0 +1,45 @@
+// The resource-steering policy: paper Algorithms 2 and 3.
+//
+// Algorithm 3 sizes the worker pool by greedily bin-packing the upcoming
+// load's predicted remaining occupancy times into instance slots, counting an
+// instance only once its slots are filled for at least one full charging
+// unit. Algorithm 2 grows or shrinks the current pool toward that size,
+// releasing an instance only when its charging unit expires before the next
+// interval (r_j <= t) and the sunk cost of restarting its tasks is below the
+// configurable threshold (0.2u by default).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lookahead.h"
+#include "sim/config.h"
+#include "sim/monitor.h"
+#include "sim/scaling_policy.h"
+
+namespace wire::core {
+
+/// Algorithm 3: resizing the worker pool. `upcoming` is Q_task's predicted
+/// minimum remaining occupancy times in poll order; `charging_unit` is u;
+/// `slots_per_instance` is l; `leftover_fraction` is the line-28 threshold
+/// (an extra instance is planned when the residual load exceeds this fraction
+/// of u). Returns the planned pool size p (>= 1 whenever `upcoming` is
+/// non-empty; 0 only for an empty load).
+std::uint32_t resize_pool(const std::vector<double>& upcoming,
+                          double charging_unit,
+                          std::uint32_t slots_per_instance,
+                          double leftover_fraction = 0.2);
+
+/// Algorithm 2: forms the grow/release command toward the planned size.
+/// Candidates for release are ready, non-draining instances whose charging
+/// unit expires before the next interval (r_j <= lag) with restart cost
+/// c_j <= leftover_fraction * u; victims are taken in ascending restart-cost
+/// order ("selects the instances to terminate to minimize task restart
+/// costs") and drained at their charge boundary.
+sim::PoolCommand steer(const LookaheadResult& lookahead,
+                       const sim::MonitorSnapshot& snapshot,
+                       const sim::CloudConfig& config,
+                       std::uint32_t* planned_size = nullptr,
+                       bool reclaim_draining = false);
+
+}  // namespace wire::core

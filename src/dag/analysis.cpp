@@ -1,0 +1,134 @@
+#include "dag/analysis.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wire::dag {
+
+std::vector<std::uint32_t> task_levels(const Workflow& wf) {
+  std::vector<std::uint32_t> level(wf.task_count(), 0);
+  for (TaskId t : wf.topological_order()) {
+    for (TaskId pred : wf.predecessors(t)) {
+      level[t] = std::max(level[t], level[pred] + 1);
+    }
+  }
+  return level;
+}
+
+std::vector<std::uint32_t> width_profile(const Workflow& wf) {
+  const auto levels = task_levels(wf);
+  const std::uint32_t depth =
+      levels.empty() ? 0 : *std::max_element(levels.begin(), levels.end()) + 1;
+  std::vector<std::uint32_t> width(depth, 0);
+  for (std::uint32_t lvl : levels) ++width[lvl];
+  return width;
+}
+
+std::uint32_t max_width(const Workflow& wf) {
+  const auto profile = width_profile(wf);
+  return profile.empty() ? 0
+                         : *std::max_element(profile.begin(), profile.end());
+}
+
+double critical_path_seconds(const Workflow& wf) {
+  std::vector<double> finish(wf.task_count(), 0.0);
+  double best = 0.0;
+  for (TaskId t : wf.topological_order()) {
+    double start = 0.0;
+    for (TaskId pred : wf.predecessors(t)) {
+      start = std::max(start, finish[pred]);
+    }
+    finish[t] = start + wf.task(t).ref_exec_seconds;
+    best = std::max(best, finish[t]);
+  }
+  return best;
+}
+
+StageClass classify_stage(double mean_exec_seconds) {
+  if (mean_exec_seconds <= 10.0) return StageClass::Short;
+  if (mean_exec_seconds <= 30.0) return StageClass::Medium;
+  return StageClass::Long;
+}
+
+const char* stage_class_name(StageClass c) {
+  switch (c) {
+    case StageClass::Short: return "short";
+    case StageClass::Medium: return "medium";
+    case StageClass::Long: return "long";
+  }
+  return "?";
+}
+
+std::vector<StageSummary> summarize_stages(const Workflow& wf) {
+  std::vector<StageSummary> out;
+  out.reserve(wf.stage_count());
+  for (const StageSpec& s : wf.stages()) {
+    StageSummary sum;
+    sum.stage = s.id;
+    sum.name = s.name;
+    const auto members = wf.stage_tasks(s.id);
+    sum.task_count = static_cast<std::uint32_t>(members.size());
+    WIRE_CHECK(!members.empty(), "stage without tasks survived build()");
+    double total = 0.0;
+    sum.min_ref_exec_seconds = wf.task(members.front()).ref_exec_seconds;
+    sum.max_ref_exec_seconds = sum.min_ref_exec_seconds;
+    for (TaskId t : members) {
+      const TaskSpec& spec = wf.task(t);
+      total += spec.ref_exec_seconds;
+      sum.min_ref_exec_seconds =
+          std::min(sum.min_ref_exec_seconds, spec.ref_exec_seconds);
+      sum.max_ref_exec_seconds =
+          std::max(sum.max_ref_exec_seconds, spec.ref_exec_seconds);
+      sum.total_input_mb += spec.input_mb;
+    }
+    sum.mean_ref_exec_seconds = total / static_cast<double>(members.size());
+    out.push_back(std::move(sum));
+  }
+  return out;
+}
+
+WorkflowSummary summarize_workflow(const Workflow& wf) {
+  WorkflowSummary out;
+  out.name = wf.name();
+  out.stage_count = static_cast<std::uint32_t>(wf.stage_count());
+  out.task_count = static_cast<std::uint32_t>(wf.task_count());
+  out.aggregate_exec_hours = wf.aggregate_ref_exec_seconds() / 3600.0;
+  out.dataset_gb = wf.input_dataset_mb() / 1024.0;
+
+  const auto stages = summarize_stages(wf);
+  out.min_stage_tasks = stages.front().task_count;
+  out.max_stage_tasks = stages.front().task_count;
+  out.min_stage_mean_exec = stages.front().mean_ref_exec_seconds;
+  out.max_stage_mean_exec = stages.front().mean_ref_exec_seconds;
+  bool has_class[3] = {false, false, false};
+  for (const StageSummary& s : stages) {
+    out.min_stage_tasks = std::min(out.min_stage_tasks, s.task_count);
+    out.max_stage_tasks = std::max(out.max_stage_tasks, s.task_count);
+    out.min_stage_mean_exec =
+        std::min(out.min_stage_mean_exec, s.mean_ref_exec_seconds);
+    out.max_stage_mean_exec =
+        std::max(out.max_stage_mean_exec, s.mean_ref_exec_seconds);
+    has_class[static_cast<int>(classify_stage(s.mean_ref_exec_seconds))] =
+        true;
+  }
+  const char* names[3] = {"short", "medium", "long"};
+  for (int i = 0; i < 3; ++i) {
+    if (has_class[i]) {
+      if (!out.task_type_mix.empty()) out.task_type_mix += '/';
+      out.task_type_mix += names[i];
+    }
+  }
+  return out;
+}
+
+bool stages_are_layered(const Workflow& wf) {
+  for (const TaskSpec& t : wf.tasks()) {
+    for (TaskId pred : wf.predecessors(t.id)) {
+      if (wf.task(pred).stage >= t.stage) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wire::dag

@@ -1,0 +1,72 @@
+// Structural analysis over workflow DAGs: level decomposition, parallelism
+// (width) profile, critical path, and the per-stage summaries behind the
+// paper's Table I characterization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dag/workflow.h"
+
+namespace wire::dag {
+
+/// Per-task depth: length (in hops) of the longest predecessor chain. Roots
+/// are level 0.
+std::vector<std::uint32_t> task_levels(const Workflow& wf);
+
+/// Number of tasks at each level — the workflow's available-parallelism
+/// profile ("the available parallelism (width) of a workflow may vary
+/// dramatically as it runs", §I).
+std::vector<std::uint32_t> width_profile(const Workflow& wf);
+
+/// Maximum entry of width_profile.
+std::uint32_t max_width(const Workflow& wf);
+
+/// Length (seconds, by reference execution times) of the longest path —
+/// a lower bound on makespan with unbounded resources and free transfers.
+double critical_path_seconds(const Workflow& wf);
+
+/// Table-I style summary of one stage.
+struct StageSummary {
+  StageId stage = kInvalidStage;
+  std::string name;
+  std::uint32_t task_count = 0;
+  double mean_ref_exec_seconds = 0.0;
+  double min_ref_exec_seconds = 0.0;
+  double max_ref_exec_seconds = 0.0;
+  double total_input_mb = 0.0;
+};
+
+/// Paper §IV-D stage classification by mean task execution time:
+/// short (<= 10 s), medium (10–30 s), long (> 30 s).
+enum class StageClass { Short, Medium, Long };
+
+StageClass classify_stage(double mean_exec_seconds);
+const char* stage_class_name(StageClass c);
+
+/// Summaries for all stages, in stage-id order.
+std::vector<StageSummary> summarize_stages(const Workflow& wf);
+
+/// Ranges over the per-stage summaries (Table I rows "Number of Tasks at a
+/// Stage" and "Average Task Execution Time of a Stage").
+struct WorkflowSummary {
+  std::string name;
+  std::uint32_t stage_count = 0;
+  std::uint32_t task_count = 0;
+  double aggregate_exec_hours = 0.0;
+  double dataset_gb = 0.0;
+  std::uint32_t min_stage_tasks = 0;
+  std::uint32_t max_stage_tasks = 0;
+  double min_stage_mean_exec = 0.0;
+  double max_stage_mean_exec = 0.0;
+  /// Distinct StageClass values present, e.g. "short/medium/long".
+  std::string task_type_mix;
+};
+
+WorkflowSummary summarize_workflow(const Workflow& wf);
+
+/// True if every predecessor of every task in `stage` lies in a stage with a
+/// smaller id — the layered-stage discipline all our generators follow.
+bool stages_are_layered(const Workflow& wf);
+
+}  // namespace wire::dag

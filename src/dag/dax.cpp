@@ -1,0 +1,256 @@
+#include "dag/dax.h"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <map>
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wire::dag {
+
+namespace {
+
+/// One parsed XML tag: name, attributes, and whether it opens/closes.
+struct Tag {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  bool closing = false;       // </name>
+  bool self_closing = false;  // <name ... />
+};
+
+/// Minimal XML tag scanner sufficient for DAX: yields tags in document
+/// order, skipping text content, comments, CDATA-free documents assumed.
+class XmlScanner {
+ public:
+  explicit XmlScanner(const std::string& text) : text_(text) {}
+
+  /// Returns false at end of document.
+  bool next(Tag& out) {
+    for (;;) {
+      const std::size_t open = text_.find('<', pos_);
+      if (open == std::string::npos) return false;
+      pos_ = open + 1;
+      if (text_.compare(pos_, 3, "!--") == 0) {
+        const std::size_t end = text_.find("-->", pos_);
+        WIRE_REQUIRE(end != std::string::npos, "unterminated XML comment");
+        pos_ = end + 3;
+        continue;
+      }
+      if (pos_ < text_.size() && (text_[pos_] == '?' || text_[pos_] == '!')) {
+        const std::size_t end = text_.find('>', pos_);
+        WIRE_REQUIRE(end != std::string::npos, "unterminated declaration");
+        pos_ = end + 1;
+        continue;
+      }
+      const std::size_t end = text_.find('>', pos_);
+      WIRE_REQUIRE(end != std::string::npos, "unterminated tag");
+      std::string body = text_.substr(pos_, end - pos_);
+      pos_ = end + 1;
+      parse_tag(body, out);
+      return true;
+    }
+  }
+
+ private:
+  static void parse_tag(std::string body, Tag& out) {
+    out = Tag{};
+    WIRE_REQUIRE(!body.empty(), "empty tag");
+    if (body.front() == '/') {
+      out.closing = true;
+      body.erase(body.begin());
+    }
+    if (!body.empty() && body.back() == '/') {
+      out.self_closing = true;
+      body.pop_back();
+    }
+    std::size_t i = 0;
+    const auto skip_space = [&] {
+      while (i < body.size() &&
+             std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+    };
+    skip_space();
+    const std::size_t name_start = i;
+    while (i < body.size() &&
+           !std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+    }
+    out.name = body.substr(name_start, i - name_start);
+    WIRE_REQUIRE(!out.name.empty(), "tag without a name");
+
+    while (true) {
+      skip_space();
+      if (i >= body.size()) break;
+      const std::size_t key_start = i;
+      while (i < body.size() && body[i] != '=' &&
+             !std::isspace(static_cast<unsigned char>(body[i]))) {
+        ++i;
+      }
+      const std::string key = body.substr(key_start, i - key_start);
+      skip_space();
+      WIRE_REQUIRE(i < body.size() && body[i] == '=',
+                   "attribute '" + key + "' without value");
+      ++i;
+      skip_space();
+      WIRE_REQUIRE(i < body.size() && (body[i] == '"' || body[i] == '\''),
+                   "unquoted attribute value for '" + key + "'");
+      const char quote = body[i++];
+      const std::size_t value_start = i;
+      while (i < body.size() && body[i] != quote) ++i;
+      WIRE_REQUIRE(i < body.size(), "unterminated attribute value");
+      out.attributes[key] = body.substr(value_start, i - value_start);
+      ++i;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+struct DaxJob {
+  std::string id;
+  std::string transformation;
+  double runtime = -1.0;
+  double input_bytes = 0.0;
+  double output_bytes = 0.0;
+  std::vector<std::string> parents;
+};
+
+}  // namespace
+
+Workflow read_dax(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return dax_from_string(buffer.str());
+}
+
+Workflow dax_from_string(const std::string& text) {
+  XmlScanner scanner(text);
+  Tag tag;
+
+  std::string workflow_name = "dax";
+  std::vector<DaxJob> jobs;
+  std::map<std::string, std::size_t> job_index;
+  std::string current_child;  // inside a <child> element
+  std::size_t current_job = static_cast<std::size_t>(-1);
+  bool saw_adag = false;
+
+  while (scanner.next(tag)) {
+    if (tag.name == "adag" && !tag.closing) {
+      saw_adag = true;
+      const auto it = tag.attributes.find("name");
+      if (it != tag.attributes.end() && !it->second.empty()) {
+        workflow_name = it->second;
+      }
+    } else if (tag.name == "job" && !tag.closing) {
+      DaxJob job;
+      const auto id = tag.attributes.find("id");
+      WIRE_REQUIRE(id != tag.attributes.end(), "job without id");
+      job.id = id->second;
+      const auto name = tag.attributes.find("name");
+      WIRE_REQUIRE(name != tag.attributes.end(),
+                   "job " + job.id + " without a transformation name");
+      job.transformation = name->second;
+      const auto runtime = tag.attributes.find("runtime");
+      WIRE_REQUIRE(runtime != tag.attributes.end(),
+                   "job " + job.id + " without a runtime attribute");
+      job.runtime = std::stod(runtime->second);
+      WIRE_REQUIRE(job.runtime >= 0.0,
+                   "job " + job.id + " has a negative runtime");
+      WIRE_REQUIRE(job_index.emplace(job.id, jobs.size()).second,
+                   "duplicate job id " + job.id);
+      if (!tag.self_closing) current_job = jobs.size();
+      jobs.push_back(std::move(job));
+    } else if (tag.name == "job" && tag.closing) {
+      current_job = static_cast<std::size_t>(-1);
+    } else if (tag.name == "uses") {
+      if (current_job == static_cast<std::size_t>(-1)) continue;
+      const auto link = tag.attributes.find("link");
+      const auto size = tag.attributes.find("size");
+      if (link == tag.attributes.end() || size == tag.attributes.end()) {
+        continue;
+      }
+      const double bytes = std::stod(size->second);
+      if (link->second == "input") {
+        jobs[current_job].input_bytes += bytes;
+      } else if (link->second == "output") {
+        jobs[current_job].output_bytes += bytes;
+      }
+    } else if (tag.name == "child" && !tag.closing) {
+      const auto ref = tag.attributes.find("ref");
+      WIRE_REQUIRE(ref != tag.attributes.end(), "child without ref");
+      current_child = ref->second;
+    } else if (tag.name == "child" && tag.closing) {
+      current_child.clear();
+    } else if (tag.name == "parent") {
+      const auto ref = tag.attributes.find("ref");
+      WIRE_REQUIRE(ref != tag.attributes.end(), "parent without ref");
+      WIRE_REQUIRE(!current_child.empty(), "parent outside a child element");
+      const auto child_it = job_index.find(current_child);
+      WIRE_REQUIRE(child_it != job_index.end(),
+                   "child references unknown job " + current_child);
+      WIRE_REQUIRE(job_index.count(ref->second) == 1,
+                   "parent references unknown job " + ref->second);
+      jobs[child_it->second].parents.push_back(ref->second);
+    }
+  }
+  WIRE_REQUIRE(saw_adag, "not a DAX document (no <adag> element)");
+  WIRE_REQUIRE(!jobs.empty(), "DAX contains no jobs");
+
+  // Topological order (the builder requires predecessors first).
+  std::vector<std::vector<std::size_t>> successors(jobs.size());
+  std::vector<std::uint32_t> in_degree(jobs.size(), 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (const std::string& parent : jobs[j].parents) {
+      successors[job_index.at(parent)].push_back(j);
+      ++in_degree[j];
+    }
+  }
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<std::size_t>>
+      ready;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (in_degree[j] == 0) ready.push(j);
+  }
+  std::vector<std::size_t> topo;
+  topo.reserve(jobs.size());
+  while (!ready.empty()) {
+    const std::size_t j = ready.top();
+    ready.pop();
+    topo.push_back(j);
+    for (std::size_t succ : successors[j]) {
+      if (--in_degree[succ] == 0) ready.push(succ);
+    }
+  }
+  WIRE_REQUIRE(topo.size() == jobs.size(), "DAX dependencies contain a cycle");
+
+  // Stage per transformation name, in order of first appearance.
+  WorkflowBuilder builder(workflow_name);
+  std::map<std::string, StageId> stage_of;
+  std::vector<TaskId> task_of(jobs.size(), kInvalidTask);
+  constexpr double kBytesPerMb = 1024.0 * 1024.0;
+  for (std::size_t j : topo) {
+    const DaxJob& job = jobs[j];
+    auto [it, inserted] = stage_of.try_emplace(job.transformation, 0);
+    if (inserted) {
+      it->second = builder.add_stage(job.transformation, job.transformation);
+    }
+    std::vector<TaskId> preds;
+    preds.reserve(job.parents.size());
+    for (const std::string& parent : job.parents) {
+      preds.push_back(task_of[job_index.at(parent)]);
+    }
+    task_of[j] = builder.add_task(it->second, job.id,
+                                  job.input_bytes / kBytesPerMb,
+                                  job.output_bytes / kBytesPerMb, job.runtime,
+                                  std::move(preds));
+  }
+  return builder.build();
+}
+
+}  // namespace wire::dag

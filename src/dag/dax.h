@@ -1,0 +1,40 @@
+// Pegasus DAX import.
+//
+// Pegasus workflows — including the synthetic workflow gallery the research
+// community uses for Montage/CyberShake/Epigenomics/... — ship as DAX XML:
+//
+//   <adag name="montage" ...>
+//     <job id="ID00000" namespace="montage" name="mProjectPP"
+//          version="1.0" runtime="13.59">
+//       <uses file="region.hdr" link="input" size="304"/>
+//       <uses file="proj.fits" link="output" size="4222600"/>
+//     </job>
+//     ...
+//     <child ref="ID00001"><parent ref="ID00000"/></child>
+//   </adag>
+//
+// This importer reads the subset of DAX 3.x those files use: <job> elements
+// with id/name/runtime attributes, <uses> file sizes (bytes), and
+// <child>/<parent> dependency edges. Jobs are grouped into stages by their
+// transformation name (the paper's stage definition: "tasks share the same
+// executable"). The embedded XML scanner handles exactly what DAX needs —
+// elements, attributes, self-closing tags, comments, XML declarations — and
+// rejects anything else loudly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/workflow.h"
+
+namespace wire::dag {
+
+/// Parses a DAX document into a Workflow. Throws util::ContractViolation on
+/// malformed XML, unknown job references, cyclic dependencies, or jobs
+/// without a runtime attribute.
+Workflow read_dax(std::istream& is);
+
+/// Parses DAX from a string.
+Workflow dax_from_string(const std::string& text);
+
+}  // namespace wire::dag

@@ -1,0 +1,43 @@
+// Plain-text workflow serialization (a DAX-like format).
+//
+// Pegasus workflows ship as DAX XML files; our equivalent is a line-oriented
+// text format that round-trips every field of the DAG model. Used by the
+// examples to persist generated workflows and by tests to validate
+// round-tripping.
+//
+// Format:
+//   workflow <name>
+//   stage <id> <name> <executable>
+//   task <id> <stage> <name> <input_mb> <output_mb> <exec_s> <npred> <pred>*
+//   end
+// Tokens are whitespace-separated; string tokens escape space, backslash and
+// newline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/workflow.h"
+
+namespace wire::dag {
+
+/// Writes `wf` to `os` in the text format above.
+void write_workflow(std::ostream& os, const Workflow& wf);
+
+/// Serializes to a string.
+std::string to_string(const Workflow& wf);
+
+/// Parses a workflow; throws util::ContractViolation on malformed input.
+Workflow read_workflow(std::istream& is);
+
+/// Parses from a string.
+Workflow from_string(const std::string& text);
+
+/// Escapes a string token (space -> "\s", backslash -> "\\", newline -> "\n",
+/// empty -> "\e").
+std::string escape_token(const std::string& raw);
+
+/// Inverse of escape_token.
+std::string unescape_token(const std::string& token);
+
+}  // namespace wire::dag

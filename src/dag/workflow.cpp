@@ -1,0 +1,185 @@
+#include "dag/workflow.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace wire::dag {
+
+const TaskSpec& Workflow::task(TaskId id) const {
+  WIRE_REQUIRE(id < tasks_.size(), "task id out of range");
+  return tasks_[id];
+}
+
+const StageSpec& Workflow::stage(StageId id) const {
+  WIRE_REQUIRE(id < stages_.size(), "stage id out of range");
+  return stages_[id];
+}
+
+std::span<const TaskId> Workflow::predecessors(TaskId id) const {
+  WIRE_REQUIRE(id < tasks_.size(), "task id out of range");
+  return {pred_edges_.data() + pred_offsets_[id],
+          pred_offsets_[id + 1] - pred_offsets_[id]};
+}
+
+std::span<const TaskId> Workflow::successors(TaskId id) const {
+  WIRE_REQUIRE(id < tasks_.size(), "task id out of range");
+  return {succ_edges_.data() + succ_offsets_[id],
+          succ_offsets_[id + 1] - succ_offsets_[id]};
+}
+
+std::span<const TaskId> Workflow::stage_tasks(StageId id) const {
+  WIRE_REQUIRE(id < stages_.size(), "stage id out of range");
+  return {stage_members_.data() + stage_offsets_[id],
+          stage_offsets_[id + 1] - stage_offsets_[id]};
+}
+
+double Workflow::input_dataset_mb() const {
+  double total = 0.0;
+  for (TaskId root : roots_) total += tasks_[root].input_mb;
+  return total;
+}
+
+WorkflowBuilder::WorkflowBuilder(std::string workflow_name)
+    : name_(std::move(workflow_name)) {}
+
+StageId WorkflowBuilder::add_stage(std::string name, std::string executable) {
+  StageSpec spec;
+  spec.id = static_cast<StageId>(stages_.size());
+  spec.name = std::move(name);
+  spec.executable = std::move(executable);
+  stages_.push_back(std::move(spec));
+  return stages_.back().id;
+}
+
+TaskId WorkflowBuilder::add_task(StageId stage, std::string name,
+                                 double input_mb, double output_mb,
+                                 double ref_exec_seconds,
+                                 std::vector<TaskId> predecessors) {
+  WIRE_REQUIRE(stage < stages_.size(), "unknown stage id");
+  WIRE_REQUIRE(input_mb >= 0.0, "negative input size");
+  WIRE_REQUIRE(output_mb >= 0.0, "negative output size");
+  WIRE_REQUIRE(ref_exec_seconds >= 0.0, "negative execution time");
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  for (TaskId pred : predecessors) {
+    WIRE_REQUIRE(pred < id, "predecessor must be added before its successor");
+  }
+  std::sort(predecessors.begin(), predecessors.end());
+  predecessors.erase(
+      std::unique(predecessors.begin(), predecessors.end()),
+      predecessors.end());
+
+  TaskSpec spec;
+  spec.id = id;
+  spec.stage = stage;
+  spec.name = std::move(name);
+  spec.input_mb = input_mb;
+  spec.output_mb = output_mb;
+  spec.ref_exec_seconds = ref_exec_seconds;
+  tasks_.push_back(std::move(spec));
+  preds_.push_back(std::move(predecessors));
+  return id;
+}
+
+Workflow WorkflowBuilder::build() {
+  WIRE_REQUIRE(!tasks_.empty(), "workflow has no tasks");
+  for (const StageSpec& s : stages_) {
+    bool used = false;
+    for (const TaskSpec& t : tasks_) {
+      if (t.stage == s.id) {
+        used = true;
+        break;
+      }
+    }
+    WIRE_REQUIRE(used, "stage '" + s.name + "' has no tasks");
+  }
+
+  Workflow wf;
+  wf.name_ = std::move(name_);
+  wf.tasks_ = std::move(tasks_);
+  wf.stages_ = std::move(stages_);
+  const std::size_t n = wf.tasks_.size();
+
+  // Predecessor CSR.
+  wf.pred_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    wf.pred_offsets_[i + 1] =
+        wf.pred_offsets_[i] + static_cast<std::uint32_t>(preds_[i].size());
+  }
+  wf.pred_edges_.reserve(wf.pred_offsets_[n]);
+  for (const auto& p : preds_) {
+    wf.pred_edges_.insert(wf.pred_edges_.end(), p.begin(), p.end());
+  }
+
+  // Successor CSR (transpose).
+  std::vector<std::uint32_t> out_degree(n, 0);
+  for (const auto& p : preds_) {
+    for (TaskId pred : p) ++out_degree[pred];
+  }
+  wf.succ_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    wf.succ_offsets_[i + 1] = wf.succ_offsets_[i] + out_degree[i];
+  }
+  wf.succ_edges_.assign(wf.succ_offsets_[n], kInvalidTask);
+  {
+    std::vector<std::uint32_t> cursor(wf.succ_offsets_.begin(),
+                                      wf.succ_offsets_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (TaskId pred : preds_[i]) {
+        wf.succ_edges_[cursor[pred]++] = static_cast<TaskId>(i);
+      }
+    }
+  }
+
+  // Stage membership CSR (task ids are already in id order per stage).
+  const std::size_t s = wf.stages_.size();
+  std::vector<std::uint32_t> stage_size(s, 0);
+  for (const TaskSpec& t : wf.tasks_) ++stage_size[t.stage];
+  wf.stage_offsets_.assign(s + 1, 0);
+  for (std::size_t i = 0; i < s; ++i) {
+    wf.stage_offsets_[i + 1] = wf.stage_offsets_[i] + stage_size[i];
+  }
+  wf.stage_members_.assign(wf.stage_offsets_[s], kInvalidTask);
+  {
+    std::vector<std::uint32_t> cursor(wf.stage_offsets_.begin(),
+                                      wf.stage_offsets_.end() - 1);
+    for (const TaskSpec& t : wf.tasks_) {
+      wf.stage_members_[cursor[t.stage]++] = t.id;
+    }
+  }
+
+  // Roots, sinks, aggregate time.
+  for (const TaskSpec& t : wf.tasks_) {
+    if (wf.predecessors(t.id).empty()) wf.roots_.push_back(t.id);
+    if (wf.successors(t.id).empty()) wf.sinks_.push_back(t.id);
+    wf.aggregate_exec_ += t.ref_exec_seconds;
+  }
+
+  // Topological order via Kahn's algorithm with a min-id heap; also the
+  // defensive acyclicity check (the builder discipline already prevents
+  // cycles, but serialization paths reuse this).
+  std::vector<std::uint32_t> in_degree(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in_degree[i] = wf.pred_offsets_[i + 1] - wf.pred_offsets_[i];
+  }
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<TaskId>> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (in_degree[i] == 0) ready.push(static_cast<TaskId>(i));
+  }
+  wf.topo_.reserve(n);
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    wf.topo_.push_back(t);
+    for (TaskId succ : wf.successors(t)) {
+      if (--in_degree[succ] == 0) ready.push(succ);
+    }
+  }
+  WIRE_CHECK(wf.topo_.size() == n, "workflow graph contains a cycle");
+
+  preds_.clear();
+  return wf;
+}
+
+}  // namespace wire::dag

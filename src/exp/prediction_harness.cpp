@@ -1,0 +1,80 @@
+#include "exp/prediction_harness.h"
+
+#include <algorithm>
+
+#include "sim/monitor.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wire::exp {
+
+using dag::StageId;
+using dag::TaskId;
+
+StageReplay replay_stage(const dag::Workflow& workflow, StageId stage,
+                         const std::vector<double>& actual_exec,
+                         const std::vector<TaskId>& order,
+                         const predict::PredictorConfig& config) {
+  WIRE_REQUIRE(actual_exec.size() == workflow.task_count(),
+               "actual_exec must be indexed by TaskId");
+  const auto members = workflow.stage_tasks(stage);
+  WIRE_REQUIRE(order.size() == members.size(),
+               "order must be a permutation of the stage");
+  for (TaskId t : order) {
+    WIRE_REQUIRE(workflow.task(t).stage == stage,
+                 "order contains a task from another stage");
+    WIRE_REQUIRE(actual_exec[t] > 0.0,
+                 "stage member lacks an actual execution time");
+  }
+
+  predict::TaskPredictor predictor(workflow, config);
+  sim::MonitorSnapshot snap;
+  snap.tasks.assign(workflow.task_count(), sim::TaskObservation{});
+  for (const dag::TaskSpec& t : workflow.tasks()) {
+    snap.tasks[t.id].input_mb = t.input_mb;
+  }
+  snap.incomplete_tasks = static_cast<std::uint32_t>(workflow.task_count());
+
+  StageReplay replay;
+  replay.stage = stage;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const TaskId task = order[k];
+    if (k > 0) {
+      // Pending-task view first (policy 3)...
+      snap.tasks[task].phase = sim::TaskPhase::Pending;
+      const predict::Prediction pending = predictor.predict_exec(task, snap);
+      // ...then the ready-to-run view (policies 4/5).
+      snap.tasks[task].phase = sim::TaskPhase::Ready;
+      const predict::Prediction ready = predictor.predict_exec(task, snap);
+      replay.actual.push_back(actual_exec[task]);
+      replay.predicted_pending.push_back(pending.exec_seconds);
+      replay.predicted_ready.push_back(ready.exec_seconds);
+      replay.ready_policy.push_back(ready.policy);
+    }
+    // The task completes; the predictor harvests it on the next iteration.
+    snap.tasks[task].phase = sim::TaskPhase::Completed;
+    snap.tasks[task].exec_time = actual_exec[task];
+    snap.tasks[task].transfer_time = 0.0;
+    snap.now += 1.0;
+    predictor.observe(snap);
+  }
+  return replay;
+}
+
+std::vector<StageReplay> replay_stage_random_orders(
+    const dag::Workflow& workflow, StageId stage,
+    const std::vector<double>& actual_exec, std::uint32_t n_orders,
+    std::uint64_t seed, const predict::PredictorConfig& config) {
+  const auto members = workflow.stage_tasks(stage);
+  std::vector<TaskId> order(members.begin(), members.end());
+  std::vector<StageReplay> out;
+  out.reserve(n_orders);
+  util::Rng rng(seed);
+  for (std::uint32_t i = 0; i < n_orders; ++i) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    out.push_back(replay_stage(workflow, stage, actual_exec, order, config));
+  }
+  return out;
+}
+
+}  // namespace wire::exp

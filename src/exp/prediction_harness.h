@@ -1,0 +1,53 @@
+// Prediction-accuracy harness (paper §IV-D, Fig. 4).
+//
+// The paper evaluates the online prediction policies per stage: task
+// completions are replayed in randomly chosen orders, and each task's
+// execution time is predicted from the peer completions that precede it.
+// This harness replays a stage's completions (actual execution times taken
+// from a ground-truth run) through a fresh TaskPredictor and records, per
+// task:
+//   - the prediction made just before the task runs, when it is ready
+//     (policies 4/5 — input size matched against completed groups, or OGD), and
+//   - the prediction for the same point while the task is still pending
+//     (policy 3 — stage median), the estimate WIRE uses for tasks whose
+//     inputs are not yet available.
+// The first task of each order has no completed peers (policies 1/2) and is
+// excluded, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/workflow.h"
+#include "predict/task_predictor.h"
+
+namespace wire::exp {
+
+/// Per-order replay output for one stage.
+struct StageReplay {
+  dag::StageId stage = dag::kInvalidStage;
+  /// Actual execution times of the predicted tasks, in replay order
+  /// (excluding the first task of the order).
+  std::vector<double> actual;
+  /// Ready-task predictions (policy 4 or 5) aligned with `actual`.
+  std::vector<double> predicted_ready;
+  std::vector<predict::Policy> ready_policy;
+  /// Pending-task predictions (policy 3) aligned with `actual`.
+  std::vector<double> predicted_pending;
+};
+
+/// Replays the completions of `stage` in `order` (a permutation of the
+/// stage's task ids). `actual_exec` is indexed by TaskId and must hold a
+/// positive execution time for every stage member.
+StageReplay replay_stage(const dag::Workflow& workflow, dag::StageId stage,
+                         const std::vector<double>& actual_exec,
+                         const std::vector<dag::TaskId>& order,
+                         const predict::PredictorConfig& config = {});
+
+/// Replays `n_orders` random permutations (seeded) of the stage.
+std::vector<StageReplay> replay_stage_random_orders(
+    const dag::Workflow& workflow, dag::StageId stage,
+    const std::vector<double>& actual_exec, std::uint32_t n_orders,
+    std::uint64_t seed, const predict::PredictorConfig& config = {});
+
+}  // namespace wire::exp

@@ -1,0 +1,72 @@
+#include "exp/runner.h"
+
+#include <atomic>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+
+namespace wire::exp {
+
+CellResult run_cell(const dag::Workflow& workflow, PolicyKind policy,
+                    double charging_unit_seconds, const MatrixOptions& options,
+                    std::uint64_t cell_stream) {
+  CellResult cell;
+  cell.workflow = workflow.name();
+  cell.policy = policy;
+  cell.charging_unit_seconds = charging_unit_seconds;
+
+  const sim::CloudConfig config = paper_cloud(charging_unit_seconds);
+  for (std::uint32_t rep = 0; rep < options.repetitions; ++rep) {
+    auto policy_impl = make_policy(policy, options.wire_options);
+    sim::RunOptions run_options;
+    run_options.seed = util::derive_seed(options.base_seed,
+                                         cell_stream * 1000 + rep);
+    run_options.initial_instances = initial_instances(policy, config);
+    sim::RunResult result =
+        sim::simulate(workflow, *policy_impl, config, run_options);
+    cell.stats.add(result);
+    cell.runs.push_back(std::move(result));
+  }
+  return cell;
+}
+
+std::vector<CellResult> run_matrix(
+    const std::vector<workload::WorkflowProfile>& profiles,
+    const MatrixOptions& options) {
+  // Materialize the DAGs once; they are shared read-only across runs.
+  std::vector<dag::Workflow> workflows;
+  workflows.reserve(profiles.size());
+  for (const workload::WorkflowProfile& profile : profiles) {
+    workflows.push_back(workload::make_workflow(profile, options.dag_seed));
+  }
+
+  struct Job {
+    std::size_t profile_index;
+    PolicyKind policy;
+    double charging_unit;
+    std::uint64_t cell_stream;
+  };
+  std::vector<Job> jobs;
+  std::uint64_t stream = 0;
+  for (std::size_t w = 0; w < workflows.size(); ++w) {
+    for (PolicyKind policy : options.policies) {
+      for (double u : options.charging_units) {
+        jobs.push_back(Job{w, policy, u, stream++});
+      }
+    }
+  }
+
+  std::vector<CellResult> results(jobs.size());
+  util::parallel_for(
+      jobs.size(),
+      [&](std::size_t i) {
+        const Job& job = jobs[i];
+        results[i] = run_cell(workflows[job.profile_index], job.policy,
+                              job.charging_unit, options, job.cell_stream);
+      },
+      options.threads);
+  return results;
+}
+
+}  // namespace wire::exp

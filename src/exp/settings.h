@@ -1,0 +1,44 @@
+// The experiment settings matrix of §IV-C: four resource-management policies
+// × four charging units (1, 15, 30, 60 minutes), on the simulated ExoGENI
+// site of §IV-B (12 XOXLarge instances max, 4 slots each, ~3 minute lag).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "sim/config.h"
+#include "sim/scaling_policy.h"
+
+namespace wire::exp {
+
+/// The four §IV-C resource-management settings.
+enum class PolicyKind {
+  FullSite,            // static, 12 instances ("full-site runs")
+  PureReactive,        // pool == active tasks
+  ReactiveConserving,  // reactive load + steering release rules
+  Wire,                // the WIRE controller
+};
+
+const char* policy_label(PolicyKind kind);
+
+/// All four, in paper order.
+std::vector<PolicyKind> all_policies();
+
+/// The §IV-B charging units in seconds: 1, 15, 30, 60 minutes.
+std::vector<double> paper_charging_units();
+
+/// The §IV-B cloud site with the given charging unit.
+sim::CloudConfig paper_cloud(double charging_unit_seconds);
+
+/// Instantiates a policy. `wire_options` applies to PolicyKind::Wire only.
+std::unique_ptr<sim::ScalingPolicy> make_policy(
+    PolicyKind kind, const core::WireOptions& wire_options = {});
+
+/// Bootstrap pool size for a policy on a site: the full site for FullSite,
+/// one instance for the elastic policies.
+std::uint32_t initial_instances(PolicyKind kind,
+                                const sim::CloudConfig& config);
+
+}  // namespace wire::exp

@@ -1,0 +1,34 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wire::metrics {
+
+void CellStats::add(const sim::RunResult& result) {
+  cost_units.add(result.cost_units);
+  makespan_seconds.add(result.makespan);
+  utilization.add(result.utilization);
+  peak_instances.add(static_cast<double>(result.peak_instances));
+  restarts.add(static_cast<double>(result.task_restarts));
+}
+
+double true_error(double estimate, double actual) { return estimate - actual; }
+
+double relative_true_error(double estimate, double actual) {
+  WIRE_REQUIRE(actual > 0.0, "relative error needs a positive actual time");
+  return (estimate - actual) / actual;
+}
+
+std::vector<double> normalize_to_best(const std::vector<double>& values) {
+  WIRE_REQUIRE(!values.empty(), "normalize_to_best of empty set");
+  const double best = *std::min_element(values.begin(), values.end());
+  WIRE_REQUIRE(best > 0.0, "normalize_to_best needs positive values");
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(v / best);
+  return out;
+}
+
+}  // namespace wire::metrics

@@ -1,0 +1,39 @@
+// Metric aggregation over repeated runs, matching the paper's reporting:
+// resource cost in charging units (Fig. 5, mean ± std), execution time
+// normalized to the best setting (Fig. 6), utilization, and the §IV-D
+// prediction-error definitions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/driver.h"
+#include "util/stats.h"
+
+namespace wire::metrics {
+
+/// Aggregate of one experiment cell (same workflow, policy, charging unit)
+/// across repetitions.
+struct CellStats {
+  util::RunningStats cost_units;
+  util::RunningStats makespan_seconds;
+  util::RunningStats utilization;
+  util::RunningStats peak_instances;
+  util::RunningStats restarts;
+
+  void add(const sim::RunResult& result);
+  std::size_t runs() const { return cost_units.count(); }
+};
+
+/// §IV-D error definitions: for a task with actual execution time t and
+/// estimate t', the true error is t' - t and the relative true error is
+/// (t' - t)/t.
+double true_error(double estimate, double actual);
+double relative_true_error(double estimate, double actual);
+
+/// Normalizes each value to the minimum of the set ("relative execution
+/// time ... normalize the times across settings ... to the best
+/// performance"). Requires a non-empty, positive-valued input.
+std::vector<double> normalize_to_best(const std::vector<double>& values);
+
+}  // namespace wire::metrics

@@ -1,0 +1,161 @@
+#include "policies/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wire::policies {
+
+namespace {
+
+/// Active load: tasks occupying slots plus tasks waiting in the ready queue.
+std::uint32_t active_tasks(const sim::MonitorSnapshot& snapshot) {
+  std::uint32_t running = 0;
+  for (const sim::TaskObservation& t : snapshot.tasks) {
+    if (t.phase == sim::TaskPhase::Running) ++running;
+  }
+  return running + static_cast<std::uint32_t>(snapshot.ready_queue.size());
+}
+
+/// Reactive target pool size for a given load.
+std::uint32_t reactive_target(const sim::MonitorSnapshot& snapshot,
+                              const sim::CloudConfig& config) {
+  const std::uint32_t active = active_tasks(snapshot);
+  if (active == 0) {
+    return snapshot.incomplete_tasks > 0 ? 1u : 0u;
+  }
+  return (active + config.slots_per_instance - 1) / config.slots_per_instance;
+}
+
+std::uint32_t live_non_draining(const sim::MonitorSnapshot& snapshot) {
+  std::uint32_t m = 0;
+  for (const sim::InstanceObservation& inst : snapshot.instances) {
+    if (!inst.draining) ++m;
+  }
+  return m;
+}
+
+/// Maximum observed elapsed occupancy among an instance's running tasks —
+/// the monitorable stand-in for the restart cost c_j.
+double observed_sunk_cost(const sim::InstanceObservation& inst,
+                          const sim::MonitorSnapshot& snapshot) {
+  double cost = 0.0;
+  for (dag::TaskId task : inst.running_tasks) {
+    cost = std::max(cost, snapshot.tasks[task].elapsed);
+  }
+  return cost;
+}
+
+}  // namespace
+
+StaticPolicy::StaticPolicy(std::uint32_t size, std::string label)
+    : size_(size), label_(std::move(label)) {
+  WIRE_REQUIRE(size_ >= 1, "static pool needs at least one instance");
+  if (label_.empty()) {
+    label_ = "static-" + std::to_string(size_);
+  }
+}
+
+void StaticPolicy::on_run_start(const dag::Workflow& /*workflow*/,
+                                const sim::CloudConfig& /*config*/) {}
+
+sim::PoolCommand StaticPolicy::plan(const sim::MonitorSnapshot& snapshot) {
+  sim::PoolCommand cmd;
+  const std::uint32_t live =
+      static_cast<std::uint32_t>(snapshot.instances.size());
+  if (live < size_) cmd.grow = size_ - live;
+  return cmd;
+}
+
+void PureReactivePolicy::on_run_start(const dag::Workflow& /*workflow*/,
+                                      const sim::CloudConfig& config) {
+  config_ = config;
+}
+
+sim::PoolCommand PureReactivePolicy::plan(
+    const sim::MonitorSnapshot& snapshot) {
+  sim::PoolCommand cmd;
+  const std::uint32_t target = reactive_target(snapshot, config_);
+  const std::uint32_t m = live_non_draining(snapshot);
+  if (target > m) {
+    cmd.grow = target - m;
+    return cmd;
+  }
+  if (target == m) return cmd;
+
+  // Shrink immediately, emptiest instances first (fewest running tasks), so
+  // the restart churn is as small as a purely reactive policy can manage.
+  std::vector<const sim::InstanceObservation*> ready;
+  for (const sim::InstanceObservation& inst : snapshot.instances) {
+    if (!inst.provisioning && !inst.draining) ready.push_back(&inst);
+  }
+  std::sort(ready.begin(), ready.end(),
+            [](const sim::InstanceObservation* a,
+               const sim::InstanceObservation* b) {
+              if (a->running_tasks.size() != b->running_tasks.size()) {
+                return a->running_tasks.size() < b->running_tasks.size();
+              }
+              return a->id < b->id;
+            });
+  std::uint32_t remaining = m;
+  for (const sim::InstanceObservation* inst : ready) {
+    if (remaining == target) break;
+    cmd.releases.push_back(
+        sim::Release{inst->id, /*at_charge_boundary=*/false});
+    --remaining;
+  }
+  return cmd;
+}
+
+void ReactiveConservingPolicy::on_run_start(const dag::Workflow& /*workflow*/,
+                                            const sim::CloudConfig& config) {
+  config_ = config;
+}
+
+sim::PoolCommand ReactiveConservingPolicy::plan(
+    const sim::MonitorSnapshot& snapshot) {
+  sim::PoolCommand cmd;
+  const std::uint32_t target = reactive_target(snapshot, config_);
+  const std::uint32_t m = live_non_draining(snapshot);
+  if (target > m) {
+    cmd.grow = target - m;
+    return cmd;
+  }
+  if (target >= m) return cmd;
+
+  // Steering-policy release discipline: drain at the charge boundary, only
+  // when the unit expires before the next interval and the observed sunk
+  // cost is under the threshold.
+  struct Candidate {
+    sim::InstanceId id;
+    double sunk;
+  };
+  std::vector<Candidate> candidates;
+  for (const sim::InstanceObservation& inst : snapshot.instances) {
+    if (inst.provisioning || inst.draining) continue;
+    if (inst.time_to_next_charge > config_.lag_seconds) continue;
+    const double sunk = observed_sunk_cost(inst, snapshot) *
+                        (1.0 - config_.checkpoint_fraction);
+    if (sunk >
+        config_.restart_cost_fraction * config_.charging_unit_seconds) {
+      continue;
+    }
+    candidates.push_back(Candidate{inst.id, sunk});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.sunk != b.sunk) return a.sunk < b.sunk;
+              return a.id < b.id;
+            });
+  std::uint32_t remaining = m;
+  for (const Candidate& c : candidates) {
+    if (remaining == target) break;
+    cmd.releases.push_back(sim::Release{c.id, /*at_charge_boundary=*/true});
+    --remaining;
+  }
+  return cmd;
+}
+
+}  // namespace wire::policies

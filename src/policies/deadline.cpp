@@ -1,0 +1,122 @@
+#include "policies/deadline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wire::policies {
+
+DeadlinePolicy::DeadlinePolicy(
+    double deadline_seconds,
+    std::shared_ptr<const std::vector<predict::HistoryRecord>> history)
+    : deadline_(deadline_seconds), history_(std::move(history)) {
+  WIRE_REQUIRE(deadline_ > 0.0, "deadline must be positive");
+}
+
+std::string DeadlinePolicy::name() const {
+  return std::string(history_ ? "deadline-history-" : "deadline-") +
+         std::to_string(static_cast<long>(deadline_));
+}
+
+void DeadlinePolicy::on_run_start(const dag::Workflow& workflow,
+                                  const sim::CloudConfig& config) {
+  workflow_ = &workflow;
+  config_ = config;
+  if (history_) {
+    predictor_ = std::make_unique<predict::HistoryEstimator>(workflow,
+                                                             *history_);
+  } else {
+    predictor_ = std::make_unique<predict::TaskPredictor>(workflow);
+  }
+}
+
+sim::PoolCommand DeadlinePolicy::plan(const sim::MonitorSnapshot& snapshot) {
+  WIRE_REQUIRE(workflow_ != nullptr, "plan before on_run_start");
+  predictor_->observe(snapshot);
+
+  // Predicted remaining work (slot-seconds) across all incomplete tasks —
+  // running tasks contribute their conservative minimum remainder, unstarted
+  // ones their full estimate.
+  double remaining_work = 0.0;
+  std::uint32_t incomplete = 0;
+  for (dag::TaskId t = 0; t < workflow_->task_count(); ++t) {
+    if (snapshot.tasks[t].phase == sim::TaskPhase::Completed) continue;
+    ++incomplete;
+    remaining_work += predictor_->predict_remaining_occupancy(t, snapshot);
+  }
+
+  sim::PoolCommand cmd;
+  std::uint32_t m = 0;
+  for (const sim::InstanceObservation& inst : snapshot.instances) {
+    if (!inst.draining) ++m;
+  }
+  if (incomplete == 0) return cmd;
+
+  // Budget: capacity usable before the deadline. New instances only start
+  // contributing after the provisioning lag, so the effective window for
+  // *additional* capacity is one lag shorter. Conservative minimum
+  // predictions under-estimate the work, so a 25% safety margin is applied.
+  const double time_left = deadline_ - snapshot.now;
+  const double window = std::max(config_.lag_seconds, time_left) -
+                        config_.lag_seconds;
+  // More instances than the incomplete tasks can occupy never help.
+  const std::uint32_t useful_cap =
+      (incomplete + config_.slots_per_instance - 1) /
+      config_.slots_per_instance;
+  std::uint32_t p;
+  if (window <= 0.0) {
+    // Past the point of no return: all hands on deck.
+    p = config_.max_instances > 0 ? config_.max_instances : useful_cap;
+  } else {
+    const double needed_slots = 1.25 * remaining_work / window;
+    p = static_cast<std::uint32_t>(std::ceil(
+        needed_slots / config_.slots_per_instance));
+    p = std::max(p, 1u);
+  }
+  p = std::min(p, useful_cap);
+  if (config_.max_instances > 0) p = std::min(p, config_.max_instances);
+
+  if (p > m) {
+    cmd.grow = p - m;
+    return cmd;
+  }
+  if (p >= m) return cmd;
+
+  // Ahead of schedule: release under the steering discipline (charge
+  // boundary within the next interval, cheap restart).
+  struct Candidate {
+    sim::InstanceId id;
+    double sunk;
+  };
+  std::vector<Candidate> candidates;
+  for (const sim::InstanceObservation& inst : snapshot.instances) {
+    if (inst.provisioning || inst.draining) continue;
+    if (inst.time_to_next_charge > config_.lag_seconds) continue;
+    double sunk = 0.0;
+    for (dag::TaskId task : inst.running_tasks) {
+      sunk = std::max(sunk, snapshot.tasks[task].elapsed +
+                                inst.time_to_next_charge);
+    }
+    sunk *= 1.0 - config_.checkpoint_fraction;
+    if (sunk > config_.restart_cost_fraction * config_.charging_unit_seconds) {
+      continue;
+    }
+    candidates.push_back(Candidate{inst.id, sunk});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.sunk != b.sunk) return a.sunk < b.sunk;
+              return a.id < b.id;
+            });
+  std::uint32_t remaining = m;
+  for (const Candidate& c : candidates) {
+    if (remaining == p) break;
+    cmd.releases.push_back(sim::Release{c.id, /*at_charge_boundary=*/true});
+    --remaining;
+  }
+  return cmd;
+}
+
+}  // namespace wire::policies

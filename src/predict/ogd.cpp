@@ -1,0 +1,61 @@
+#include "predict/ogd.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wire::predict {
+
+void OgdModel::update(const std::vector<TrainingPoint>& training) {
+  if (training.empty()) return;
+  // Keep the normalization scales covering the training set (monotonically
+  // growing, so normalized features stay in [0, 1] and the lr = 0.1 step is
+  // always stable). Rescaling transforms the coefficients so the fitted
+  // function t(d) is preserved exactly across scale changes.
+  double d_max = d_scale_ > 0.0 && scaled_ ? d_scale_ : 0.0;
+  double t_max = t_scale_ > 0.0 && scaled_ ? t_scale_ : 0.0;
+  for (const TrainingPoint& p : training) {
+    d_max = std::max(d_max, p.input_mb);
+    t_max = std::max(t_max, p.exec_seconds);
+  }
+  const double new_d_scale = d_max > 0.0 ? d_max : 1.0;
+  const double new_t_scale = t_max > 0.0 ? t_max : 1.0;
+  if (!scaled_ || new_d_scale != d_scale_ || new_t_scale != t_scale_) {
+    // Raw-space view: t = A0 + A1 * d with A0 = a0 * t_scale and
+    // A1 = a1 * t_scale / d_scale. Re-express under the new scales.
+    const double raw_a0 = scaled_ ? a0_ * t_scale_ : 0.0;
+    const double raw_a1 = scaled_ ? a1_ * t_scale_ / d_scale_ : 0.0;
+    d_scale_ = new_d_scale;
+    t_scale_ = new_t_scale;
+    a0_ = raw_a0 / t_scale_;
+    a1_ = raw_a1 * d_scale_ / t_scale_;
+    scaled_ = true;
+  }
+
+  // Algorithm 1, one epoch in normalized space.
+  const double m = static_cast<double>(training.size());
+  double g0 = 0.0;
+  double g1 = 0.0;
+  for (const TrainingPoint& p : training) {
+    const double d = p.input_mb / d_scale_;
+    const double t = p.exec_seconds / t_scale_;
+    const double residual = t - (a1_ * d + a0_);
+    g0 += -2.0 / m * residual;
+    g1 += -2.0 / m * d * residual;
+  }
+  a0_ -= learning_rate_ * g0;
+  a1_ -= learning_rate_ * g1;
+  ++epochs_;
+}
+
+double OgdModel::predict(double input_mb) const {
+  const double d = input_mb / d_scale_;
+  const double t_norm = a0_ + a1_ * d;
+  return std::max(0.0, t_norm * t_scale_);
+}
+
+double OgdModel::alpha0() const { return a0_ * t_scale_; }
+
+double OgdModel::alpha1() const { return a1_ * t_scale_ / d_scale_; }
+
+}  // namespace wire::predict

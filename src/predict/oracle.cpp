@@ -1,0 +1,57 @@
+#include "predict/oracle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wire::predict {
+
+OracleEstimator::OracleEstimator(const dag::Workflow& workflow,
+                                 double transfer_latency_seconds,
+                                 double bandwidth_mb_per_s)
+    : workflow_(&workflow),
+      latency_(transfer_latency_seconds),
+      bandwidth_(std::max(1e-9, bandwidth_mb_per_s)) {
+  double total = 0.0;
+  for (const dag::TaskSpec& t : workflow.tasks()) {
+    total += nominal_transfer(t.input_mb) + nominal_transfer(t.output_mb);
+  }
+  mean_transfer_ = total / static_cast<double>(workflow.task_count());
+}
+
+double OracleEstimator::nominal_transfer(double payload_mb) const {
+  if (payload_mb <= 0.0) return 0.0;
+  return latency_ + payload_mb / bandwidth_;
+}
+
+void OracleEstimator::observe(const sim::MonitorSnapshot& /*snapshot*/) {
+  // Nothing to learn: the oracle already knows the nominal profile.
+}
+
+double OracleEstimator::estimate_exec(
+    dag::TaskId task, const sim::MonitorSnapshot& /*snapshot*/) const {
+  return workflow_->task(task).ref_exec_seconds;
+}
+
+double OracleEstimator::predict_remaining_occupancy(
+    dag::TaskId task, const sim::MonitorSnapshot& snapshot) const {
+  const sim::TaskObservation& obs = snapshot.tasks[task];
+  if (obs.phase == sim::TaskPhase::Completed) return 0.0;
+  const dag::TaskSpec& spec = workflow_->task(task);
+  if (obs.phase == sim::TaskPhase::Running) {
+    if (obs.transfer_in_time < 0.0) {
+      const double remaining_transfer =
+          std::max(0.0, nominal_transfer(spec.input_mb) - obs.elapsed);
+      return remaining_transfer + spec.ref_exec_seconds +
+             nominal_transfer(spec.output_mb);
+    }
+    return std::max(0.0, spec.ref_exec_seconds - obs.elapsed_exec) +
+           nominal_transfer(spec.output_mb);
+  }
+  return nominal_transfer(spec.input_mb) + spec.ref_exec_seconds +
+         nominal_transfer(spec.output_mb);
+}
+
+double OracleEstimator::transfer_estimate() const { return mean_transfer_; }
+
+}  // namespace wire::predict

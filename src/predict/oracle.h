@@ -1,0 +1,45 @@
+// Clairvoyant estimator: reads the DAG's reference execution times instead
+// of learning from monitoring data.
+//
+// Used to quantify the value of prediction accuracy (the paper's §IV-E
+// observation that WIRE "is robust to imperfect prediction"): running the
+// same steering policy with oracle estimates bounds how much better perfect
+// prediction could do. The oracle is clairvoyant about the *nominal* task
+// profile; it does not see the run's instance-speed or interference noise,
+// so it is an upper bound on what any profile-based predictor can know.
+#pragma once
+
+#include "predict/estimator.h"
+
+namespace wire::predict {
+
+class OracleEstimator final : public Estimator {
+ public:
+  /// Binds to the workflow (kept by reference) and a nominal transfer-time
+  /// model: expected transfer = latency + payload / bandwidth.
+  OracleEstimator(const dag::Workflow& workflow,
+                  double transfer_latency_seconds,
+                  double bandwidth_mb_per_s);
+
+  void observe(const sim::MonitorSnapshot& snapshot) override;
+
+  double estimate_exec(dag::TaskId task,
+                       const sim::MonitorSnapshot& snapshot) const override;
+
+  double predict_remaining_occupancy(
+      dag::TaskId task, const sim::MonitorSnapshot& snapshot) const override;
+
+  double transfer_estimate() const override;
+
+  std::size_t state_bytes() const override { return sizeof(*this); }
+
+ private:
+  double nominal_transfer(double payload_mb) const;
+
+  const dag::Workflow* workflow_;
+  double latency_;
+  double bandwidth_;
+  double mean_transfer_ = 0.0;
+};
+
+}  // namespace wire::predict

@@ -1,0 +1,190 @@
+#include "predict/task_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace wire::predict {
+
+using dag::StageId;
+using dag::TaskId;
+using sim::TaskPhase;
+
+TaskPredictor::TaskPredictor(const dag::Workflow& workflow,
+                             const PredictorConfig& config)
+    : workflow_(&workflow),
+      config_(config),
+      stages_(workflow.stage_count()),
+      last_phase_(workflow.task_count(), TaskPhase::Pending) {
+  for (StageState& s : stages_) {
+    s.model = OgdModel(config_.learning_rate);
+  }
+}
+
+double TaskPredictor::center(std::vector<double> values) const {
+  WIRE_CHECK(!values.empty(), "center of empty sample");
+  return config_.use_mean ? util::mean(values)
+                          : util::median(std::move(values));
+}
+
+long TaskPredictor::bucket_key(double input_mb) const {
+  if (input_mb <= 0.0) return std::numeric_limits<long>::min();
+  const double base = std::log1p(config_.input_bucket_rel_tol);
+  return std::lround(std::log(input_mb) / base);
+}
+
+void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
+  WIRE_REQUIRE(snapshot.tasks.size() == workflow_->task_count(),
+               "snapshot does not match the workflow");
+  ++iterations_;
+
+  std::vector<double> interval_transfers;
+  for (TaskId t = 0; t < static_cast<TaskId>(snapshot.tasks.size()); ++t) {
+    const sim::TaskObservation& obs = snapshot.tasks[t];
+    const bool newly_completed = obs.phase == TaskPhase::Completed &&
+                                 last_phase_[t] != TaskPhase::Completed;
+    last_phase_[t] = obs.phase;
+    if (!newly_completed) continue;
+
+    const dag::TaskSpec& spec = workflow_->task(t);
+    StageState& stage = stages_[spec.stage];
+    WIRE_CHECK(obs.exec_time >= 0.0, "completed task without exec time");
+    stage.completed_exec.push_back(obs.exec_time);
+    ++stage.completed;
+    stage.dirty = true;
+
+    Group& group = stage.groups[bucket_key(spec.input_mb)];
+    group.exec_times.push_back(obs.exec_time);
+    group.input_mb_sum += spec.input_mb;
+
+    if (obs.transfer_time > 0.0) {
+      interval_transfers.push_back(obs.transfer_time);
+    }
+  }
+
+  // t̃_data: median transfer of the tasks completed in this interval; the
+  // previous estimate persists through empty intervals.
+  if (!interval_transfers.empty()) {
+    transfer_estimate_ = center(std::move(interval_transfers));
+    has_transfer_estimate_ = true;
+  }
+
+  // One Algorithm-1 epoch per stage with new completions. The training set is
+  // the stage's groups of equivalent-input tasks, target = group median.
+  for (StageState& stage : stages_) {
+    if (!stage.dirty) continue;
+    stage.dirty = false;
+    std::vector<TrainingPoint> training;
+    training.reserve(stage.groups.size());
+    for (const auto& [key, group] : stage.groups) {
+      TrainingPoint p;
+      p.input_mb =
+          group.input_mb_sum / static_cast<double>(group.exec_times.size());
+      p.exec_seconds = center(group.exec_times);
+      training.push_back(p);
+    }
+    stage.model.update(training);
+  }
+}
+
+Prediction TaskPredictor::predict_exec(
+    TaskId task, const sim::MonitorSnapshot& snapshot) const {
+  WIRE_REQUIRE(task < workflow_->task_count(), "unknown task id");
+  const dag::TaskSpec& spec = workflow_->task(task);
+  const StageState& stage = stages_[spec.stage];
+  const sim::TaskObservation& obs = snapshot.tasks[task];
+
+  if (obs.phase == TaskPhase::Completed) {
+    // Nothing to predict: report the recorded value.
+    return {obs.exec_time, Policy::CompletedKnownSize};
+  }
+
+  if (stage.completed == 0) {
+    // Policies 1 and 2: nothing completed in this stage yet. A running
+    // task's "run time" counts from when it fired (became ready): the
+    // unstarted peers are likely to run at least as long as the active ones
+    // have been in flight since the stage fired. Measuring from the fire
+    // time (rather than slot occupancy) keeps the estimate from diluting as
+    // freshly dispatched peers join the running set.
+    std::vector<double> running_time;
+    for (TaskId peer : workflow_->stage_tasks(spec.stage)) {
+      const sim::TaskObservation& p = snapshot.tasks[peer];
+      if (p.phase == TaskPhase::Running && p.ready_since >= 0.0) {
+        running_time.push_back(snapshot.now - p.ready_since);
+      }
+    }
+    if (running_time.empty()) {
+      return {0.0, Policy::NoneStarted};
+    }
+    return {center(std::move(running_time)), Policy::RunningOnly};
+  }
+
+  // Stage has completed tasks.
+  const bool ready_to_run = obs.phase == TaskPhase::Ready ||
+                            obs.phase == TaskPhase::Running;
+  if (!ready_to_run) {
+    // Policy 3: input data not yet available.
+    return {center(stage.completed_exec), Policy::CompletedNotReady};
+  }
+
+  const auto it = stage.groups.find(bucket_key(spec.input_mb));
+  if (it != stage.groups.end()) {
+    // Policy 4: equivalent input size seen among completed peers.
+    return {center(it->second.exec_times), Policy::CompletedKnownSize};
+  }
+
+  // Policy 5: new input size — OGD model. Falls back to the stage centre if
+  // the model is disabled (ablation) or has not been trained yet (cannot
+  // happen once completed > 0, but guarded for safety).
+  if (config_.disable_ogd || stage.model.epochs() == 0) {
+    return {center(stage.completed_exec), Policy::CompletedNotReady};
+  }
+  return {stage.model.predict(spec.input_mb), Policy::CompletedNewSize};
+}
+
+double TaskPredictor::predict_remaining_occupancy(
+    TaskId task, const sim::MonitorSnapshot& snapshot) const {
+  const sim::TaskObservation& obs = snapshot.tasks[task];
+  if (obs.phase == TaskPhase::Completed) return 0.0;
+
+  const Prediction pred = predict_exec(task, snapshot);
+  const double t_data = has_transfer_estimate_ ? transfer_estimate_ : 0.0;
+
+  if (obs.phase == TaskPhase::Running) {
+    if (obs.transfer_in_time < 0.0) {
+      // Still transferring input: remaining transfer (floored) + execution.
+      const double remaining_transfer = std::max(0.0, t_data - obs.elapsed);
+      return remaining_transfer + pred.exec_seconds;
+    }
+    // Executing: predicted total minus elapsed, floored at zero ("about to
+    // complete" when the prediction underestimates).
+    return std::max(0.0, pred.exec_seconds - obs.elapsed_exec);
+  }
+
+  // Ready or pending: full transfer + execution estimate.
+  return t_data + pred.exec_seconds;
+}
+
+const OgdModel& TaskPredictor::stage_model(StageId stage) const {
+  WIRE_REQUIRE(stage < stages_.size(), "unknown stage id");
+  return stages_[stage].model;
+}
+
+std::size_t TaskPredictor::state_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += last_phase_.capacity() * sizeof(TaskPhase);
+  for (const StageState& s : stages_) {
+    bytes += sizeof(StageState);
+    bytes += s.completed_exec.capacity() * sizeof(double);
+    for (const auto& [key, group] : s.groups) {
+      bytes += sizeof(key) + sizeof(Group) +
+               group.exec_times.capacity() * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace wire::predict

@@ -1,0 +1,170 @@
+#include "sim/cloud.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wire::sim {
+
+namespace {
+/// Billing epsilon: avoids charging an extra unit when a drain lands exactly
+/// on a charge boundary up to floating-point error.
+constexpr double kBillingEps = 1e-6;
+}  // namespace
+
+InstanceId CloudPool::request(SimTime now, double speed_factor) {
+  Instance inst;
+  inst.id = static_cast<InstanceId>(instances_.size());
+  inst.state = InstanceState::Provisioning;
+  inst.requested_at = now;
+  inst.ready_at = now + config_.lag_seconds;
+  inst.speed_factor = speed_factor;
+  instances_.push_back(inst);
+  peak_live_ = std::max(peak_live_, live_count());
+  return inst.id;
+}
+
+InstanceId CloudPool::request_ready(SimTime now, double speed_factor) {
+  Instance inst;
+  inst.id = static_cast<InstanceId>(instances_.size());
+  inst.state = InstanceState::Ready;
+  inst.requested_at = now;
+  inst.ready_at = now;
+  inst.speed_factor = speed_factor;
+  instances_.push_back(inst);
+  peak_live_ = std::max(peak_live_, live_count());
+  return inst.id;
+}
+
+Instance& CloudPool::mutable_instance(InstanceId id) {
+  WIRE_REQUIRE(id < instances_.size(), "unknown instance id");
+  return instances_[id];
+}
+
+const Instance& CloudPool::instance(InstanceId id) const {
+  WIRE_REQUIRE(id < instances_.size(), "unknown instance id");
+  return instances_[id];
+}
+
+void CloudPool::mark_ready(InstanceId id, SimTime now) {
+  Instance& inst = mutable_instance(id);
+  if (inst.state == InstanceState::Terminated) return;  // cancelled mid-boot
+  WIRE_CHECK(inst.state == InstanceState::Provisioning,
+             "mark_ready on non-provisioning instance");
+  WIRE_CHECK(std::abs(now - inst.ready_at) < 1e-9,
+             "mark_ready at unexpected time");
+  inst.state = InstanceState::Ready;
+}
+
+void CloudPool::terminate(InstanceId id, SimTime now) {
+  Instance& inst = mutable_instance(id);
+  WIRE_REQUIRE(inst.state != InstanceState::Terminated,
+               "instance already terminated");
+  inst.state = InstanceState::Terminated;
+  inst.terminated_at = now;
+  inst.drain_at = -1.0;
+}
+
+SimTime CloudPool::schedule_drain(InstanceId id, SimTime now) {
+  Instance& inst = mutable_instance(id);
+  WIRE_REQUIRE(inst.state == InstanceState::Ready,
+               "can only drain a ready instance");
+  const SimTime boundary = now + time_to_next_charge(id, now);
+  inst.drain_at = boundary;
+  return boundary;
+}
+
+void CloudPool::cancel_drain(InstanceId id) {
+  Instance& inst = mutable_instance(id);
+  inst.drain_at = -1.0;
+}
+
+bool CloudPool::is_usable(InstanceId id, SimTime now) const {
+  const Instance& inst = instance(id);
+  return inst.state == InstanceState::Ready && inst.drain_at < 0.0 &&
+         now >= inst.ready_at;
+}
+
+std::vector<InstanceId> CloudPool::dispatchable(SimTime now) const {
+  std::vector<InstanceId> out;
+  for (const Instance& inst : instances_) {
+    if (is_usable(inst.id, now)) out.push_back(inst.id);
+  }
+  return out;
+}
+
+std::vector<InstanceId> CloudPool::live() const {
+  std::vector<InstanceId> out;
+  for (const Instance& inst : instances_) {
+    if (inst.state != InstanceState::Terminated) out.push_back(inst.id);
+  }
+  return out;
+}
+
+std::uint32_t CloudPool::live_count() const {
+  std::uint32_t n = 0;
+  for (const Instance& inst : instances_) {
+    if (inst.state != InstanceState::Terminated) ++n;
+  }
+  return n;
+}
+
+SimTime CloudPool::time_to_next_charge(InstanceId id, SimTime now) const {
+  const Instance& inst = instance(id);
+  WIRE_REQUIRE(inst.state == InstanceState::Ready, "instance not ready");
+  WIRE_REQUIRE(now >= inst.ready_at - 1e-9, "query before charge start");
+  const double u = config_.charging_unit_seconds;
+  const double elapsed = std::max(0.0, now - inst.ready_at);
+  const double into_unit = std::fmod(elapsed, u);
+  // Exactly on a boundary means a fresh unit just started (the previous one
+  // was fully consumed): a full unit remains.
+  if (into_unit < kBillingEps) return u - into_unit;
+  return u - into_unit;
+}
+
+double CloudPool::charged_units(InstanceId id, SimTime end) const {
+  const Instance& inst = instance(id);
+  if (inst.state == InstanceState::Provisioning) return 0.0;
+  SimTime stop = end;
+  if (inst.state == InstanceState::Terminated) {
+    stop = std::min(stop, inst.terminated_at);
+  }
+  if (inst.state != InstanceState::Provisioning && stop <= inst.ready_at) {
+    // Never reached usable life before the accounting horizon.
+    return inst.state == InstanceState::Terminated &&
+           inst.terminated_at <= inst.ready_at ? 0.0 : 1.0;
+  }
+  const double alive = stop - inst.ready_at;
+  const double u = config_.charging_unit_seconds;
+  return std::max(1.0, std::ceil((alive - kBillingEps) / u));
+}
+
+double CloudPool::total_charged_units(SimTime end) const {
+  double total = 0.0;
+  for (const Instance& inst : instances_) {
+    if (inst.state == InstanceState::Provisioning) {
+      // Still booting at the horizon: bills its first unit on arrival; count
+      // nothing (the driver terminates all instances at run end, so this only
+      // happens for mid-run queries).
+      continue;
+    }
+    total += charged_units(inst.id, end);
+  }
+  return total;
+}
+
+double CloudPool::total_ready_seconds(SimTime end) const {
+  double total = 0.0;
+  for (const Instance& inst : instances_) {
+    if (inst.state == InstanceState::Provisioning) continue;
+    SimTime stop = end;
+    if (inst.state == InstanceState::Terminated) {
+      stop = std::min(stop, inst.terminated_at);
+    }
+    total += std::max(0.0, stop - inst.ready_at);
+  }
+  return total;
+}
+
+}  // namespace wire::sim

@@ -1,0 +1,67 @@
+// The run driver: executes one workflow under one scaling policy on the
+// simulated cloud and reports the paper's metrics (makespan, charging units,
+// utilization, restarts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/workflow.h"
+#include "sim/config.h"
+#include "sim/framework.h"
+#include "sim/scaling_policy.h"
+
+namespace wire::sim {
+
+struct RunOptions {
+  /// Root seed of the run's ground-truth variability.
+  std::uint64_t seed = 1;
+  /// Instances that are already booted at t = 0 (the framework master's
+  /// bootstrap pool; static policies set this to their fixed size).
+  std::uint32_t initial_instances = 1;
+  /// Hard guard against runaway simulations.
+  SimTime max_sim_seconds = 90.0 * 24.0 * 3600.0;
+  /// Record (time, live, ready) pool samples at every control tick.
+  bool record_pool_timeline = false;
+};
+
+struct PoolSample {
+  SimTime time = 0.0;
+  std::uint32_t live_instances = 0;
+  std::uint32_t ready_tasks = 0;
+  std::uint32_t running_tasks = 0;
+};
+
+/// Outcome of one simulated run.
+struct RunResult {
+  std::string policy_name;
+  /// Completion time of the last task (seconds).
+  SimTime makespan = 0.0;
+  /// Total charging units consumed across all instances — the paper's
+  /// "resource cost" metric (Fig. 5).
+  double cost_units = 0.0;
+  /// Instance-seconds spent in the Ready state (utilization denominator).
+  double ready_instance_seconds = 0.0;
+  /// Slot-seconds spent on successful task occupancy.
+  double busy_slot_seconds = 0.0;
+  /// Slot-seconds sunk into attempts killed by instance releases.
+  double wasted_slot_seconds = 0.0;
+  /// busy / (ready_instance_seconds * slots_per_instance).
+  double utilization = 0.0;
+  std::uint32_t peak_instances = 0;
+  std::uint32_t task_restarts = 0;
+  std::uint32_t control_ticks = 0;
+  /// Final per-task lifecycle records (kickstart archive).
+  std::vector<TaskRuntime> task_records;
+  /// Present when RunOptions::record_pool_timeline is set.
+  std::vector<PoolSample> pool_timeline;
+};
+
+/// Runs `workflow` to completion under `policy`. Deterministic in
+/// (workflow, policy, config, options.seed). Throws std::runtime_error if the
+/// simulation exceeds options.max_sim_seconds (a stuck policy).
+RunResult simulate(const dag::Workflow& workflow, ScalingPolicy& policy,
+                   const CloudConfig& config, const RunOptions& options = {});
+
+}  // namespace wire::sim

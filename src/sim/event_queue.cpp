@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace wire::sim {
+
+void EventQueue::schedule(SimTime time, EventKind kind, std::uint32_t payload,
+                          std::uint32_t aux) {
+  WIRE_REQUIRE(time >= last_popped_,
+               "cannot schedule an event in the simulated past");
+  heap_.push(Event{time, next_seq_++, kind, payload, aux});
+}
+
+SimTime EventQueue::next_time() const {
+  WIRE_REQUIRE(!heap_.empty(), "next_time on empty queue");
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  WIRE_REQUIRE(!heap_.empty(), "pop on empty queue");
+  Event e = heap_.top();
+  heap_.pop();
+  last_popped_ = e.time;
+  return e;
+}
+
+}  // namespace wire::sim

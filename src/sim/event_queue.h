@@ -1,0 +1,77 @@
+// Deterministic discrete-event queue for the ground-truth simulator.
+//
+// Events are ordered by (time, sequence number); the sequence number makes
+// tie-breaking deterministic, which in turn makes every run reproducible from
+// its seed.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace wire::sim {
+
+enum class EventKind : std::uint8_t {
+  /// A requested instance finished booting. payload = instance id.
+  InstanceReady,
+  /// A task finished transferring its input. payload = task id.
+  TransferInDone,
+  /// A task finished executing. payload = task id.
+  ExecDone,
+  /// A task finished writing its output (slot occupancy ends). payload = task.
+  TransferOutDone,
+  /// MAPE control interval boundary. payload unused.
+  ControlTick,
+  /// An instance ordered to drain reaches its charge boundary. payload =
+  /// instance id.
+  InstanceDrain,
+  /// Earliest projected completion among the shared-bandwidth transfers
+  /// (processor-sharing model). aux = transfer epoch; stale guards are
+  /// ignored.
+  TransferGuard,
+  /// The per-dispatch scheduling overhead elapsed; the input transfer
+  /// begins. payload = task id, aux = attempt.
+  TransferStart,
+};
+
+struct Event {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::ControlTick;
+  std::uint32_t payload = 0;
+  /// Guard value for stale-event detection: the task attempt number for task
+  /// events (a resubmitted task invalidates events of its old attempt).
+  std::uint32_t aux = 0;
+};
+
+/// Min-heap over (time, seq).
+class EventQueue {
+ public:
+  /// Schedules an event; `time` must be >= the last popped time.
+  void schedule(SimTime time, EventKind kind, std::uint32_t payload,
+                std::uint32_t aux = 0);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Requires non-empty.
+  SimTime next_time() const;
+
+  /// Pops the earliest event. Requires non-empty.
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime last_popped_ = 0.0;
+};
+
+}  // namespace wire::sim

@@ -1,0 +1,225 @@
+#include "sim/framework.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wire::sim {
+
+using dag::TaskId;
+
+FrameworkMaster::FrameworkMaster(const dag::Workflow& workflow,
+                                 std::uint32_t first_fire_priority,
+                                 double checkpoint_fraction)
+    : workflow_(&workflow),
+      first_fire_priority_(first_fire_priority),
+      checkpoint_fraction_(checkpoint_fraction),
+      runtimes_(workflow.task_count()),
+      stage_priority_granted_(workflow.stage_count(), 0) {
+  for (const dag::TaskSpec& t : workflow.tasks()) {
+    runtimes_[t.id].remaining_preds =
+        static_cast<std::uint32_t>(workflow.predecessors(t.id).size());
+  }
+  for (TaskId root : workflow.roots()) {
+    enqueue_ready(root, 0.0);
+  }
+}
+
+TaskRuntime& FrameworkMaster::mutable_runtime(TaskId task) {
+  WIRE_REQUIRE(task < runtimes_.size(), "unknown task id");
+  return runtimes_[task];
+}
+
+const TaskRuntime& FrameworkMaster::runtime(TaskId task) const {
+  WIRE_REQUIRE(task < runtimes_.size(), "unknown task id");
+  return runtimes_[task];
+}
+
+void FrameworkMaster::enqueue_ready(TaskId task, SimTime now) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_CHECK(rt.phase == TaskPhase::Pending || rt.phase == TaskPhase::Running,
+             "enqueue_ready from invalid phase");
+  const dag::StageId stage = workflow_->task(task).stage;
+  if (!rt.high_priority &&
+      stage_priority_granted_[stage] < first_fire_priority_) {
+    rt.high_priority = true;
+    ++stage_priority_granted_[stage];
+  }
+  rt.phase = TaskPhase::Ready;
+  rt.ready_at = now;
+  rt.occupancy_start = -1.0;
+  rt.exec_start = -1.0;
+  rt.instance = kInvalidInstance;
+  ready_queue_.emplace(rt.high_priority ? 0 : 1, now, task);
+}
+
+std::optional<TaskId> FrameworkMaster::peek_ready() const {
+  if (ready_queue_.empty()) return std::nullopt;
+  return std::get<2>(*ready_queue_.begin());
+}
+
+TaskId FrameworkMaster::pop_ready() {
+  WIRE_REQUIRE(!ready_queue_.empty(), "pop_ready on empty queue");
+  const TaskId task = std::get<2>(*ready_queue_.begin());
+  ready_queue_.erase(ready_queue_.begin());
+  return task;
+}
+
+std::vector<TaskId> FrameworkMaster::ready_queue_snapshot() const {
+  std::vector<TaskId> out;
+  out.reserve(ready_queue_.size());
+  for (const auto& entry : ready_queue_) out.push_back(std::get<2>(entry));
+  return out;
+}
+
+void FrameworkMaster::register_instance(InstanceId instance,
+                                        std::uint32_t slots) {
+  auto [it, inserted] = slots_.try_emplace(instance);
+  if (inserted) {
+    it->second.assign(slots, dag::kInvalidTask);
+  }
+}
+
+std::uint32_t FrameworkMaster::free_slots(InstanceId instance) const {
+  const auto it = slots_.find(instance);
+  if (it == slots_.end()) return 0;
+  return static_cast<std::uint32_t>(
+      std::count(it->second.begin(), it->second.end(), dag::kInvalidTask));
+}
+
+std::uint32_t FrameworkMaster::take_free_slot(InstanceId instance) const {
+  const auto it = slots_.find(instance);
+  WIRE_REQUIRE(it != slots_.end(), "instance not registered");
+  for (std::uint32_t s = 0; s < it->second.size(); ++s) {
+    if (it->second[s] == dag::kInvalidTask) return s;
+  }
+  WIRE_REQUIRE(false, "no free slot on instance");
+  return 0;
+}
+
+std::vector<TaskId> FrameworkMaster::tasks_on(InstanceId instance) const {
+  std::vector<TaskId> out;
+  const auto it = slots_.find(instance);
+  if (it == slots_.end()) return out;
+  for (TaskId t : it->second) {
+    if (t != dag::kInvalidTask) out.push_back(t);
+  }
+  return out;
+}
+
+void FrameworkMaster::on_dispatch(TaskId task, InstanceId instance,
+                                  std::uint32_t slot, SimTime now) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_REQUIRE(rt.phase == TaskPhase::Ready, "dispatch of non-ready task");
+  auto it = slots_.find(instance);
+  WIRE_REQUIRE(it != slots_.end(), "dispatch to unregistered instance");
+  WIRE_REQUIRE(slot < it->second.size(), "slot index out of range");
+  WIRE_REQUIRE(it->second[slot] == dag::kInvalidTask, "slot already occupied");
+
+  it->second[slot] = task;
+  rt.phase = TaskPhase::Running;
+  rt.occupancy_start = now;
+  rt.exec_start = -1.0;
+  rt.transfer_in_time = -1.0;
+  rt.instance = instance;
+  rt.slot = slot;
+  ++rt.attempts;
+}
+
+void FrameworkMaster::on_transfer_in_done(TaskId task, SimTime now) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_REQUIRE(rt.phase == TaskPhase::Running, "transfer_in_done on non-running task");
+  rt.transfer_in_time = now - rt.occupancy_start;
+  rt.exec_start = now;
+}
+
+void FrameworkMaster::on_exec_done(TaskId task, SimTime now) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_REQUIRE(rt.phase == TaskPhase::Running, "exec_done on non-running task");
+  WIRE_CHECK(rt.exec_start >= 0.0, "exec_done before transfer_in_done");
+  rt.exec_time = now - rt.exec_start;
+}
+
+std::vector<TaskId> FrameworkMaster::on_complete(TaskId task, SimTime now) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_REQUIRE(rt.phase == TaskPhase::Running, "complete on non-running task");
+  WIRE_CHECK(rt.exec_time >= 0.0, "complete before exec_done");
+  rt.transfer_out_time = now - rt.exec_start - rt.exec_time;
+  rt.phase = TaskPhase::Completed;
+  rt.completed_at = now;
+  busy_slot_seconds_ += now - rt.occupancy_start;
+  ++completed_;
+
+  auto it = slots_.find(rt.instance);
+  WIRE_CHECK(it != slots_.end(), "completed task on unknown instance");
+  it->second[rt.slot] = dag::kInvalidTask;
+  // rt.instance is kept: the kickstart record names the hosting instance.
+
+  std::vector<TaskId> newly_ready;
+  for (TaskId succ : workflow_->successors(task)) {
+    TaskRuntime& srt = mutable_runtime(succ);
+    WIRE_CHECK(srt.remaining_preds > 0, "predecessor count underflow");
+    if (--srt.remaining_preds == 0) {
+      enqueue_ready(succ, now);
+      newly_ready.push_back(succ);
+    }
+  }
+  return newly_ready;
+}
+
+std::vector<TaskId> FrameworkMaster::resubmit_tasks_on(InstanceId instance,
+                                                       SimTime now) {
+  std::vector<TaskId> killed = tasks_on(instance);
+  auto it = slots_.find(instance);
+  if (it != slots_.end()) {
+    std::fill(it->second.begin(), it->second.end(), dag::kInvalidTask);
+  }
+  for (TaskId task : killed) {
+    TaskRuntime& rt = mutable_runtime(task);
+    WIRE_CHECK(rt.phase == TaskPhase::Running, "killed task was not running");
+    wasted_slot_seconds_ += now - rt.occupancy_start;
+    ++restarts_;
+    if (checkpoint_fraction_ > 0.0 && rt.exec_start >= 0.0) {
+      rt.salvaged_exec = std::max(
+          rt.salvaged_exec, checkpoint_fraction_ * (now - rt.exec_start));
+    }
+    rt.exec_time = -1.0;
+    enqueue_ready(task, now);
+  }
+  return killed;
+}
+
+void FrameworkMaster::fill_observations(
+    SimTime now, std::vector<TaskObservation>& out) const {
+  out.assign(runtimes_.size(), TaskObservation{});
+  for (std::size_t i = 0; i < runtimes_.size(); ++i) {
+    const TaskRuntime& rt = runtimes_[i];
+    TaskObservation& obs = out[i];
+    obs.phase = rt.phase;
+    obs.input_mb = workflow_->task(static_cast<TaskId>(i)).input_mb;
+    obs.attempts = rt.attempts;
+    switch (rt.phase) {
+      case TaskPhase::Pending:
+        break;
+      case TaskPhase::Ready:
+        obs.ready_since = rt.ready_at;
+        break;
+      case TaskPhase::Running:
+        obs.ready_since = rt.ready_at;
+        obs.occupancy_start = rt.occupancy_start;
+        obs.elapsed = now - rt.occupancy_start;
+        obs.elapsed_exec = rt.exec_start >= 0.0 ? now - rt.exec_start : 0.0;
+        obs.transfer_in_time = rt.transfer_in_time;
+        obs.instance = rt.instance;
+        break;
+      case TaskPhase::Completed:
+        obs.exec_time = rt.exec_time;
+        obs.transfer_time =
+            std::max(0.0, rt.transfer_in_time) +
+            std::max(0.0, rt.transfer_out_time);
+        break;
+    }
+  }
+}
+
+}  // namespace wire::sim

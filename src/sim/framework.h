@@ -1,0 +1,123 @@
+// The framework master — our Pegasus WMS / HTCondor stand-in.
+//
+// Guards the DAG order, runs the ready queue, binds tasks to instance slots,
+// collects kickstart-style records, and resubmits tasks whose instance was
+// released under them. Dispatch order is FIFO by ready time, except that the
+// first five ready tasks of each stage are raised to high priority — the
+// paper's 94-line Condor patch that feeds the online predictor early
+// observations per stage (§III-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/workflow.h"
+#include "sim/config.h"
+#include "sim/monitor.h"
+
+namespace wire::sim {
+
+
+/// Internal per-task lifecycle record (superset of TaskObservation).
+struct TaskRuntime {
+  TaskPhase phase = TaskPhase::Pending;
+  std::uint32_t remaining_preds = 0;
+  SimTime ready_at = -1.0;
+  SimTime occupancy_start = -1.0;
+  SimTime exec_start = -1.0;
+  SimTime completed_at = -1.0;
+  double transfer_in_time = -1.0;
+  double exec_time = -1.0;
+  double transfer_out_time = -1.0;
+  InstanceId instance = kInvalidInstance;
+  std::uint32_t slot = 0;
+  std::uint32_t attempts = 0;
+  /// Execution seconds salvaged from killed attempts via checkpointing
+  /// (reduces the next attempt's execution time). 0 when checkpointing is
+  /// disabled.
+  double salvaged_exec = 0.0;
+  /// Holds the stage's first-five promotion across resubmissions.
+  bool high_priority = false;
+};
+
+class FrameworkMaster {
+ public:
+  /// Binds to a workflow (kept by reference; must outlive the master) and
+  /// enqueues its root tasks as ready at time 0. `first_fire_priority` is
+  /// the per-stage count of ready tasks promoted to high dispatch priority
+  /// (the paper's Condor patch uses 5).
+  explicit FrameworkMaster(const dag::Workflow& workflow,
+                           std::uint32_t first_fire_priority = 5,
+                           double checkpoint_fraction = 0.0);
+
+  // --- Ready queue ---
+  bool has_ready() const { return !ready_queue_.empty(); }
+  std::size_t ready_count() const { return ready_queue_.size(); }
+  /// Next task in dispatch order without removing it.
+  std::optional<dag::TaskId> peek_ready() const;
+  /// Removes and returns the next task in dispatch order.
+  dag::TaskId pop_ready();
+  /// Ready-queue contents in dispatch order (for monitoring).
+  std::vector<dag::TaskId> ready_queue_snapshot() const;
+
+  // --- Lifecycle transitions (driven by the simulator) ---
+  /// Binds a ready task to (instance, slot); begins occupancy at `now`.
+  void on_dispatch(dag::TaskId task, InstanceId instance, std::uint32_t slot,
+                   SimTime now);
+  /// Input transfer finished; execution begins.
+  void on_transfer_in_done(dag::TaskId task, SimTime now);
+  /// Execution finished; output transfer begins.
+  void on_exec_done(dag::TaskId task, SimTime now);
+  /// Output transfer finished; task completes, slot frees. Returns the
+  /// successors that became ready (already enqueued).
+  std::vector<dag::TaskId> on_complete(dag::TaskId task, SimTime now);
+  /// Kills and re-enqueues every task currently occupying a slot on
+  /// `instance` (the instance is being released). Returns the killed tasks.
+  std::vector<dag::TaskId> resubmit_tasks_on(InstanceId instance, SimTime now);
+
+  // --- Slot bookkeeping ---
+  /// Registers an instance with `slots` task slots (idempotent).
+  void register_instance(InstanceId instance, std::uint32_t slots);
+  std::uint32_t free_slots(InstanceId instance) const;
+  /// Index of a free slot on `instance`; requires free_slots > 0.
+  std::uint32_t take_free_slot(InstanceId instance) const;
+  std::vector<dag::TaskId> tasks_on(InstanceId instance) const;
+
+  // --- Progress / accounting ---
+  bool all_complete() const { return completed_ == workflow_->task_count(); }
+  std::size_t completed_count() const { return completed_; }
+  std::uint32_t total_restarts() const { return restarts_; }
+  /// Slot-seconds consumed by successful occupancy phases so far.
+  double busy_slot_seconds() const { return busy_slot_seconds_; }
+  /// Slot-seconds consumed by attempts that were killed (sunk cost paid).
+  double wasted_slot_seconds() const { return wasted_slot_seconds_; }
+
+  const TaskRuntime& runtime(dag::TaskId task) const;
+  const dag::Workflow& workflow() const { return *workflow_; }
+
+  /// Fills the per-task portion of a monitoring snapshot.
+  void fill_observations(SimTime now, std::vector<TaskObservation>& out) const;
+
+ private:
+  void enqueue_ready(dag::TaskId task, SimTime now);
+  TaskRuntime& mutable_runtime(dag::TaskId task);
+
+  const dag::Workflow* workflow_;
+  std::uint32_t first_fire_priority_;
+  double checkpoint_fraction_;
+  std::vector<TaskRuntime> runtimes_;
+  // Dispatch order: (priority class, ready time, id). Class 0 = first-five.
+  std::set<std::tuple<int, SimTime, dag::TaskId>> ready_queue_;
+  std::vector<std::uint32_t> stage_priority_granted_;
+  std::unordered_map<InstanceId, std::vector<dag::TaskId>> slots_;
+  std::size_t completed_ = 0;
+  std::uint32_t restarts_ = 0;
+  double busy_slot_seconds_ = 0.0;
+  double wasted_slot_seconds_ = 0.0;
+};
+
+}  // namespace wire::sim

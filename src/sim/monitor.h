@@ -1,0 +1,101 @@
+// The monitoring surface: everything a scaling policy is allowed to see.
+//
+// This mirrors what Pegasus/HTCondor kickstart records and the ExoGENI client
+// expose (§II-C property 1): task lifecycle states, elapsed run times of
+// running tasks, execution and transfer times of completed tasks, declared
+// input sizes, and the instance pool with per-instance charge clocks. True
+// *remaining* runtimes exist only inside the ground-truth simulator; keeping
+// this boundary honest is what makes the prediction problem real.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/workflow.h"
+#include "sim/config.h"
+
+namespace wire::sim {
+
+using InstanceId = std::uint32_t;
+inline constexpr InstanceId kInvalidInstance = 0xFFFFFFFFu;
+
+/// Controller-visible lifecycle phase of a task.
+enum class TaskPhase : std::uint8_t {
+  /// Some predecessor has not completed yet.
+  Pending,
+  /// All predecessors complete; waiting in the framework's ready queue.
+  Ready,
+  /// Occupying a slot (transferring input, executing, or writing output).
+  Running,
+  /// Finished; kickstart record available.
+  Completed,
+};
+
+/// Per-task observation, harvested each MAPE iteration (§III-B1: "execution
+/// times (for completed tasks), run times (for running tasks), data transfer
+/// times (for running and completed tasks) and input data sizes (for all
+/// tasks)").
+struct TaskObservation {
+  TaskPhase phase = TaskPhase::Pending;
+  /// Declared input size in MB (known for all tasks from the DAG).
+  double input_mb = 0.0;
+  /// Time the task (last) became ready — fired, in the paper's terms. The
+  /// "run time" of prediction policy 2 counts from here: an unstarted peer is
+  /// likely to run at least as long as the active tasks have been in flight
+  /// since the stage fired. Negative while Pending.
+  SimTime ready_since = -1.0;
+
+  // --- Running tasks ---
+  /// Time the current attempt started occupying its slot; < 0 if N/A.
+  SimTime occupancy_start = -1.0;
+  /// Elapsed wall time of the current attempt (transfer + exec so far).
+  SimTime elapsed = 0.0;
+  /// Elapsed pure execution time (0 while still transferring input).
+  SimTime elapsed_exec = 0.0;
+  /// Observed input-transfer duration of the current/last attempt; < 0 if the
+  /// transfer has not finished yet.
+  SimTime transfer_in_time = -1.0;
+  /// Instance hosting the current attempt; kInvalidInstance if not running.
+  InstanceId instance = kInvalidInstance;
+
+  // --- Completed tasks (kickstart record) ---
+  /// Pure execution duration; < 0 until completed.
+  SimTime exec_time = -1.0;
+  /// Total transfer duration (input + output); < 0 until completed.
+  SimTime transfer_time = -1.0;
+
+  /// Number of attempts so far (> 1 means the task was restarted after an
+  /// instance release).
+  std::uint32_t attempts = 0;
+};
+
+/// Controller-visible state of one worker instance.
+struct InstanceObservation {
+  InstanceId id = kInvalidInstance;
+  /// Still booting: becomes usable at `ready_at`.
+  bool provisioning = false;
+  SimTime ready_at = 0.0;
+  /// Remaining paid time in the current charging unit (r_j); only meaningful
+  /// once the instance is ready.
+  SimTime time_to_next_charge = 0.0;
+  /// Already ordered to drain at its next charge boundary.
+  bool draining = false;
+  /// Tasks currently occupying slots on this instance.
+  std::vector<dag::TaskId> running_tasks;
+  std::uint32_t free_slots = 0;
+};
+
+/// Snapshot passed to ScalingPolicy::plan at each control interval.
+struct MonitorSnapshot {
+  SimTime now = 0.0;
+  /// Indexed by TaskId (size == workflow.task_count()).
+  std::vector<TaskObservation> tasks;
+  /// All live (provisioning or ready, not yet terminated) instances.
+  std::vector<InstanceObservation> instances;
+  /// Tasks currently in the ready queue, in dispatch order.
+  std::vector<dag::TaskId> ready_queue;
+  /// Number of tasks not yet completed.
+  std::uint32_t incomplete_tasks = 0;
+};
+
+}  // namespace wire::sim

@@ -1,0 +1,57 @@
+// The autoscaling-policy interface shared by WIRE and all baselines.
+//
+// The run driver invokes `plan` once per control interval (the MAPE "Plan"
+// step); the returned PoolCommand is the "Execute" step, applied through the
+// cloud API: grow requests come up after the provisioning lag, and releases
+// happen either immediately or at the instance's next charge boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/workflow.h"
+#include "sim/config.h"
+#include "sim/monitor.h"
+
+namespace wire::sim {
+
+/// One instance-release order.
+struct Release {
+  InstanceId instance = kInvalidInstance;
+  /// If true the instance drains exactly when its current charging unit
+  /// expires (no recharge); if false it is released immediately (forfeiting
+  /// the rest of the paid unit). Running tasks are resubmitted either way.
+  bool at_charge_boundary = true;
+};
+
+/// The policy's decision for the next interval.
+struct PoolCommand {
+  /// Number of new instances to request (ready after the provisioning lag).
+  std::uint32_t grow = 0;
+  /// Instances to release.
+  std::vector<Release> releases;
+  /// Scheduled drains to cancel: the instance stays in the pool and becomes
+  /// dispatchable again immediately (no provisioning lag, no new charge —
+  /// its unit keeps running). Ignored for instances that are not draining.
+  std::vector<InstanceId> cancel_drains;
+};
+
+/// Interface implemented by WIRE (src/core) and the baselines (src/policies).
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+
+  /// Human-readable policy name (used in reports: "wire", "pure-reactive",
+  /// "reactive-conserving", "full-site", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once before the run starts; policies reset per-run state here.
+  virtual void on_run_start(const dag::Workflow& workflow,
+                            const CloudConfig& config) = 0;
+
+  /// Called at every control interval with the current monitoring snapshot.
+  virtual PoolCommand plan(const MonitorSnapshot& snapshot) = 0;
+};
+
+}  // namespace wire::sim

@@ -1,0 +1,45 @@
+#include "sim/variability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wire::sim {
+
+namespace {
+double unit_median_lognormal(util::Rng& rng, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  return rng.lognormal_median(1.0, sigma);
+}
+}  // namespace
+
+VariabilityModel::VariabilityModel(const VariabilityConfig& config,
+                                   std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  run_factor_ = unit_median_lognormal(rng_, config_.run_speed_sigma);
+}
+
+double VariabilityModel::sample_instance_factor() {
+  return unit_median_lognormal(rng_, config_.instance_speed_sigma);
+}
+
+double VariabilityModel::sample_exec_seconds(double ref_seconds,
+                                             double instance_factor) {
+  if (ref_seconds <= 0.0) return 0.0;
+  const double interference =
+      unit_median_lognormal(rng_, config_.interference_sigma);
+  return ref_seconds * run_factor_ * instance_factor * interference;
+}
+
+double VariabilityModel::sample_transfer_noise() {
+  return unit_median_lognormal(rng_, config_.transfer_noise_sigma);
+}
+
+double VariabilityModel::sample_transfer_seconds(double payload_mb) {
+  if (payload_mb <= 0.0) return 0.0;
+  const double noise =
+      unit_median_lognormal(rng_, config_.transfer_noise_sigma);
+  const double base = payload_mb / std::max(1e-9, config_.bandwidth_mb_per_s);
+  return config_.transfer_latency_seconds + base * noise;
+}
+
+}  // namespace wire::sim

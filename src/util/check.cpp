@@ -1,0 +1,19 @@
+#include "util/check.h"
+
+#include <sstream>
+
+namespace wire::util {
+
+void raise_contract_violation(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& detail) {
+  std::ostringstream os;
+  os << "wire " << kind << " failed: (" << expr << ") at " << file << ':'
+     << line;
+  if (!detail.empty()) {
+    os << " — " << detail;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace wire::util

@@ -1,0 +1,44 @@
+// Lightweight runtime-contract checking used across the WIRE libraries.
+//
+// These checks guard public API preconditions and internal invariants. They
+// are always on (simulation correctness matters more than the nanoseconds a
+// disabled assert would save) and throw `wire::util::ContractViolation` so
+// tests can assert on misuse without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wire::util {
+
+/// Thrown when a WIRE_CHECK / WIRE_REQUIRE contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Builds the exception message for a failed check. Out-of-line so the
+/// macro expansion stays small at every call site.
+[[noreturn]] void raise_contract_violation(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const std::string& detail);
+
+}  // namespace wire::util
+
+/// Validates an argument/precondition of a public API.
+#define WIRE_REQUIRE(cond, detail)                                             \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::wire::util::raise_contract_violation("precondition", #cond, __FILE__,  \
+                                             __LINE__, (detail));              \
+    }                                                                          \
+  } while (false)
+
+/// Validates an internal invariant; a failure indicates a library bug.
+#define WIRE_CHECK(cond, detail)                                               \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::wire::util::raise_contract_violation("invariant", #cond, __FILE__,     \
+                                             __LINE__, (detail));              \
+    }                                                                          \
+  } while (false)

@@ -1,0 +1,38 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace wire::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string> fields) {
+  write_row(std::vector<std::string>(fields));
+}
+
+}  // namespace wire::util

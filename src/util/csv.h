@@ -1,0 +1,29 @@
+// Minimal CSV writer for exporting bench series (one file per figure) so the
+// regenerated data can be re-plotted outside this repository.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace wire::util {
+
+/// Streams rows to a CSV file. Fields containing commas/quotes/newlines are
+/// quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: header + typed helpers.
+  void write_row(std::initializer_list<std::string> fields);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ofstream out_;
+};
+
+}  // namespace wire::util

@@ -1,0 +1,33 @@
+// Minimal leveled logging. Simulations are silent by default; set the level
+// to Debug to trace MAPE iterations and pool decisions when debugging a run.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wire::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a message at `level` to stderr if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace wire::util
+
+#define WIRE_LOG(level, expr)                                           \
+  do {                                                                  \
+    if (static_cast<int>(level) >=                                      \
+        static_cast<int>(::wire::util::log_level())) {                  \
+      std::ostringstream wire_log_os;                                   \
+      wire_log_os << expr;                                              \
+      ::wire::util::log_message(level, wire_log_os.str());              \
+    }                                                                   \
+  } while (false)
+
+#define WIRE_DEBUG(expr) WIRE_LOG(::wire::util::LogLevel::Debug, expr)
+#define WIRE_INFO(expr) WIRE_LOG(::wire::util::LogLevel::Info, expr)
+#define WIRE_WARN(expr) WIRE_LOG(::wire::util::LogLevel::Warn, expr)

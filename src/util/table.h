@@ -1,0 +1,39 @@
+// Fixed-width ASCII table rendering for the bench harnesses.
+//
+// Every bench binary regenerates a paper table/figure as text; this keeps the
+// formatting consistent (and diffable) across all of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wire::util {
+
+/// Column-aligned ASCII table. Add a header once, then rows; render pads each
+/// column to its widest cell.
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row. Row width must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+std::string fmt(double value, int digits = 2);
+
+/// Formats "mean ± std".
+std::string fmt_mean_std(double mean, double std, int digits = 2);
+
+}  // namespace wire::util

@@ -1,0 +1,65 @@
+// Fixed-size worker pool used to fan experiment sweeps out across cores.
+//
+// Each submitted job is independent (its own simulator instance seeded from
+// derive_seed), so the pool needs no work stealing or task graphs — a mutex-
+// protected queue is more than fast enough for jobs that each run an entire
+// workflow simulation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace wire::util {
+
+/// Simple fixed-size thread pool. Destruction drains the queue (all submitted
+/// jobs complete before the destructor returns).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; `threads == 0` uses hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Enqueues a job and returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobs_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, count) across a pool and blocks until all
+/// complete. Exceptions from jobs propagate (the first one encountered
+/// rethrows after all jobs finish).
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace wire::util

@@ -1,0 +1,192 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wire::workload {
+
+namespace {
+
+using dag::StageId;
+using dag::TaskId;
+using dag::WorkflowBuilder;
+
+/// Lognormal skew factor with unit mean (so stage means are preserved).
+double unit_mean_lognormal(util::Rng& rng, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  return rng.lognormal_median(1.0, sigma) / std::exp(0.5 * sigma * sigma);
+}
+
+/// Predecessors of task `index` (0-based within its stage) given the link
+/// pattern and the previous stage's task ids.
+std::vector<TaskId> link_predecessors(StageLink link,
+                                      std::uint32_t index,
+                                      const std::vector<TaskId>& prev) {
+  switch (link) {
+    case StageLink::Source:
+      return {};
+    case StageLink::AllToAll:
+      return prev;
+    case StageLink::Partition:
+    case StageLink::FanOut:
+      // Both pick one upstream producer round-robin; FanOut is the 1->N
+      // special case (prev.size() == 1) named for intent.
+      WIRE_CHECK(!prev.empty(), "non-source stage without predecessors");
+      return {prev[index % prev.size()]};
+  }
+  return {};
+}
+
+}  // namespace
+
+dag::Workflow make_workflow(const WorkflowProfile& profile,
+                            std::uint64_t seed) {
+  WIRE_REQUIRE(!profile.stages.empty(), "profile has no stages");
+  util::Rng rng(seed);
+  WorkflowBuilder builder(profile.name);
+
+  std::vector<TaskId> prev_stage_tasks;
+  for (std::size_t si = 0; si < profile.stages.size(); ++si) {
+    const StageProfile& sp = profile.stages[si];
+    WIRE_REQUIRE(sp.task_count > 0, "stage with zero tasks");
+    WIRE_REQUIRE(si > 0 || sp.link == StageLink::Source,
+                 "first stage must be a Source");
+    WIRE_REQUIRE(si == 0 || sp.link != StageLink::Source,
+                 "only the first stage may be a Source");
+
+    const StageId stage = builder.add_stage(sp.name, sp.name + ".exe");
+    const double per_task_mb =
+        sp.stage_input_mb / static_cast<double>(sp.task_count);
+
+    // Quantized block classes: most tasks process a standard block; skewed
+    // tasks get a half block or a multiple (data skew). Class counts are
+    // stratified (largest-remainder rounding of the class proportions, then
+    // shuffled) so the stage's realized input volume and mean execution time
+    // track the profile targets even for narrow stages.
+    const double p_skew = profile.skew_class_probability;
+    const double factors[4] = {0.5, 1.0, 2.0, 4.0};
+    const double probs[4] = {p_skew * 0.5, 1.0 - p_skew, p_skew * 0.35,
+                             p_skew * 0.15};
+    std::vector<double> task_factor;
+    task_factor.reserve(sp.task_count);
+    {
+      std::uint32_t assigned = 0;
+      std::uint32_t counts[4];
+      double remainders[4];
+      for (int k = 0; k < 4; ++k) {
+        const double exact = probs[k] * sp.task_count;
+        counts[k] = static_cast<std::uint32_t>(exact);
+        remainders[k] = exact - counts[k];
+        assigned += counts[k];
+      }
+      while (assigned < sp.task_count) {
+        int best = 0;
+        for (int k = 1; k < 4; ++k) {
+          if (remainders[k] > remainders[best]) best = k;
+        }
+        ++counts[best];
+        remainders[best] = -1.0;
+        ++assigned;
+      }
+      for (int k = 0; k < 4; ++k) {
+        task_factor.insert(task_factor.end(), counts[k], factors[k]);
+      }
+      std::shuffle(task_factor.begin(), task_factor.end(), rng.engine());
+    }
+    double mean_factor = 0.0;
+    for (double f : task_factor) mean_factor += f;
+    mean_factor /= static_cast<double>(sp.task_count);
+
+    std::vector<TaskId> current;
+    current.reserve(sp.task_count);
+    for (std::uint32_t i = 0; i < sp.task_count; ++i) {
+      const double rel = task_factor[i] / mean_factor;
+      const double input_mb = std::max(1e-4, per_task_mb * rel);
+      // Execution time is proportional to the input size up to a small
+      // residual — what makes peers with equivalent input sizes predictive
+      // of each other (policy 4) and the input-size feature linear
+      // (policy 5).
+      const double exec = std::max(
+          0.3, sp.mean_exec_seconds * rel *
+                   unit_mean_lognormal(rng, profile.exec_residual_sigma));
+      const double output_mb = input_mb * 0.5;
+      current.push_back(builder.add_task(
+          stage, sp.name + "_" + std::to_string(i), input_mb, output_mb, exec,
+          link_predecessors(sp.link, i, prev_stage_tasks)));
+    }
+    prev_stage_tasks = std::move(current);
+  }
+  return builder.build();
+}
+
+dag::Workflow linear_workflow(std::uint32_t n_stages,
+                              std::uint32_t tasks_per_stage,
+                              double exec_seconds, const std::string& name) {
+  WIRE_REQUIRE(n_stages > 0, "linear workflow needs at least one stage");
+  WIRE_REQUIRE(tasks_per_stage > 0, "linear workflow needs tasks");
+  WIRE_REQUIRE(exec_seconds > 0.0, "task run time must be positive");
+  WorkflowBuilder builder(name);
+  std::vector<TaskId> prev;
+  for (std::uint32_t s = 0; s < n_stages; ++s) {
+    const StageId stage = builder.add_stage("stage" + std::to_string(s));
+    std::vector<TaskId> current;
+    current.reserve(tasks_per_stage);
+    for (std::uint32_t i = 0; i < tasks_per_stage; ++i) {
+      current.push_back(builder.add_task(
+          stage, "t" + std::to_string(s) + "_" + std::to_string(i),
+          /*input_mb=*/0.0, /*output_mb=*/0.0, exec_seconds, prev));
+    }
+    prev = std::move(current);
+  }
+  return builder.build();
+}
+
+dag::Workflow random_layered(const RandomDagOptions& options,
+                             std::uint64_t seed) {
+  WIRE_REQUIRE(options.min_layers >= 1, "need at least one layer");
+  WIRE_REQUIRE(options.min_layers <= options.max_layers, "layer range inverted");
+  WIRE_REQUIRE(options.min_width >= 1, "need width >= 1");
+  WIRE_REQUIRE(options.min_width <= options.max_width, "width range inverted");
+  util::Rng rng(seed);
+  WorkflowBuilder builder("random_layered_" + std::to_string(seed));
+
+  const std::uint32_t layers = static_cast<std::uint32_t>(
+      rng.uniform_int(options.min_layers, options.max_layers));
+  std::vector<TaskId> prev;
+  for (std::uint32_t layer = 0; layer < layers; ++layer) {
+    const StageId stage = builder.add_stage("layer" + std::to_string(layer));
+    const std::uint32_t width = static_cast<std::uint32_t>(
+        rng.uniform_int(options.min_width, options.max_width));
+    std::vector<TaskId> current;
+    current.reserve(width);
+    for (std::uint32_t i = 0; i < width; ++i) {
+      std::vector<TaskId> preds;
+      if (!prev.empty()) {
+        // Guarantee connectivity with one mandatory predecessor, then add
+        // extras with the configured density.
+        preds.push_back(prev[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(prev.size()) - 1))]);
+        for (TaskId cand : prev) {
+          if (cand != preds.front() && rng.bernoulli(options.edge_density)) {
+            preds.push_back(cand);
+          }
+        }
+      }
+      const double exec =
+          std::max(0.3, rng.lognormal_median(options.mean_exec_seconds, 0.4));
+      const double input =
+          std::max(0.01, rng.lognormal_median(options.mean_input_mb, 0.4));
+      current.push_back(builder.add_task(
+          stage, "r" + std::to_string(layer) + "_" + std::to_string(i), input,
+          input * 0.5, exec, std::move(preds)));
+    }
+    prev = std::move(current);
+  }
+  return builder.build();
+}
+
+}  // namespace wire::workload

@@ -1,0 +1,53 @@
+// Workflow instantiation: turns declarative profiles into concrete DAGs with
+// per-task execution-time skew and input sizes, plus the synthetic families
+// used by the simulation studies (linear workflows of §III-E / Figs. 2–3 and
+// random layered DAGs for property tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dag/workflow.h"
+#include "workload/profiles.h"
+
+namespace wire::workload {
+
+/// Instantiates a concrete workflow from a Table-I style profile.
+///
+/// Per-task reference execution times are the stage mean multiplied by a
+/// lognormal skew factor (normalized so the stage mean is preserved in
+/// expectation) — the intra-stage load skew of Observation 1. Per-task input
+/// sizes follow the same skew with extra decorrelating noise so that the
+/// input-size feature of the OGD predictor carries signal without being a
+/// perfect oracle. Deterministic in (profile, seed).
+dag::Workflow make_workflow(const WorkflowProfile& profile,
+                            std::uint64_t seed);
+
+/// The idealized linear workflow of §III-E: `n_stages` stages of
+/// `tasks_per_stage` tasks, every task a predecessor of every task in the
+/// next stage, all tasks with identical execution time `exec_seconds` and no
+/// data transfer. Used by the Figure 2/3 steering-policy studies.
+dag::Workflow linear_workflow(std::uint32_t n_stages,
+                              std::uint32_t tasks_per_stage,
+                              double exec_seconds,
+                              const std::string& name = "linear");
+
+/// Options for random layered DAGs (property tests / fuzzing).
+struct RandomDagOptions {
+  std::uint32_t min_layers = 2;
+  std::uint32_t max_layers = 6;
+  std::uint32_t min_width = 1;
+  std::uint32_t max_width = 12;
+  /// Probability of each additional cross-layer edge beyond the one that
+  /// guarantees connectivity.
+  double edge_density = 0.3;
+  double mean_exec_seconds = 8.0;
+  double mean_input_mb = 16.0;
+};
+
+/// Generates a random layered DAG: one stage per layer, every task wired to
+/// at least one task of the previous layer. Deterministic in (options, seed).
+dag::Workflow random_layered(const RandomDagOptions& options,
+                             std::uint64_t seed);
+
+}  // namespace wire::workload

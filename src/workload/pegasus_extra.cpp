@@ -1,0 +1,187 @@
+#include "workload/pegasus_extra.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wire::workload {
+
+namespace {
+
+using dag::StageId;
+using dag::TaskId;
+using dag::WorkflowBuilder;
+
+/// Small-residual noisy execution time around a stage mean (same model as
+/// the Table I generators).
+double noisy(util::Rng& rng, double mean, double sigma = 0.05) {
+  const double factor =
+      rng.lognormal_median(1.0, sigma) / std::exp(0.5 * sigma * sigma);
+  return std::max(0.3, mean * factor);
+}
+
+}  // namespace
+
+dag::Workflow montage(std::uint32_t tiles, std::uint64_t seed) {
+  WIRE_REQUIRE(tiles >= 4, "montage needs at least 4 tiles");
+  util::Rng rng(seed);
+  WorkflowBuilder b("Montage-" + std::to_string(tiles));
+
+  // mProject: one reprojection per input tile (wide, medium tasks).
+  const StageId s_project = b.add_stage("mProject", "mProjectPP");
+  std::vector<TaskId> project;
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    project.push_back(b.add_task(s_project, "mProject_" + std::to_string(i),
+                                 4.0, 8.0, noisy(rng, 18.0), {}));
+  }
+
+  // mDiffFit: one task per overlapping pair; a tile overlaps its neighbours
+  // in a rough grid (~2 overlaps per tile plus a diagonal band).
+  const StageId s_diff = b.add_stage("mDiffFit", "mDiffFit");
+  std::vector<TaskId> diffs;
+  const std::uint32_t side = std::max<std::uint32_t>(
+      2, static_cast<std::uint32_t>(std::lround(std::sqrt(tiles))));
+  std::uint32_t diff_index = 0;
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    const std::uint32_t right = i + 1;
+    const std::uint32_t below = i + side;
+    for (std::uint32_t j : {right, below}) {
+      if (j < tiles && (j != right || right % side != 0)) {
+        diffs.push_back(b.add_task(
+            s_diff, "mDiffFit_" + std::to_string(diff_index++), 2.0, 0.5,
+            noisy(rng, 4.0), {project[i], project[j]}));
+      }
+    }
+  }
+
+  // mConcatFit + mBgModel: the serial bottleneck (long tasks, all-to-all).
+  const StageId s_concat = b.add_stage("mConcatFit", "mConcatFit");
+  const TaskId concat = b.add_task(s_concat, "mConcatFit", 1.0, 0.5,
+                                   noisy(rng, 45.0), diffs);
+  const StageId s_bg_model = b.add_stage("mBgModel", "mBgModel");
+  const TaskId bg_model = b.add_task(s_bg_model, "mBgModel", 0.5, 0.5,
+                                     noisy(rng, 60.0), {concat});
+
+  // mBackground: one correction per tile; cross-stage edges back to the
+  // tile's projection plus the background model.
+  const StageId s_background = b.add_stage("mBackground", "mBackground");
+  std::vector<TaskId> background;
+  for (std::uint32_t i = 0; i < tiles; ++i) {
+    background.push_back(
+        b.add_task(s_background, "mBackground_" + std::to_string(i), 4.0, 4.0,
+                   noisy(rng, 6.0), {project[i], bg_model}));
+  }
+
+  // mImgtbl + tree-structured mAdd + mShrink/mJPEG tail.
+  const StageId s_imgtbl = b.add_stage("mImgtbl", "mImgtbl");
+  const TaskId imgtbl =
+      b.add_task(s_imgtbl, "mImgtbl", 0.5, 0.5, noisy(rng, 8.0), background);
+  const StageId s_add = b.add_stage("mAdd", "mAdd");
+  // Binary combine tree over tile groups (one level, fan-in ~8 per adder).
+  std::vector<TaskId> adders;
+  const std::uint32_t group = 8;
+  for (std::uint32_t start = 0; start < tiles; start += group) {
+    std::vector<TaskId> deps{imgtbl};
+    for (std::uint32_t i = start; i < std::min(tiles, start + group); ++i) {
+      deps.push_back(background[i]);
+    }
+    adders.push_back(b.add_task(s_add,
+                                "mAdd_" + std::to_string(start / group), 16.0,
+                                32.0, noisy(rng, 35.0), std::move(deps)));
+  }
+  const StageId s_final = b.add_stage("mFinal", "mAdd");
+  const TaskId final_add =
+      b.add_task(s_final, "mAddFinal", 32.0, 64.0, noisy(rng, 50.0), adders);
+  const StageId s_shrink = b.add_stage("mShrink", "mShrink");
+  const TaskId shrink = b.add_task(s_shrink, "mShrink", 64.0, 8.0,
+                                   noisy(rng, 12.0), {final_add});
+  const StageId s_jpeg = b.add_stage("mJPEG", "mJPEG");
+  b.add_task(s_jpeg, "mJPEG", 8.0, 2.0, noisy(rng, 5.0), {shrink});
+
+  return b.build();
+}
+
+dag::Workflow cybershake(std::uint32_t variations, std::uint64_t seed) {
+  WIRE_REQUIRE(variations >= 2, "cybershake needs at least 2 variations");
+  util::Rng rng(seed);
+  WorkflowBuilder b("CyberShake-" + std::to_string(variations));
+
+  // Two strain-Green-tensor extraction masters (very long tasks).
+  const StageId s_extract = b.add_stage("ExtractSGT", "extract_sgt");
+  const TaskId sgt_x = b.add_task(s_extract, "ExtractSGT_X", 512.0, 256.0,
+                                  noisy(rng, 220.0), {});
+  const TaskId sgt_y = b.add_task(s_extract, "ExtractSGT_Y", 512.0, 256.0,
+                                  noisy(rng, 200.0), {});
+
+  // Seismogram synthesis: one medium task per rupture variation, each
+  // reading both tensors.
+  const StageId s_seis = b.add_stage("SeismogramSynthesis", "seismogram");
+  std::vector<TaskId> seismograms;
+  for (std::uint32_t i = 0; i < variations; ++i) {
+    seismograms.push_back(
+        b.add_task(s_seis, "Seismogram_" + std::to_string(i), 24.0, 0.5,
+                   noisy(rng, 28.0, 0.12), {sgt_x, sgt_y}));
+  }
+
+  // Peak ground-motion calculation: a short task per seismogram (1:1).
+  const StageId s_peak = b.add_stage("PeakValCalc", "peak_val");
+  std::vector<TaskId> peaks;
+  for (std::uint32_t i = 0; i < variations; ++i) {
+    peaks.push_back(b.add_task(s_peak, "PeakVal_" + std::to_string(i), 0.5,
+                               0.1, noisy(rng, 1.2), {seismograms[i]}));
+  }
+
+  // Hazard-curve aggregation.
+  const StageId s_agg = b.add_stage("HazardCurve", "hazard_curve");
+  b.add_task(s_agg, "HazardCurve", 4.0, 1.0, noisy(rng, 30.0), peaks);
+
+  return b.build();
+}
+
+dag::Workflow ligo(std::uint32_t templates, std::uint32_t rounds,
+                   std::uint64_t seed) {
+  WIRE_REQUIRE(templates >= 2, "ligo needs at least 2 templates per round");
+  WIRE_REQUIRE(rounds >= 1, "ligo needs at least one round");
+  util::Rng rng(seed);
+  WorkflowBuilder b("LIGO-" + std::to_string(templates) + "x" +
+                    std::to_string(rounds));
+
+  std::vector<TaskId> previous;  // thinca outputs gating the next round
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    const std::string suffix = "_r" + std::to_string(r);
+    const StageId s_bank = b.add_stage("TmpltBank" + suffix, "tmpltbank");
+    const TaskId bank = b.add_task(s_bank, "TmpltBank" + suffix, 8.0, 2.0,
+                                   noisy(rng, 55.0), previous);
+
+    const StageId s_inspiral = b.add_stage("Inspiral" + suffix, "inspiral");
+    std::vector<TaskId> inspirals;
+    for (std::uint32_t i = 0; i < templates; ++i) {
+      inspirals.push_back(b.add_task(
+          s_inspiral, "Inspiral" + suffix + "_" + std::to_string(i), 12.0,
+          1.0, noisy(rng, 90.0, 0.15), {bank}));
+    }
+
+    const StageId s_thinca = b.add_stage("Thinca" + suffix, "thinca");
+    previous = {b.add_task(s_thinca, "Thinca" + suffix, 4.0, 1.0,
+                           noisy(rng, 10.0), inspirals)};
+  }
+
+  // Trigbank/veto tail: a medium follow-up per surviving trigger batch.
+  const StageId s_trig = b.add_stage("TrigBank", "trigbank");
+  std::vector<TaskId> trigs;
+  const std::uint32_t batches = std::max<std::uint32_t>(2, templates / 4);
+  for (std::uint32_t i = 0; i < batches; ++i) {
+    trigs.push_back(b.add_task(s_trig, "TrigBank_" + std::to_string(i), 2.0,
+                               0.5, noisy(rng, 14.0), previous));
+  }
+  const StageId s_veto = b.add_stage("Veto", "veto");
+  b.add_task(s_veto, "Veto", 1.0, 0.5, noisy(rng, 6.0), trigs);
+
+  return b.build();
+}
+
+}  // namespace wire::workload

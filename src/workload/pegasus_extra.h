@@ -1,0 +1,44 @@
+// Additional Pegasus workflow families from Juve et al., "Characterizing and
+// profiling scientific workflows" (FGCS 2013) — the characterization study
+// the paper cites for Epigenomics. They are not part of Table I; they extend
+// the evaluation to the other classic DAG shapes a workflow autoscaler meets
+// in practice, with wiring the Table-I profile DSL cannot express (pairwise
+// overlap stages, cross-stage edges):
+//
+//   Montage       — astronomy mosaicing: wide mProject fan-out, a pairwise
+//                   mDiffFit overlap stage, a serial mConcatFit/mBgModel
+//                   bottleneck, wide mBackground (cross-stage edges back to
+//                   the projections), and a tree-structured mAdd.
+//   CyberShake    — seismic hazard: a huge seismogram-synthesis stage fed by
+//                   two extraction masters, with a tiny peak-calculation
+//                   tail per seismogram and a final aggregation.
+//   LIGO Inspiral — gravitational-wave search: repeated template-bank /
+//                   inspiral / trigbank / veto rounds of medium tasks.
+//
+// Per-task execution times use the same small-residual noise model as the
+// Table I generators; stage means follow the published characterization's
+// relative weights.
+#pragma once
+
+#include <cstdint>
+
+#include "dag/workflow.h"
+
+namespace wire::workload {
+
+/// Montage mosaic over `tiles` input images (the characterization's
+/// 1-degree mosaic is ~50 tiles). Roughly 3.5x tiles tasks plus the serial
+/// fitting bottleneck.
+dag::Workflow montage(std::uint32_t tiles, std::uint64_t seed);
+
+/// CyberShake hazard computation with `variations` rupture variations
+/// (characterization scale ~400): 2 extraction masters -> `variations`
+/// seismogram syntheses -> per-seismogram peak calculations -> aggregation.
+dag::Workflow cybershake(std::uint32_t variations, std::uint64_t seed);
+
+/// LIGO Inspiral analysis: `rounds` rounds of (template bank -> inspiral x
+/// `templates` -> thinca), followed by a trigbank/veto round.
+dag::Workflow ligo(std::uint32_t templates, std::uint32_t rounds,
+                   std::uint64_t seed);
+
+}  // namespace wire::workload

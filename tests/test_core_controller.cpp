@@ -1,0 +1,201 @@
+// Integration tests of the WIRE controller (MAPE loop) on the ground-truth
+// simulator, including the §III-E linear-workflow scenarios the paper walks
+// through in closed form and the headline cost/performance properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/controller.h"
+#include "dag/analysis.h"
+#include "policies/baselines.h"
+#include "sim/driver.h"
+#include "util/check.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace wire::core {
+namespace {
+
+sim::CloudConfig exact_cloud(double u, double lag, std::uint32_t slots,
+                             std::uint32_t max_instances) {
+  sim::CloudConfig config;
+  config.lag_seconds = lag;
+  config.charging_unit_seconds = u;
+  config.slots_per_instance = slots;
+  config.max_instances = max_instances;
+  config.variability.instance_speed_sigma = 0.0;
+  config.variability.interference_sigma = 0.0;
+  config.variability.transfer_noise_sigma = 0.0;
+  config.variability.transfer_latency_seconds = 0.0;
+  config.variability.bandwidth_mb_per_s = 1e12;
+  return config;
+}
+
+sim::RunResult run_wire(const dag::Workflow& wf, const sim::CloudConfig& cfg,
+                        std::uint64_t seed = 1,
+                        const WireOptions& options = {}) {
+  WireController controller(options);
+  sim::RunOptions run_options;
+  run_options.seed = seed;
+  run_options.initial_instances = 1;
+  return sim::simulate(wf, controller, cfg, run_options);
+}
+
+TEST(WireController, CompletesEveryWorkflowShape) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const dag::Workflow wf =
+        workload::random_layered(workload::RandomDagOptions{}, seed);
+    const sim::RunResult r =
+        run_wire(wf, exact_cloud(300.0, 60.0, 2, 8), seed + 1);
+    for (const sim::TaskRuntime& rec : r.task_records) {
+      EXPECT_EQ(rec.phase, sim::TaskPhase::Completed);
+    }
+    EXPECT_GE(r.cost_units, 1.0);
+  }
+}
+
+TEST(WireController, DiscussionScenarioShortTasks) {
+  // §III-E, R <= U: N tasks of R = U - eps on 1-slot instances starting from
+  // P = 1. The paper's idealization (continuous monitoring, zero lag)
+  // completes the stage within 2R with nothing wasted. With a real lag of
+  // U/15 the bound relaxes, but the run must stay within small factors of
+  // both optima: cost NR/U = N units, time ~ 2R.
+  const double u = 900.0;
+  const double r_task = 840.0;  // R = U - 60
+  const std::uint32_t n = 8;
+  const dag::Workflow wf = workload::linear_workflow(1, n, r_task);
+  const sim::RunResult result =
+      run_wire(wf, exact_cloud(u, 60.0, 1, 32));
+  const double optimal_cost = n * r_task / u;  // 7.47 units
+  EXPECT_LE(result.cost_units, 2.0 * optimal_cost);
+  // §IV-A: for R <= U the heuristic can deviate from the 2R ideal (Fig. 3
+  // shows wide deviations as U/R grows); at U/R ~ 1 it must still sit within
+  // a few task lengths of it, far from the N*R sequential worst case.
+  EXPECT_LE(result.makespan, 5.5 * r_task);
+  // Restarts are permitted but each must have been cheap (the 0.2u rule
+  // bounds the sunk cost a release may forfeit).
+  EXPECT_LE(result.task_restarts, 3u);
+  EXPECT_LE(result.wasted_slot_seconds,
+            result.task_restarts * 0.25 * u + 1e-9);
+}
+
+TEST(WireController, DiscussionScenarioLongTasks) {
+  // §III-E, R > U: tasks longer than the charging unit renew their
+  // instances; the controller must not kill them mid-flight (restart cost
+  // exceeds 0.2u almost immediately).
+  const double u = 300.0;
+  const double r_task = 1500.0;  // R = 5U
+  const std::uint32_t n = 6;
+  const dag::Workflow wf = workload::linear_workflow(1, n, r_task);
+  const sim::RunResult result = run_wire(wf, exact_cloud(u, 60.0, 1, 32));
+  EXPECT_EQ(result.task_restarts, 0u);
+  const double optimal_cost = n * r_task / u;  // 30 units
+  EXPECT_LE(result.cost_units, 1.5 * optimal_cost);
+  // Parallelism harvested: far better than sequential (n * r_task).
+  EXPECT_LT(result.makespan, 0.5 * n * r_task);
+}
+
+TEST(WireController, GrowsThePoolForWideStages) {
+  // 48 long tasks, 4 slots: WIRE must scale well beyond one instance once
+  // predictions stabilize.
+  const dag::Workflow wf = workload::linear_workflow(1, 48, 2000.0);
+  const sim::RunResult result =
+      run_wire(wf, exact_cloud(300.0, 60.0, 4, 12));
+  EXPECT_GT(result.peak_instances, 4u);
+  EXPECT_LE(result.peak_instances, 12u);
+  EXPECT_LT(result.makespan, 48 * 2000.0 / 4.0);
+}
+
+TEST(WireController, KeepsUtilizationHighOnNarrowWork) {
+  // A long chain of single tasks: the pool must stay at one instance (the
+  // paper's "idle instances are wasteful").
+  const dag::Workflow wf = workload::linear_workflow(10, 1, 120.0);
+  const sim::RunResult result =
+      run_wire(wf, exact_cloud(900.0, 60.0, 4, 12));
+  EXPECT_EQ(result.peak_instances, 1u);
+  EXPECT_DOUBLE_EQ(result.cost_units,
+                   std::ceil(result.makespan / 900.0));
+}
+
+TEST(WireController, CheaperThanFullSiteOnRealWorkload) {
+  const dag::Workflow wf = workload::make_workflow(
+      workload::tpch1_profile(workload::Scale::Large), 7);
+  sim::CloudConfig config = exact_cloud(900.0, 180.0, 4, 12);
+  config.variability = sim::VariabilityConfig{};  // realistic noise
+
+  const sim::RunResult wire_run = run_wire(wf, config, 5);
+
+  policies::StaticPolicy full_site(12, "full-site");
+  sim::RunOptions options;
+  options.seed = 5;
+  options.initial_instances = 12;
+  const sim::RunResult static_run =
+      sim::simulate(wf, full_site, config, options);
+
+  EXPECT_LT(wire_run.cost_units, static_run.cost_units);
+  EXPECT_GT(wire_run.utilization, static_run.utilization);
+}
+
+TEST(WireController, DeterministicGivenSeed) {
+  const dag::Workflow wf = workload::make_workflow(
+      workload::tpch6_profile(workload::Scale::Small), 7);
+  sim::CloudConfig config = exact_cloud(900.0, 180.0, 4, 12);
+  config.variability = sim::VariabilityConfig{};
+  const sim::RunResult a = run_wire(wf, config, 11);
+  const sim::RunResult b = run_wire(wf, config, 11);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.cost_units, b.cost_units);
+  EXPECT_EQ(a.peak_instances, b.peak_instances);
+}
+
+TEST(WireController, TraceListenerSeesEveryIteration) {
+  const dag::Workflow wf = workload::linear_workflow(2, 8, 300.0);
+  WireController controller;
+  std::vector<MapeTrace> traces;
+  controller.set_trace_listener(
+      [&traces](const MapeTrace& t) { traces.push_back(t); });
+  sim::RunOptions options;
+  options.initial_instances = 1;
+  const sim::RunResult r =
+      sim::simulate(wf, controller, exact_cloud(300.0, 60.0, 2, 8), options);
+  EXPECT_EQ(traces.size(), r.control_ticks);
+  ASSERT_FALSE(traces.empty());
+  EXPECT_DOUBLE_EQ(traces.front().now, 0.0);
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    EXPECT_GT(traces[i].now, traces[i - 1].now);
+  }
+}
+
+TEST(WireController, PlanBeforeRunStartThrows) {
+  WireController controller;
+  sim::MonitorSnapshot snap;
+  EXPECT_THROW(controller.plan(snap), util::ContractViolation);
+  EXPECT_THROW(controller.predictor(), util::ContractViolation);
+}
+
+TEST(WireController, DisableLookaheadStillCompletes) {
+  const dag::Workflow wf = workload::make_workflow(
+      workload::tpch6_profile(workload::Scale::Small), 7);
+  WireOptions options;
+  options.disable_lookahead = true;
+  const sim::RunResult r =
+      run_wire(wf, exact_cloud(900.0, 180.0, 4, 12), 3, options);
+  for (const sim::TaskRuntime& rec : r.task_records) {
+    EXPECT_EQ(rec.phase, sim::TaskPhase::Completed);
+  }
+}
+
+TEST(WireController, StateFootprintStaysBounded) {
+  const dag::Workflow wf = workload::make_workflow(
+      workload::pagerank_profile(workload::Scale::Small), 7);
+  WireController controller;
+  sim::RunOptions options;
+  options.initial_instances = 1;
+  sim::simulate(wf, controller, exact_cloud(900.0, 180.0, 4, 12), options);
+  // The paper reports <= 16 KB of controller state on its runs; our
+  // bookkeeping keeps per-task phases too, so allow a small multiple.
+  EXPECT_LT(controller.state_bytes(), 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace wire::core

@@ -1,0 +1,237 @@
+// Tests for WIRE's internal lookahead simulator (§III-B2): projecting
+// completions over the interval, wavefront expansion into successor stages,
+// provisioning arrivals, draining instances, and restart costs.
+#include <gtest/gtest.h>
+
+#include "core/lookahead.h"
+#include "dag/workflow.h"
+#include "predict/task_predictor.h"
+#include "workload/generators.h"
+
+namespace wire::core {
+namespace {
+
+using dag::TaskId;
+using sim::TaskPhase;
+
+sim::CloudConfig test_config(std::uint32_t slots = 2) {
+  sim::CloudConfig config;
+  config.lag_seconds = 100.0;
+  config.charging_unit_seconds = 900.0;
+  config.slots_per_instance = slots;
+  return config;
+}
+
+sim::MonitorSnapshot blank_snapshot(const dag::Workflow& wf, double now) {
+  sim::MonitorSnapshot snap;
+  snap.now = now;
+  snap.tasks.assign(wf.task_count(), sim::TaskObservation{});
+  for (const dag::TaskSpec& t : wf.tasks()) {
+    snap.tasks[t.id].input_mb = t.input_mb;
+  }
+  snap.incomplete_tasks = static_cast<std::uint32_t>(wf.task_count());
+  return snap;
+}
+
+void set_running(sim::MonitorSnapshot& snap, TaskId t, sim::InstanceId inst,
+                 double elapsed_exec, double occupancy_start) {
+  snap.tasks[t].phase = TaskPhase::Running;
+  snap.tasks[t].ready_since = occupancy_start;
+  snap.tasks[t].occupancy_start = occupancy_start;
+  snap.tasks[t].elapsed = snap.now - occupancy_start;
+  snap.tasks[t].elapsed_exec = elapsed_exec;
+  snap.tasks[t].transfer_in_time = 0.5;
+  snap.tasks[t].instance = inst;
+}
+
+void set_completed(sim::MonitorSnapshot& snap, TaskId t, double exec) {
+  snap.tasks[t].phase = TaskPhase::Completed;
+  snap.tasks[t].exec_time = exec;
+  snap.tasks[t].transfer_time = 0.0;
+  --snap.incomplete_tasks;
+}
+
+sim::InstanceObservation ready_instance(sim::InstanceId id,
+                                        std::uint32_t free_slots) {
+  sim::InstanceObservation obs;
+  obs.id = id;
+  obs.time_to_next_charge = 400.0;
+  obs.free_slots = free_slots;
+  return obs;
+}
+
+TEST(Lookahead, RunningTaskSurvivingTheIntervalIsUpcoming) {
+  // Stage of 4 with completions establishing a 150 s estimate; one peer is
+  // running with 30 s elapsed -> 120 s remaining > lag of 100 s.
+  const dag::Workflow wf = workload::linear_workflow(1, 4, 150.0);
+  predict::TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf, 1000.0);
+  set_completed(snap, 0, 150.0);
+  set_completed(snap, 1, 150.0);
+  predictor.observe(snap);
+  set_running(snap, 2, 0, 30.0, 969.5);
+
+  auto inst = ready_instance(0, 1);
+  inst.running_tasks = {2};
+  snap.instances.push_back(inst);
+
+  const LookaheadResult result =
+      simulate_interval(wf, snap, predictor, test_config());
+  // Task 2 still active (120 s left at horizon: 20 s), task 3 never started
+  // and the one free slot picks it up; only task 2 plus possibly 3 remain.
+  bool found_task2 = false;
+  for (const UpcomingTask& u : result.upcoming) {
+    if (u.task == 2) {
+      found_task2 = true;
+      EXPECT_NEAR(u.remaining_occupancy, 20.0, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_task2);
+  // Restart cost of instance 0: task 2 started at 969.5, horizon 1100 ->
+  // at least 130.5 sunk (task 3 dispatched in-lookahead is also on it).
+  ASSERT_TRUE(result.restart_cost.count(0));
+  EXPECT_NEAR(result.restart_cost.at(0), 130.5, 1.0);
+}
+
+TEST(Lookahead, CompletionsCascadeIntoSuccessorStage) {
+  // Two stages of 2, 40 s tasks. Both stage-0 tasks are running with 30 s
+  // elapsed; estimates say 10 s remaining -> within the 100 s horizon they
+  // finish and stage 1 fires on the freed slots.
+  const dag::Workflow wf = workload::linear_workflow(2, 2, 40.0);
+  predict::TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf, 500.0);
+  // Prior completions are impossible here (stage barrier), so train policy 2
+  // via running elapsed instead: both running for 30 s -> estimate 30 s.
+  set_running(snap, 0, 0, 30.0, 469.5);
+  set_running(snap, 1, 0, 30.0, 469.5);
+  predictor.observe(snap);
+
+  auto inst = ready_instance(0, 0);
+  inst.running_tasks = {0, 1};
+  snap.instances.push_back(inst);
+
+  const LookaheadResult result =
+      simulate_interval(wf, snap, predictor, test_config());
+  // Policy 2: estimate ~30 s total -> ~0 s remaining ("about to
+  // complete"), so both stage-0 completions are projected and stage 1 fires
+  // — but those completions are speculative: the tasks stay pinned in
+  // Q_task and their slots are not handed to the newly ready stage-1 tasks,
+  // which appear as queued load (with policy-1 zero estimates).
+  EXPECT_EQ(result.projected_completions, 2u);
+  ASSERT_EQ(result.upcoming.size(), 4u);
+  std::uint32_t pinned = 0, queued = 0;
+  for (const UpcomingTask& u : result.upcoming) {
+    if (u.on_slot) {
+      ++pinned;
+      EXPECT_LT(u.task, 2u);  // the observed-running stage-0 tasks
+    } else {
+      ++queued;
+      EXPECT_GE(u.task, 2u);  // the fired stage-1 tasks
+      EXPECT_DOUBLE_EQ(u.remaining_occupancy, 0.0);
+    }
+  }
+  EXPECT_EQ(pinned, 2u);
+  EXPECT_EQ(queued, 2u);
+}
+
+TEST(Lookahead, ReadyQueueBeyondCapacityStaysUpcoming) {
+  const dag::Workflow wf = workload::linear_workflow(1, 6, 500.0);
+  predict::TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf, 100.0);
+  set_completed(snap, 0, 500.0);
+  predictor.observe(snap);
+  for (TaskId t = 1; t < 6; ++t) {
+    snap.tasks[t].phase = TaskPhase::Ready;
+    snap.ready_queue.push_back(t);
+  }
+  snap.instances.push_back(ready_instance(0, 2));  // room for only 2
+
+  const LookaheadResult result =
+      simulate_interval(wf, snap, predictor, test_config());
+  // 2 dispatched (500 s estimates, still running at horizon), 3 queued.
+  EXPECT_EQ(result.upcoming.size(), 5u);
+  EXPECT_EQ(result.projected_completions, 0u);
+  // Dispatched tasks come first with ~400 s remaining; queued ones carry the
+  // full 500 s estimate.
+  EXPECT_NEAR(result.upcoming[0].remaining_occupancy, 400.0, 1.0);
+  EXPECT_NEAR(result.upcoming[4].remaining_occupancy, 500.0, 1.0);
+}
+
+TEST(Lookahead, ProvisioningInstanceJoinsMidInterval) {
+  const dag::Workflow wf = workload::linear_workflow(1, 4, 500.0);
+  predict::TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf, 200.0);
+  set_completed(snap, 0, 500.0);
+  predictor.observe(snap);
+  for (TaskId t = 1; t < 4; ++t) {
+    snap.tasks[t].phase = TaskPhase::Ready;
+    snap.ready_queue.push_back(t);
+  }
+  sim::InstanceObservation booting;
+  booting.id = 7;
+  booting.provisioning = true;
+  booting.ready_at = 250.0;  // inside the horizon (200..300)
+  booting.free_slots = 2;
+  snap.instances.push_back(booting);
+
+  const LookaheadResult result =
+      simulate_interval(wf, snap, predictor, test_config());
+  // Two tasks start at 250 on the booting instance: 450 s remaining at
+  // horizon 300; the third stays queued at 500 s.
+  ASSERT_EQ(result.upcoming.size(), 3u);
+  EXPECT_NEAR(result.upcoming[0].remaining_occupancy, 450.0, 1.0);
+  EXPECT_NEAR(result.upcoming[1].remaining_occupancy, 450.0, 1.0);
+  EXPECT_NEAR(result.upcoming[2].remaining_occupancy, 500.0, 1.0);
+  // Restart costs attribute to the booting instance id.
+  ASSERT_TRUE(result.restart_cost.count(7));
+  EXPECT_NEAR(result.restart_cost.at(7), 50.0, 1.0);
+}
+
+TEST(Lookahead, DrainingInstanceTasksRestartFromScratch) {
+  const dag::Workflow wf = workload::linear_workflow(1, 3, 200.0);
+  predict::TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf, 1000.0);
+  set_completed(snap, 0, 200.0);
+  predictor.observe(snap);
+  set_running(snap, 1, 3, 150.0, 849.5);
+
+  sim::InstanceObservation draining = ready_instance(3, 1);
+  draining.draining = true;
+  draining.running_tasks = {1};
+  snap.instances.push_back(draining);
+  snap.instances.push_back(ready_instance(4, 1));
+
+  const LookaheadResult result =
+      simulate_interval(wf, snap, predictor, test_config());
+  // Task 1 restarts on instance 4 with the FULL 200 s estimate (its 150 s of
+  // progress dies with the drained instance): 100 s remain at the horizon.
+  bool found = false;
+  for (const UpcomingTask& u : result.upcoming) {
+    if (u.task == 1) {
+      found = true;
+      EXPECT_NEAR(u.remaining_occupancy, 100.0, 1.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  // The draining instance never carries restart cost.
+  EXPECT_FALSE(result.restart_cost.count(3));
+}
+
+TEST(Lookahead, NoInstancesMeansEverythingStaysQueued) {
+  const dag::Workflow wf = workload::linear_workflow(1, 3, 50.0);
+  predict::TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf, 0.0);
+  for (TaskId t = 0; t < 3; ++t) {
+    snap.tasks[t].phase = TaskPhase::Ready;
+    snap.ready_queue.push_back(t);
+  }
+  predictor.observe(snap);
+  const LookaheadResult result =
+      simulate_interval(wf, snap, predictor, test_config());
+  EXPECT_EQ(result.upcoming.size(), 3u);
+  EXPECT_EQ(result.projected_completions, 0u);
+  EXPECT_TRUE(result.restart_cost.empty());
+}
+
+}  // namespace
+}  // namespace wire::core

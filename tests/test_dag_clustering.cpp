@@ -1,0 +1,215 @@
+// Tests for horizontal task clustering: structure preservation, work
+// conservation, dependency correctness, and end-to-end equivalence.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "dag/analysis.h"
+#include "dag/clustering.h"
+#include "sim/driver.h"
+#include "util/check.h"
+#include "workload/generators.h"
+#include "workload/pegasus_extra.h"
+#include "workload/profiles.h"
+
+namespace wire::dag {
+namespace {
+
+TEST(Clustering, MergesWideStagesByFactor) {
+  const Workflow wf = workload::linear_workflow(2, 16, 10.0);
+  ClusterOptions options;
+  options.factor = 4;
+  const ClusteredWorkflow c = cluster_horizontal(wf, options);
+  EXPECT_EQ(c.workflow.task_count(), 8u);  // 16/4 per stage, 2 stages
+  EXPECT_EQ(c.workflow.stage_count(), 2u);
+  EXPECT_EQ(c.merged_jobs, 8u);
+  // Work conservation.
+  EXPECT_DOUBLE_EQ(c.workflow.aggregate_ref_exec_seconds(),
+                   wf.aggregate_ref_exec_seconds());
+  // Each clustered job runs 4 x 10 s sequentially.
+  for (const TaskSpec& t : c.workflow.tasks()) {
+    EXPECT_DOUBLE_EQ(t.ref_exec_seconds, 40.0);
+  }
+}
+
+TEST(Clustering, NarrowStagesAreLeftAlone) {
+  const Workflow wf = workload::linear_workflow(3, 4, 10.0);
+  ClusterOptions options;
+  options.factor = 4;
+  options.min_stage_tasks = 8;
+  const ClusteredWorkflow c = cluster_horizontal(wf, options);
+  EXPECT_EQ(c.workflow.task_count(), wf.task_count());
+  EXPECT_EQ(c.merged_jobs, 0u);
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    EXPECT_EQ(c.workflow.task(c.task_mapping[t]).name, wf.task(t).name);
+  }
+}
+
+TEST(Clustering, DependenciesAreMappedThrough) {
+  const Workflow wf = workload::linear_workflow(2, 16, 10.0);
+  const ClusteredWorkflow c = cluster_horizontal(wf, {4, 8});
+  // Stage barrier preserved: every stage-1 cluster depends on every stage-0
+  // cluster (all-to-all mapped through).
+  for (TaskId t : c.workflow.stage_tasks(1)) {
+    EXPECT_EQ(c.workflow.predecessors(t).size(), 4u);
+  }
+  // Mapping is surjective onto the clustered ids.
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    EXPECT_LT(c.task_mapping[t], c.workflow.task_count());
+  }
+}
+
+TEST(Clustering, PartialFinalGroup) {
+  const Workflow wf = workload::linear_workflow(1, 10, 5.0);
+  const ClusteredWorkflow c = cluster_horizontal(wf, {4, 4});
+  // 10 tasks at factor 4 -> groups of 4, 4, 2.
+  EXPECT_EQ(c.workflow.task_count(), 3u);
+  EXPECT_DOUBLE_EQ(c.workflow.task(2).ref_exec_seconds, 10.0);
+}
+
+TEST(Clustering, WorksOnCrossStageEdges) {
+  // Montage has cross-stage edges (mBackground -> {mProject, mBgModel});
+  // layered-stage clustering must still produce a valid DAG with the same
+  // aggregate work.
+  const Workflow wf = workload::montage(64, 7);
+  const ClusteredWorkflow c = cluster_horizontal(wf, {4, 8});
+  EXPECT_LT(c.workflow.task_count(), wf.task_count());
+  EXPECT_NEAR(c.workflow.aggregate_ref_exec_seconds(),
+              wf.aggregate_ref_exec_seconds(), 1e-6);
+  EXPECT_EQ(c.workflow.stage_count(), wf.stage_count());
+}
+
+TEST(Clustering, FactorOneIsIdentityOnStructure) {
+  const Workflow wf = workload::make_workflow(
+      workload::tpch1_profile(workload::Scale::Small), 7);
+  const ClusteredWorkflow c = cluster_horizontal(wf, {1, 1});
+  EXPECT_EQ(c.workflow.task_count(), wf.task_count());
+  EXPECT_EQ(c.merged_jobs, 0u);
+  for (TaskId t = 0; t < wf.task_count(); ++t) {
+    EXPECT_EQ(c.task_mapping[t], t);
+    EXPECT_EQ(c.workflow.predecessors(t).size(),
+              wf.predecessors(t).size());
+  }
+}
+
+TEST(Clustering, InvalidOptionsThrow) {
+  const Workflow wf = workload::linear_workflow(1, 4, 5.0);
+  ClusterOptions options;
+  options.factor = 0;
+  EXPECT_THROW(cluster_horizontal(wf, options), util::ContractViolation);
+}
+
+TEST(Clustering, ClusteredRunCompletesAndLengthensTasks) {
+  // End to end: the clustered genome runs under WIRE; at a long charging
+  // unit the clustered variant wastes no more than the original (longer
+  // tasks fill units better).
+  const Workflow wf = workload::make_workflow(
+      workload::epigenomics_profile(workload::Scale::Small), 7);
+  const ClusteredWorkflow c = cluster_horizontal(wf, {8, 16});
+
+  sim::CloudConfig config;
+  config.lag_seconds = 180.0;
+  config.charging_unit_seconds = 1800.0;
+  config.slots_per_instance = 4;
+  config.max_instances = 12;
+  sim::RunOptions options;
+  options.seed = 3;
+  options.initial_instances = 1;
+
+  core::WireController a;
+  const sim::RunResult plain = sim::simulate(wf, a, config, options);
+  core::WireController b;
+  const sim::RunResult clustered =
+      sim::simulate(c.workflow, b, config, options);
+
+  for (const sim::TaskRuntime& rec : clustered.task_records) {
+    EXPECT_EQ(rec.phase, sim::TaskPhase::Completed);
+  }
+  EXPECT_LE(clustered.cost_units, plain.cost_units * 1.5);
+}
+
+TEST(VerticalClustering, CollapsesPipelineChains) {
+  // Epigenomics: 100 per-chunk filter->sol2sanger->fast2bfq->map chains.
+  const Workflow wf = workload::make_workflow(
+      workload::epigenomics_profile(workload::Scale::Small), 7);
+  const ClusteredWorkflow c = cluster_vertical(wf);
+  // Each 4-task chunk chain becomes one job (100 merges), and the serial
+  // maqIndex->pileup pair is a chain too: 405 - 3*100 - 1 = 104 tasks.
+  EXPECT_EQ(c.workflow.task_count(), 104u);
+  EXPECT_EQ(c.merged_jobs, 101u);
+  // Work conserved.
+  EXPECT_NEAR(c.workflow.aggregate_ref_exec_seconds(),
+              wf.aggregate_ref_exec_seconds(), 1e-6);
+  // The absorbed stages vanished (sol2sanger, fast2bfq, map, pileup).
+  EXPECT_EQ(c.workflow.stage_count(), 4u);
+  // All four chain members map to the same job.
+  const TaskId filter0 = wf.stage_tasks(1)[0];
+  TaskId cursor = filter0;
+  for (int hops = 0; hops < 3; ++hops) {
+    ASSERT_EQ(wf.successors(cursor).size(), 1u);
+    cursor = wf.successors(cursor)[0];
+    EXPECT_EQ(c.task_mapping[cursor], c.task_mapping[filter0]);
+  }
+}
+
+TEST(VerticalClustering, ChainEndpointsKeepIoProfile) {
+  dag::WorkflowBuilder builder("chain");
+  const auto s0 = builder.add_stage("a");
+  const auto s1 = builder.add_stage("b");
+  const auto s2 = builder.add_stage("c");
+  const TaskId a = builder.add_task(s0, "a0", 10.0, 4.0, 5.0, {});
+  const TaskId b = builder.add_task(s1, "b0", 4.0, 2.0, 7.0, {a});
+  builder.add_task(s2, "c0", 2.0, 1.0, 3.0, {b});
+  const Workflow wf = builder.build();
+  const ClusteredWorkflow c = cluster_vertical(wf);
+  ASSERT_EQ(c.workflow.task_count(), 1u);
+  const TaskSpec& job = c.workflow.task(0);
+  EXPECT_DOUBLE_EQ(job.ref_exec_seconds, 15.0);
+  EXPECT_DOUBLE_EQ(job.input_mb, 10.0);  // the head's input
+  EXPECT_DOUBLE_EQ(job.output_mb, 1.0);  // the tail's output
+}
+
+TEST(VerticalClustering, FanInAndFanOutBreakChains) {
+  // Diamond: nothing is a 1:1 chain, so the transform is the identity on
+  // structure.
+  dag::WorkflowBuilder builder("diamond");
+  const auto s0 = builder.add_stage("s0");
+  const auto s1 = builder.add_stage("s1");
+  const auto s2 = builder.add_stage("s2");
+  const TaskId a = builder.add_task(s0, "a", 1, 1, 1.0, {});
+  const TaskId b = builder.add_task(s1, "b", 1, 1, 1.0, {a});
+  const TaskId cc = builder.add_task(s1, "c", 1, 1, 1.0, {a});
+  builder.add_task(s2, "d", 1, 1, 1.0, {b, cc});
+  const ClusteredWorkflow c = cluster_vertical(builder.build());
+  EXPECT_EQ(c.workflow.task_count(), 4u);
+  EXPECT_EQ(c.merged_jobs, 0u);
+}
+
+TEST(VerticalClustering, ChainedWorkflowRunsUnderWire) {
+  const Workflow wf = workload::make_workflow(
+      workload::epigenomics_profile(workload::Scale::Small), 7);
+  const ClusteredWorkflow c = cluster_vertical(wf);
+  core::WireController controller;
+  sim::CloudConfig config;
+  config.lag_seconds = 180.0;
+  config.charging_unit_seconds = 900.0;
+  config.slots_per_instance = 4;
+  config.max_instances = 12;
+  config.dispatch_overhead_seconds = 10.0;
+  sim::RunOptions options;
+  options.seed = 3;
+  options.initial_instances = 1;
+  const sim::RunResult chained =
+      sim::simulate(c.workflow, controller, config, options);
+  for (const sim::TaskRuntime& rec : chained.task_records) {
+    EXPECT_EQ(rec.phase, sim::TaskPhase::Completed);
+  }
+  // With per-dispatch overheads, collapsing 300 dispatches must not slow the
+  // run down.
+  core::WireController plain_controller;
+  const sim::RunResult plain =
+      sim::simulate(wf, plain_controller, config, options);
+  EXPECT_LE(chained.makespan, plain.makespan * 1.10);
+}
+
+}  // namespace
+}  // namespace wire::dag

@@ -1,0 +1,182 @@
+// Tests for the baseline scaling policies (§IV-C settings): static,
+// pure-reactive, and reactive-conserving.
+#include <gtest/gtest.h>
+
+#include "policies/baselines.h"
+#include "sim/driver.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace wire::policies {
+namespace {
+
+sim::CloudConfig exact_cloud(double u, double lag = 60.0,
+                             std::uint32_t slots = 4,
+                             std::uint32_t max_instances = 12) {
+  sim::CloudConfig config;
+  config.lag_seconds = lag;
+  config.charging_unit_seconds = u;
+  config.slots_per_instance = slots;
+  config.max_instances = max_instances;
+  config.variability.instance_speed_sigma = 0.0;
+  config.variability.interference_sigma = 0.0;
+  config.variability.transfer_noise_sigma = 0.0;
+  config.variability.transfer_latency_seconds = 0.0;
+  config.variability.bandwidth_mb_per_s = 1e12;
+  return config;
+}
+
+sim::MonitorSnapshot snapshot_with_instances(std::uint32_t n_ready_tasks,
+                                             std::uint32_t n_instances,
+                                             double r = 500.0) {
+  sim::MonitorSnapshot snap;
+  snap.tasks.assign(n_ready_tasks, sim::TaskObservation{});
+  for (std::uint32_t t = 0; t < n_ready_tasks; ++t) {
+    snap.tasks[t].phase = sim::TaskPhase::Ready;
+    snap.ready_queue.push_back(t);
+  }
+  snap.incomplete_tasks = n_ready_tasks;
+  for (std::uint32_t i = 0; i < n_instances; ++i) {
+    sim::InstanceObservation obs;
+    obs.id = i;
+    obs.time_to_next_charge = r;
+    obs.free_slots = 4;
+    snap.instances.push_back(obs);
+  }
+  return snap;
+}
+
+TEST(StaticPolicy, NamesAndValidation) {
+  EXPECT_EQ(StaticPolicy(3).name(), "static-3");
+  EXPECT_EQ(StaticPolicy(12, "full-site").name(), "full-site");
+  EXPECT_THROW(StaticPolicy(0), util::ContractViolation);
+}
+
+TEST(StaticPolicy, TopsUpBelowTarget) {
+  StaticPolicy policy(4);
+  const auto snap = snapshot_with_instances(8, 2);
+  const sim::PoolCommand cmd = policy.plan(snap);
+  EXPECT_EQ(cmd.grow, 2u);
+  EXPECT_TRUE(cmd.releases.empty());
+}
+
+TEST(StaticPolicy, NeverReleases) {
+  StaticPolicy policy(2);
+  const auto snap = snapshot_with_instances(0, 5);
+  const sim::PoolCommand cmd = policy.plan(snap);
+  EXPECT_EQ(cmd.grow, 0u);
+  EXPECT_TRUE(cmd.releases.empty());
+}
+
+TEST(PureReactive, TargetsCeilOfActiveOverSlots) {
+  PureReactivePolicy policy;
+  const dag::Workflow wf = workload::linear_workflow(1, 9, 10.0);
+  policy.on_run_start(wf, exact_cloud(900.0));
+  const auto snap = snapshot_with_instances(9, 1);
+  // ceil(9/4) = 3 -> grow 2.
+  const sim::PoolCommand cmd = policy.plan(snap);
+  EXPECT_EQ(cmd.grow, 2u);
+}
+
+TEST(PureReactive, ShrinksImmediatelyAndPrefersIdleInstances) {
+  PureReactivePolicy policy;
+  const dag::Workflow wf = workload::linear_workflow(1, 4, 10.0);
+  policy.on_run_start(wf, exact_cloud(900.0));
+  auto snap = snapshot_with_instances(0, 3);
+  snap.incomplete_tasks = 2;
+  // Instance 1 is busy with two running tasks; 0 and 2 idle.
+  snap.tasks.assign(2, sim::TaskObservation{});
+  snap.tasks[0].phase = sim::TaskPhase::Running;
+  snap.tasks[1].phase = sim::TaskPhase::Running;
+  snap.ready_queue.clear();
+  snap.instances[1].running_tasks = {0, 1};
+  snap.instances[1].free_slots = 2;
+  // active = 2 -> target ceil(2/4) = 1, m = 3 -> release 2, idle ones first.
+  const sim::PoolCommand cmd = policy.plan(snap);
+  ASSERT_EQ(cmd.releases.size(), 2u);
+  EXPECT_FALSE(cmd.releases[0].at_charge_boundary);  // immediate
+  EXPECT_EQ(cmd.releases[0].instance, 0u);
+  EXPECT_EQ(cmd.releases[1].instance, 2u);
+}
+
+TEST(PureReactive, KeepsOneInstanceWhileWorkRemains) {
+  PureReactivePolicy policy;
+  const dag::Workflow wf = workload::linear_workflow(2, 1, 10.0);
+  policy.on_run_start(wf, exact_cloud(900.0));
+  auto snap = snapshot_with_instances(0, 1);
+  snap.incomplete_tasks = 1;  // successor stage still pending
+  const sim::PoolCommand cmd = policy.plan(snap);
+  EXPECT_EQ(cmd.grow, 0u);
+  EXPECT_TRUE(cmd.releases.empty());
+}
+
+TEST(ReactiveConserving, ReleasesOnlyAtExpiringBoundaries) {
+  ReactiveConservingPolicy policy;
+  const dag::Workflow wf = workload::linear_workflow(1, 4, 10.0);
+  policy.on_run_start(wf, exact_cloud(900.0, 180.0));
+  auto snap = snapshot_with_instances(0, 3);
+  snap.incomplete_tasks = 1;
+  snap.instances[0].time_to_next_charge = 100.0;  // expires within lag
+  snap.instances[1].time_to_next_charge = 100.0;
+  snap.instances[2].time_to_next_charge = 800.0;  // not yet
+  const sim::PoolCommand cmd = policy.plan(snap);
+  ASSERT_EQ(cmd.releases.size(), 2u);
+  for (const sim::Release& rel : cmd.releases) {
+    EXPECT_TRUE(rel.at_charge_boundary);
+    EXPECT_NE(rel.instance, 2u);
+  }
+}
+
+TEST(ReactiveConserving, SunkCostBlocksRelease) {
+  ReactiveConservingPolicy policy;
+  const dag::Workflow wf = workload::linear_workflow(1, 4, 10.0);
+  policy.on_run_start(wf, exact_cloud(900.0, 180.0));
+  auto snap = snapshot_with_instances(0, 2);
+  snap.incomplete_tasks = 2;
+  snap.tasks.assign(2, sim::TaskObservation{});
+  snap.tasks[0].phase = sim::TaskPhase::Running;
+  snap.tasks[0].elapsed = 400.0;  // > 0.2 * 900
+  snap.tasks[1].phase = sim::TaskPhase::Running;
+  snap.tasks[1].elapsed = 50.0;
+  snap.instances[0].time_to_next_charge = 100.0;
+  snap.instances[0].running_tasks = {0};
+  snap.instances[1].time_to_next_charge = 100.0;
+  snap.instances[1].running_tasks = {1};
+  // target = 1, m = 2: only instance 1 (cheap restart) is releasable.
+  const sim::PoolCommand cmd = policy.plan(snap);
+  ASSERT_EQ(cmd.releases.size(), 1u);
+  EXPECT_EQ(cmd.releases[0].instance, 1u);
+}
+
+TEST(Baselines, EndToEndCostOrderingOnWideWorkload) {
+  // A stage needing ~4 instances: full-site burns 12 instances' units while
+  // the reactive policies provision to demand; every policy completes all
+  // tasks. (The WIRE comparison lives in test_core_controller.)
+  const dag::Workflow wf = workload::linear_workflow(1, 16, 120.0);
+  const sim::CloudConfig config = exact_cloud(900.0, 180.0);
+
+  StaticPolicy full_site(12, "full-site");
+  sim::RunOptions options;
+  options.seed = 5;
+  options.initial_instances = 12;
+  const sim::RunResult rs = sim::simulate(wf, full_site, config, options);
+
+  PureReactivePolicy reactive;
+  options.initial_instances = 1;
+  const sim::RunResult rr = sim::simulate(wf, reactive, config, options);
+
+  ReactiveConservingPolicy conserving;
+  const sim::RunResult rc = sim::simulate(wf, conserving, config, options);
+
+  EXPECT_LE(rs.makespan, rr.makespan);
+  EXPECT_GT(rs.cost_units, rr.cost_units);
+  EXPECT_GT(rs.cost_units, rc.cost_units);
+  for (const sim::RunResult* r : {&rs, &rr, &rc}) {
+    for (const sim::TaskRuntime& rec : r->task_records) {
+      EXPECT_EQ(rec.phase, sim::TaskPhase::Completed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wire::policies

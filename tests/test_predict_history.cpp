@@ -1,0 +1,181 @@
+// Tests for the Jockey-style HistoryEstimator and the across-run
+// variability model it is meant to expose (§II-B, Observation 2).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/controller.h"
+#include "policies/baselines.h"
+#include "predict/history.h"
+#include "sim/driver.h"
+#include "util/check.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace wire::predict {
+namespace {
+
+dag::Workflow make_wf() {
+  dag::WorkflowBuilder builder("hist");
+  const auto s0 = builder.add_stage("s0");
+  builder.add_task(s0, "a", 10.0, 0.0, 20.0, {});
+  builder.add_task(s0, "b", 10.0, 0.0, 22.0, {});
+  builder.add_task(s0, "c", 40.0, 0.0, 80.0, {});
+  return builder.build();
+}
+
+std::vector<HistoryRecord> simple_history() {
+  return {
+      {0, 21.0, 2.0},
+      {1, 23.0, 4.0},
+      {2, 81.0, 6.0},
+  };
+}
+
+sim::MonitorSnapshot blank(const dag::Workflow& wf) {
+  sim::MonitorSnapshot snap;
+  snap.tasks.assign(wf.task_count(), sim::TaskObservation{});
+  snap.incomplete_tasks = static_cast<std::uint32_t>(wf.task_count());
+  return snap;
+}
+
+TEST(History, GroupMedianByInputSize) {
+  const dag::Workflow wf = make_wf();
+  HistoryEstimator history(wf, simple_history());
+  const sim::MonitorSnapshot snap = blank(wf);
+  // Tasks a and b share the 10 MB bucket: median(21, 23) = 22.
+  EXPECT_DOUBLE_EQ(history.estimate_exec(0, snap), 22.0);
+  EXPECT_DOUBLE_EQ(history.estimate_exec(1, snap), 22.0);
+  // Task c has its own bucket.
+  EXPECT_DOUBLE_EQ(history.estimate_exec(2, snap), 81.0);
+  // Transfer estimate = median of the recorded transfers.
+  EXPECT_DOUBLE_EQ(history.transfer_estimate(), 4.0);
+}
+
+TEST(History, NeverLearnsFromTheCurrentRun) {
+  const dag::Workflow wf = make_wf();
+  HistoryEstimator history(wf, simple_history());
+  sim::MonitorSnapshot snap = blank(wf);
+  snap.tasks[0].phase = sim::TaskPhase::Completed;
+  snap.tasks[0].exec_time = 500.0;  // wildly different current run
+  history.observe(snap);
+  EXPECT_DOUBLE_EQ(history.estimate_exec(1, snap), 22.0);  // unchanged
+}
+
+TEST(History, RemainingOccupancyMirrorsOnlineSemantics) {
+  const dag::Workflow wf = make_wf();
+  HistoryEstimator history(wf, simple_history());
+  sim::MonitorSnapshot snap = blank(wf);
+  snap.tasks[0].phase = sim::TaskPhase::Ready;
+  EXPECT_DOUBLE_EQ(history.predict_remaining_occupancy(0, snap), 4.0 + 22.0);
+  snap.tasks[0].phase = sim::TaskPhase::Running;
+  snap.tasks[0].transfer_in_time = 2.0;
+  snap.tasks[0].elapsed_exec = 5.0;
+  EXPECT_DOUBLE_EQ(history.predict_remaining_occupancy(0, snap), 17.0);
+}
+
+TEST(History, RejectsBadRecords) {
+  const dag::Workflow wf = make_wf();
+  EXPECT_THROW(HistoryEstimator(wf, {}), util::ContractViolation);
+  EXPECT_THROW(HistoryEstimator(wf, {{99, 5.0, 0.0}}),
+               util::ContractViolation);
+  EXPECT_THROW(HistoryEstimator(wf, {{0, -5.0, 0.0}}),
+               util::ContractViolation);
+}
+
+TEST(History, HistoryFromRecordsRequiresCompletedRun) {
+  std::vector<sim::TaskRuntime> records(1);
+  records[0].phase = sim::TaskPhase::Running;
+  EXPECT_THROW(history_from_records(records), util::ContractViolation);
+}
+
+TEST(History, RunFactorShiftsHistoryButNotOnlineAccuracy) {
+  // Two runs of the same workflow under very different run-level speed
+  // factors: history built from run A mispredicts run B by roughly the
+  // factor ratio, while within-run (online-style) statistics stay accurate.
+  const dag::Workflow wf = workload::make_workflow(
+      workload::tpch6_profile(workload::Scale::Large), 7);
+  sim::CloudConfig config;
+  config.lag_seconds = 180.0;
+  config.charging_unit_seconds = 900.0;
+  config.variability.run_speed_sigma = 0.5;  // strong across-run variability
+
+  policies::StaticPolicy full_site(12, "full-site");
+  sim::RunOptions options;
+  options.initial_instances = 12;
+
+  options.seed = 1;
+  const sim::RunResult run_a = sim::simulate(wf, full_site, config, options);
+  options.seed = 2;
+  const sim::RunResult run_b = sim::simulate(wf, full_site, config, options);
+
+  // Median ratio of run B's times to run A's: the run factors differ.
+  std::vector<double> ratios;
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) {
+    ratios.push_back(run_b.task_records[t].exec_time /
+                     run_a.task_records[t].exec_time);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double run_ratio = ratios[ratios.size() / 2];
+  ASSERT_GT(std::abs(std::log(run_ratio)), 0.05)
+      << "seeds produced nearly identical run factors; pick new seeds";
+
+  // History from run A, evaluated on run B.
+  HistoryEstimator history(wf, history_from_records(run_a.task_records));
+  const sim::MonitorSnapshot snap = blank(wf);
+  std::vector<double> history_err;
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) {
+    const double actual = run_b.task_records[t].exec_time;
+    history_err.push_back(
+        std::abs(history.estimate_exec(t, snap) - actual) / actual);
+  }
+  std::sort(history_err.begin(), history_err.end());
+  const double history_median = history_err[history_err.size() / 2];
+  // The misprediction is on the order of the run-factor gap.
+  EXPECT_GT(history_median, 0.5 * std::abs(run_ratio - 1.0));
+
+  // Within run B, same-bucket peers predict each other tightly (what the
+  // online policies exploit): group medians of run B vs run B's tasks.
+  HistoryEstimator self(wf, history_from_records(run_b.task_records));
+  std::vector<double> self_err;
+  for (dag::TaskId t = 0; t < wf.task_count(); ++t) {
+    const double actual = run_b.task_records[t].exec_time;
+    self_err.push_back(std::abs(self.estimate_exec(t, snap) - actual) /
+                       actual);
+  }
+  std::sort(self_err.begin(), self_err.end());
+  EXPECT_LT(self_err[self_err.size() / 2], history_median);
+}
+
+TEST(History, ControllerRunsWithHistoryEstimator) {
+  const dag::Workflow wf = workload::make_workflow(
+      workload::tpch6_profile(workload::Scale::Small), 7);
+  sim::CloudConfig config;
+  config.lag_seconds = 60.0;
+  config.charging_unit_seconds = 300.0;
+
+  policies::StaticPolicy full_site(12, "full-site");
+  sim::RunOptions options;
+  options.seed = 5;
+  options.initial_instances = 12;
+  const sim::RunResult prior = sim::simulate(wf, full_site, config, options);
+
+  core::WireOptions wire_options;
+  wire_options.history =
+      std::make_shared<const std::vector<HistoryRecord>>(
+          history_from_records(prior.task_records));
+  core::WireController controller(wire_options);
+  EXPECT_EQ(controller.name(), "wire-history");
+
+  options.seed = 6;
+  options.initial_instances = 1;
+  const sim::RunResult r = sim::simulate(wf, controller, config, options);
+  for (const sim::TaskRuntime& rec : r.task_records) {
+    EXPECT_EQ(rec.phase, sim::TaskPhase::Completed);
+  }
+  EXPECT_THROW(controller.predictor(), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace wire::predict

@@ -1,0 +1,113 @@
+// Tests for the online gradient descent model (paper Algorithm 1 / Eq. 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predict/ogd.h"
+
+namespace wire::predict {
+namespace {
+
+std::vector<TrainingPoint> linear_points(double a0, double a1,
+                                         std::initializer_list<double> ds) {
+  std::vector<TrainingPoint> out;
+  for (double d : ds) out.push_back({d, a0 + a1 * d});
+  return out;
+}
+
+TEST(OgdModel, StartsAtZeroCoefficients) {
+  OgdModel model;
+  EXPECT_DOUBLE_EQ(model.alpha0(), 0.0);
+  EXPECT_DOUBLE_EQ(model.alpha1(), 0.0);
+  EXPECT_DOUBLE_EQ(model.predict(42.0), 0.0);
+  EXPECT_EQ(model.epochs(), 0u);
+}
+
+TEST(OgdModel, EmptyUpdateIsANoOp) {
+  OgdModel model;
+  model.update({});
+  EXPECT_EQ(model.epochs(), 0u);
+  EXPECT_DOUBLE_EQ(model.predict(10.0), 0.0);
+}
+
+TEST(OgdModel, ConvergesToLinearRelation) {
+  // Repeated epochs over the same training set converge to the generating
+  // line (this is the n-th MAPE iteration refining the stage model).
+  OgdModel model;
+  const auto points = linear_points(2.0, 0.5, {1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int i = 0; i < 500; ++i) model.update(points);
+  EXPECT_NEAR(model.predict(6.0), 5.0, 0.15);
+  EXPECT_NEAR(model.predict(12.0), 8.0, 0.15);
+  EXPECT_NEAR(model.alpha0(), 2.0, 0.4);
+  EXPECT_NEAR(model.alpha1(), 0.5, 0.05);
+}
+
+TEST(OgdModel, OneEpochMovesTowardTheData) {
+  OgdModel model;
+  const auto points = linear_points(0.0, 1.0, {1.0, 2.0, 3.0});
+  model.update(points);
+  EXPECT_EQ(model.epochs(), 1u);
+  // One step from zero with a positive target must produce a positive
+  // prediction below the target (lr = 0.1 undershoots).
+  const double p = model.predict(2.0);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 2.0);
+}
+
+TEST(OgdModel, StableWithLargeRawFeatures) {
+  // Raw Algorithm 1 diverges when d ~ hundreds of MB; the normalized-space
+  // implementation must stay bounded and converge.
+  OgdModel model;
+  const auto points =
+      linear_points(5.0, 0.05, {100.0, 250.0, 400.0, 800.0});
+  for (int i = 0; i < 1000; ++i) model.update(points);
+  EXPECT_NEAR(model.predict(500.0), 30.0, 1.5);
+  EXPECT_TRUE(std::isfinite(model.alpha0()));
+  EXPECT_TRUE(std::isfinite(model.alpha1()));
+}
+
+TEST(OgdModel, PredictionsClampedAtZero) {
+  // A steep negative-intercept fit must not predict negative durations.
+  OgdModel model;
+  const auto points = linear_points(-10.0, 2.0, {6.0, 8.0, 10.0});
+  for (int i = 0; i < 500; ++i) model.update(points);
+  EXPECT_DOUBLE_EQ(model.predict(0.0), std::max(0.0, model.predict(0.0)));
+  EXPECT_GE(model.predict(1.0), 0.0);
+}
+
+TEST(OgdModel, IncrementalRefinementAcrossGrowingTrainingSets) {
+  // MAPE reality: the training set grows as tasks complete; the model keeps
+  // its coefficients between iterations and keeps improving.
+  OgdModel model;
+  std::vector<TrainingPoint> points;
+  double err_early = 0.0, err_late = 0.0;
+  for (int n = 1; n <= 60; ++n) {
+    const double d = static_cast<double>(n % 12 + 1);
+    points.push_back({d, 3.0 + 0.8 * d});
+    model.update(points);
+    const double err = std::abs(model.predict(6.0) - (3.0 + 0.8 * 6.0));
+    if (n == 5) err_early = err;
+    if (n == 60) err_late = err;
+  }
+  EXPECT_LT(err_late, err_early);
+  EXPECT_NEAR(model.predict(6.0), 7.8, 1.0);
+}
+
+TEST(OgdModel, ConstantTargetsFitIntercept) {
+  OgdModel model;
+  const auto points = linear_points(7.0, 0.0, {1.0, 5.0, 9.0});
+  for (int i = 0; i < 800; ++i) model.update(points);
+  EXPECT_NEAR(model.predict(3.0), 7.0, 0.2);
+  EXPECT_NEAR(model.alpha1(), 0.0, 0.1);
+}
+
+TEST(OgdModel, LearningRateControlsStepSize) {
+  OgdModel slow(0.01), fast(0.1);
+  const auto points = linear_points(0.0, 1.0, {1.0, 2.0, 3.0});
+  slow.update(points);
+  fast.update(points);
+  EXPECT_LT(slow.predict(2.0), fast.predict(2.0));
+}
+
+}  // namespace
+}  // namespace wire::predict

@@ -1,0 +1,127 @@
+// Tests for the clairvoyant OracleEstimator and its use in the controller.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "predict/oracle.h"
+#include "sim/driver.h"
+#include "util/check.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace wire::predict {
+namespace {
+
+dag::Workflow make_wf() {
+  dag::WorkflowBuilder builder("oracle");
+  const auto s0 = builder.add_stage("s0");
+  builder.add_task(s0, "a", 100.0, 50.0, 40.0, {});
+  builder.add_task(s0, "b", 0.0, 0.0, 25.0, {});
+  return builder.build();
+}
+
+sim::MonitorSnapshot blank(const dag::Workflow& wf) {
+  sim::MonitorSnapshot snap;
+  snap.tasks.assign(wf.task_count(), sim::TaskObservation{});
+  snap.incomplete_tasks = static_cast<std::uint32_t>(wf.task_count());
+  return snap;
+}
+
+TEST(Oracle, ExecEstimateIsReferenceTime) {
+  const dag::Workflow wf = make_wf();
+  OracleEstimator oracle(wf, 0.5, 100.0);
+  const sim::MonitorSnapshot snap = blank(wf);
+  EXPECT_DOUBLE_EQ(oracle.estimate_exec(0, snap), 40.0);
+  EXPECT_DOUBLE_EQ(oracle.estimate_exec(1, snap), 25.0);
+}
+
+TEST(Oracle, RemainingOccupancyIncludesNominalTransfers) {
+  const dag::Workflow wf = make_wf();
+  OracleEstimator oracle(wf, 0.5, 100.0);
+  sim::MonitorSnapshot snap = blank(wf);
+  // Unstarted task a: in (0.5 + 1.0) + exec 40 + out (0.5 + 0.5) = 42.5.
+  snap.tasks[0].phase = sim::TaskPhase::Ready;
+  EXPECT_DOUBLE_EQ(oracle.predict_remaining_occupancy(0, snap), 42.5);
+  // Zero-payload task b: just the execution time.
+  snap.tasks[1].phase = sim::TaskPhase::Ready;
+  EXPECT_DOUBLE_EQ(oracle.predict_remaining_occupancy(1, snap), 25.0);
+}
+
+TEST(Oracle, RunningTaskSubtractsElapsedExec) {
+  const dag::Workflow wf = make_wf();
+  OracleEstimator oracle(wf, 0.5, 100.0);
+  sim::MonitorSnapshot snap = blank(wf);
+  snap.tasks[0].phase = sim::TaskPhase::Running;
+  snap.tasks[0].transfer_in_time = 1.5;
+  snap.tasks[0].elapsed_exec = 10.0;
+  // Remaining exec 30 + nominal output transfer 1.0.
+  EXPECT_DOUBLE_EQ(oracle.predict_remaining_occupancy(0, snap), 31.0);
+  snap.tasks[0].phase = sim::TaskPhase::Completed;
+  EXPECT_DOUBLE_EQ(oracle.predict_remaining_occupancy(0, snap), 0.0);
+}
+
+TEST(Oracle, ObserveIsAStatelessNoOp) {
+  const dag::Workflow wf = make_wf();
+  OracleEstimator oracle(wf, 0.5, 100.0);
+  sim::MonitorSnapshot snap = blank(wf);
+  const double before = oracle.estimate_exec(0, snap);
+  snap.tasks[1].phase = sim::TaskPhase::Completed;
+  snap.tasks[1].exec_time = 999.0;
+  oracle.observe(snap);
+  EXPECT_DOUBLE_EQ(oracle.estimate_exec(0, snap), before);
+  EXPECT_LT(oracle.state_bytes(), 256u);
+}
+
+TEST(Oracle, ControllerRunsWithOracleEstimator) {
+  const dag::Workflow wf = workload::make_workflow(
+      workload::tpch6_profile(workload::Scale::Small), 7);
+  core::WireOptions options;
+  options.oracle_estimator = true;
+  core::WireController controller(options);
+  EXPECT_EQ(controller.name(), "wire-oracle");
+
+  sim::CloudConfig config;
+  config.lag_seconds = 60.0;
+  config.charging_unit_seconds = 300.0;
+  sim::RunOptions run_options;
+  run_options.initial_instances = 1;
+  const sim::RunResult r = sim::simulate(wf, controller, config, run_options);
+  for (const sim::TaskRuntime& rec : r.task_records) {
+    EXPECT_EQ(rec.phase, sim::TaskPhase::Completed);
+  }
+  // The online-predictor accessor must refuse under the oracle...
+  EXPECT_THROW(controller.predictor(), util::ContractViolation);
+  // ...but the generic estimator is available.
+  EXPECT_NO_THROW(controller.estimator());
+}
+
+TEST(Oracle, OracleIsNoSlowerThanOnlineWire) {
+  // With perfect information the controller can only provision earlier, so
+  // its makespan must not exceed the online controller's (same seed).
+  const dag::Workflow wf =
+      workload::make_workflow(workload::tpch1_profile(workload::Scale::Large),
+                              7);
+  sim::CloudConfig config;
+  config.lag_seconds = 180.0;
+  config.charging_unit_seconds = 60.0;
+  config.slots_per_instance = 4;
+  config.max_instances = 12;
+
+  sim::RunOptions run_options;
+  run_options.seed = 21;
+  run_options.initial_instances = 1;
+
+  core::WireController online;
+  const sim::RunResult r_online =
+      sim::simulate(wf, online, config, run_options);
+
+  core::WireOptions opts;
+  opts.oracle_estimator = true;
+  core::WireController oracle(opts);
+  const sim::RunResult r_oracle =
+      sim::simulate(wf, oracle, config, run_options);
+
+  EXPECT_LE(r_oracle.makespan, r_online.makespan * 1.05);
+}
+
+}  // namespace
+}  // namespace wire::predict

@@ -1,0 +1,263 @@
+// Tests for the TaskPredictor: the five online prediction policies of
+// §III-C, the transfer-time median, moving estimates across MAPE iterations,
+// and the ablation knobs.
+#include <gtest/gtest.h>
+
+#include "dag/workflow.h"
+#include "predict/task_predictor.h"
+#include "sim/monitor.h"
+#include "util/check.h"
+
+namespace wire::predict {
+namespace {
+
+using dag::TaskId;
+using sim::TaskPhase;
+
+/// One 6-task stage plus a dependent 2-task stage.
+dag::Workflow make_two_stage() {
+  dag::WorkflowBuilder builder("pred");
+  const auto s0 = builder.add_stage("wide");
+  const auto s1 = builder.add_stage("tail");
+  std::vector<TaskId> firsts;
+  const double sizes[6] = {10.0, 10.0, 20.0, 20.0, 40.0, 80.0};
+  for (int i = 0; i < 6; ++i) {
+    firsts.push_back(builder.add_task(s0, "w" + std::to_string(i), sizes[i],
+                                      1.0, 5.0, {}));
+  }
+  builder.add_task(s1, "t0", 5.0, 1.0, 3.0, firsts);
+  builder.add_task(s1, "t1", 5.0, 1.0, 3.0, firsts);
+  return builder.build();
+}
+
+sim::MonitorSnapshot blank_snapshot(const dag::Workflow& wf) {
+  sim::MonitorSnapshot snap;
+  snap.tasks.assign(wf.task_count(), sim::TaskObservation{});
+  for (const dag::TaskSpec& t : wf.tasks()) {
+    snap.tasks[t.id].input_mb = t.input_mb;
+  }
+  snap.incomplete_tasks = static_cast<std::uint32_t>(wf.task_count());
+  return snap;
+}
+
+void complete(sim::MonitorSnapshot& snap, TaskId t, double exec,
+              double transfer = 0.0) {
+  snap.tasks[t].phase = TaskPhase::Completed;
+  snap.tasks[t].exec_time = exec;
+  snap.tasks[t].transfer_time = transfer;
+}
+
+/// Marks `t` running with the given execution progress; the task fired
+/// (became ready) `elapsed_exec` before snap.now, so its policy-2 run time
+/// equals its execution progress.
+void run(sim::MonitorSnapshot& snap, TaskId t, double elapsed_exec) {
+  snap.tasks[t].phase = TaskPhase::Running;
+  snap.tasks[t].elapsed = elapsed_exec + 1.0;
+  snap.tasks[t].elapsed_exec = elapsed_exec;
+  snap.tasks[t].transfer_in_time = 1.0;
+  snap.tasks[t].ready_since = snap.now - elapsed_exec;
+  snap.tasks[t].occupancy_start = snap.now - elapsed_exec - 1.0;
+}
+
+TEST(Policies, Policy1NothingStartedPredictsZero) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  predictor.observe(snap);
+  const Prediction p = predictor.predict_exec(0, snap);
+  EXPECT_EQ(p.policy, Policy::NoneStarted);
+  EXPECT_DOUBLE_EQ(p.exec_seconds, 0.0);
+}
+
+TEST(Policies, Policy2MedianOfRunningElapsed) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  snap.now = 100.0;
+  run(snap, 0, 4.0);
+  run(snap, 1, 8.0);
+  run(snap, 2, 20.0);
+  predictor.observe(snap);
+  const Prediction p = predictor.predict_exec(3, snap);
+  EXPECT_EQ(p.policy, Policy::RunningOnly);
+  EXPECT_DOUBLE_EQ(p.exec_seconds, 8.0);
+}
+
+TEST(Policies, Policy3PendingTaskGetsStageMedian) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  complete(snap, 0, 4.0);
+  complete(snap, 1, 6.0);
+  complete(snap, 2, 10.0);
+  predictor.observe(snap);
+  // Task 3 still Pending (not ready): policy 3.
+  const Prediction p = predictor.predict_exec(3, snap);
+  EXPECT_EQ(p.policy, Policy::CompletedNotReady);
+  EXPECT_DOUBLE_EQ(p.exec_seconds, 6.0);
+}
+
+TEST(Policies, Policy4EquivalentInputSizeUsesGroupMedian) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  // Tasks 0 and 2 complete; task 1 shares task 0's input size (10 MB).
+  complete(snap, 0, 4.0);
+  complete(snap, 2, 11.0);
+  predictor.observe(snap);
+  snap.tasks[1].phase = TaskPhase::Ready;
+  const Prediction p = predictor.predict_exec(1, snap);
+  EXPECT_EQ(p.policy, Policy::CompletedKnownSize);
+  EXPECT_DOUBLE_EQ(p.exec_seconds, 4.0);  // group {task0} median
+  // Task 3 (20 MB) matches task 2's group.
+  snap.tasks[3].phase = TaskPhase::Ready;
+  const Prediction q = predictor.predict_exec(3, snap);
+  EXPECT_EQ(q.policy, Policy::CompletedKnownSize);
+  EXPECT_DOUBLE_EQ(q.exec_seconds, 11.0);
+}
+
+TEST(Policies, Policy5NewInputSizeUsesOgd) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  complete(snap, 0, 4.0);   // 10 MB
+  complete(snap, 2, 8.0);   // 20 MB
+  predictor.observe(snap);
+  // Task 4 (40 MB) has an unseen size: OGD fires.
+  snap.tasks[4].phase = TaskPhase::Ready;
+  const Prediction p = predictor.predict_exec(4, snap);
+  EXPECT_EQ(p.policy, Policy::CompletedNewSize);
+  EXPECT_GE(p.exec_seconds, 0.0);
+}
+
+TEST(Policies, Policy5ConvergesOverIterations) {
+  // Linear ground truth exec = 0.4 * input: after many completions across
+  // iterations the OGD estimate for an unseen size approaches the line.
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  const TaskId order[] = {0, 1, 2, 3, 4};
+  for (TaskId t : order) {
+    // One completion per MAPE iteration; each observe() runs one OGD epoch.
+    complete(snap, t, 0.4 * wf.task(t).input_mb);
+    predictor.observe(snap);
+  }
+  snap.tasks[5].phase = TaskPhase::Ready;  // 80 MB, unseen
+  const Prediction p = predictor.predict_exec(5, snap);
+  EXPECT_EQ(p.policy, Policy::CompletedNewSize);
+  // Five one-step epochs cannot fully converge, but the estimate must be
+  // well off zero, scale with the input, and not wildly overshoot.
+  EXPECT_GT(p.exec_seconds, 0.25 * 0.4 * 80.0);
+  EXPECT_LT(p.exec_seconds, 1.5 * 0.4 * 80.0);
+  EXPECT_GT(p.exec_seconds,
+            predictor.predict_exec(4, snap).exec_seconds);  // 40 MB peer
+}
+
+TEST(Policies, CompletedTaskReturnsRecordedTime) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  complete(snap, 0, 4.5);
+  predictor.observe(snap);
+  EXPECT_DOUBLE_EQ(predictor.predict_exec(0, snap).exec_seconds, 4.5);
+}
+
+TEST(Policies, TransferMedianTracksMostRecentInterval) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  EXPECT_DOUBLE_EQ(predictor.transfer_estimate(), 0.0);
+
+  complete(snap, 0, 4.0, 2.0);
+  complete(snap, 1, 4.0, 6.0);
+  predictor.observe(snap);
+  EXPECT_DOUBLE_EQ(predictor.transfer_estimate(), 4.0);
+
+  // Next interval: one new transfer dominates the estimate (memoryless).
+  complete(snap, 2, 4.0, 10.0);
+  predictor.observe(snap);
+  EXPECT_DOUBLE_EQ(predictor.transfer_estimate(), 10.0);
+
+  // Empty interval: the estimate persists.
+  predictor.observe(snap);
+  EXPECT_DOUBLE_EQ(predictor.transfer_estimate(), 10.0);
+}
+
+TEST(Policies, RemainingOccupancySubtractsElapsed) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  complete(snap, 0, 10.0);  // 10 MB -> group for task 1
+  predictor.observe(snap);
+  run(snap, 1, 4.0);  // running, 4 s of exec elapsed, same input size
+  EXPECT_DOUBLE_EQ(predictor.predict_remaining_occupancy(1, snap), 6.0);
+  // Underestimates floor at zero ("about to complete").
+  run(snap, 1, 15.0);
+  EXPECT_DOUBLE_EQ(predictor.predict_remaining_occupancy(1, snap), 0.0);
+}
+
+TEST(Policies, RemainingOccupancyAddsTransferForUnstartedTasks) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  complete(snap, 0, 10.0, 3.0);
+  predictor.observe(snap);
+  snap.tasks[1].phase = TaskPhase::Ready;
+  EXPECT_DOUBLE_EQ(predictor.predict_remaining_occupancy(1, snap),
+                   3.0 + 10.0);
+  EXPECT_DOUBLE_EQ(predictor.predict_remaining_occupancy(0, snap), 0.0);
+}
+
+TEST(Policies, MeanAblationChangesSkewedEstimates) {
+  const dag::Workflow wf = make_two_stage();
+  PredictorConfig median_cfg;
+  PredictorConfig mean_cfg;
+  mean_cfg.use_mean = true;
+  TaskPredictor med(wf, median_cfg), avg(wf, mean_cfg);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  complete(snap, 0, 1.0);
+  complete(snap, 1, 2.0);
+  complete(snap, 2, 30.0);  // heavy tail
+  med.observe(snap);
+  avg.observe(snap);
+  const Prediction pm = med.predict_exec(3, snap);
+  const Prediction pa = avg.predict_exec(3, snap);
+  EXPECT_DOUBLE_EQ(pm.exec_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(pa.exec_seconds, 11.0);
+}
+
+TEST(Policies, DisableOgdFallsBackToStageMedian) {
+  const dag::Workflow wf = make_two_stage();
+  PredictorConfig cfg;
+  cfg.disable_ogd = true;
+  TaskPredictor predictor(wf, cfg);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  complete(snap, 0, 4.0);
+  complete(snap, 2, 8.0);
+  predictor.observe(snap);
+  snap.tasks[4].phase = TaskPhase::Ready;  // unseen size
+  const Prediction p = predictor.predict_exec(4, snap);
+  EXPECT_EQ(p.policy, Policy::CompletedNotReady);
+  EXPECT_DOUBLE_EQ(p.exec_seconds, 6.0);
+}
+
+TEST(Policies, StateFootprintIsSmall) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap = blank_snapshot(wf);
+  for (TaskId t = 0; t < 6; ++t) complete(snap, t, 5.0);
+  predictor.observe(snap);
+  // §IV-F reports <= 16 KB for real runs; this toy stage must be far below.
+  EXPECT_LT(predictor.state_bytes(), 16u * 1024u);
+}
+
+TEST(Policies, MismatchedSnapshotThrows) {
+  const dag::Workflow wf = make_two_stage();
+  TaskPredictor predictor(wf);
+  sim::MonitorSnapshot snap;
+  snap.tasks.resize(2);
+  EXPECT_THROW(predictor.observe(snap), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace wire::predict

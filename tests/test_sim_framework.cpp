@@ -1,0 +1,221 @@
+// Tests for the framework master: ready-queue discipline (FIFO with the
+// first-five-per-stage priority rule), task lifecycle transitions, slot
+// bookkeeping, resubmission, and monitoring observations.
+#include <gtest/gtest.h>
+
+#include "dag/workflow.h"
+#include "sim/framework.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace wire::sim {
+namespace {
+
+using dag::TaskId;
+
+/// Chain a -> b plus an independent root c.
+dag::Workflow make_small() {
+  dag::WorkflowBuilder builder("small");
+  const auto s0 = builder.add_stage("roots");
+  const auto s1 = builder.add_stage("next");
+  const TaskId a = builder.add_task(s0, "a", 1.0, 1.0, 5.0, {});
+  builder.add_task(s1, "b", 1.0, 1.0, 5.0, {a});
+  builder.add_task(s0, "c", 1.0, 1.0, 5.0, {});
+  return builder.build();
+}
+
+TEST(FrameworkMaster, RootsStartReady) {
+  const dag::Workflow wf = make_small();
+  FrameworkMaster fm(wf);
+  EXPECT_EQ(fm.ready_count(), 2u);
+  EXPECT_EQ(fm.runtime(0).phase, TaskPhase::Ready);
+  EXPECT_EQ(fm.runtime(1).phase, TaskPhase::Pending);
+  EXPECT_EQ(fm.runtime(2).phase, TaskPhase::Ready);
+}
+
+TEST(FrameworkMaster, LifecycleTransitions) {
+  const dag::Workflow wf = make_small();
+  FrameworkMaster fm(wf);
+  fm.register_instance(0, 4);
+  const TaskId t = fm.pop_ready();
+  EXPECT_EQ(t, 0u);
+
+  fm.on_dispatch(t, 0, 0, 10.0);
+  EXPECT_EQ(fm.runtime(t).phase, TaskPhase::Running);
+  EXPECT_EQ(fm.free_slots(0), 3u);
+  EXPECT_EQ(fm.runtime(t).attempts, 1u);
+
+  fm.on_transfer_in_done(t, 12.0);
+  EXPECT_DOUBLE_EQ(fm.runtime(t).transfer_in_time, 2.0);
+
+  fm.on_exec_done(t, 17.0);
+  EXPECT_DOUBLE_EQ(fm.runtime(t).exec_time, 5.0);
+
+  const auto newly = fm.on_complete(t, 18.0);
+  EXPECT_EQ(fm.runtime(t).phase, TaskPhase::Completed);
+  EXPECT_DOUBLE_EQ(fm.runtime(t).transfer_out_time, 1.0);
+  ASSERT_EQ(newly.size(), 1u);
+  EXPECT_EQ(newly[0], 1u);  // b became ready
+  EXPECT_EQ(fm.free_slots(0), 4u);
+  EXPECT_DOUBLE_EQ(fm.busy_slot_seconds(), 8.0);
+}
+
+TEST(FrameworkMaster, AllCompleteAfterEveryTask) {
+  const dag::Workflow wf = make_small();
+  FrameworkMaster fm(wf);
+  fm.register_instance(0, 4);
+  double now = 0.0;
+  while (!fm.all_complete()) {
+    ASSERT_TRUE(fm.has_ready());
+    const TaskId t = fm.pop_ready();
+    const std::uint32_t slot = fm.take_free_slot(0);
+    fm.on_dispatch(t, 0, slot, now);
+    fm.on_transfer_in_done(t, now + 1.0);
+    fm.on_exec_done(t, now + 6.0);
+    fm.on_complete(t, now + 7.0);
+    now += 10.0;
+  }
+  EXPECT_EQ(fm.completed_count(), 3u);
+}
+
+TEST(FrameworkMaster, ResubmissionRestartsTasks) {
+  const dag::Workflow wf = make_small();
+  FrameworkMaster fm(wf);
+  fm.register_instance(0, 4);
+  const TaskId t = fm.pop_ready();
+  fm.on_dispatch(t, 0, 0, 0.0);
+  fm.on_transfer_in_done(t, 1.0);
+
+  const auto killed = fm.resubmit_tasks_on(0, 4.0);
+  ASSERT_EQ(killed.size(), 1u);
+  EXPECT_EQ(killed[0], t);
+  EXPECT_EQ(fm.runtime(t).phase, TaskPhase::Ready);
+  EXPECT_EQ(fm.total_restarts(), 1u);
+  EXPECT_DOUBLE_EQ(fm.wasted_slot_seconds(), 4.0);
+  EXPECT_EQ(fm.free_slots(0), 4u);
+
+  // FIFO by ready time: the untouched root "c" (ready at 0) now precedes the
+  // resubmitted task (re-enqueued at 4.0).
+  EXPECT_EQ(fm.pop_ready(), 2u);
+  const TaskId again = fm.pop_ready();
+  EXPECT_EQ(again, t);
+  fm.on_dispatch(again, 0, 0, 10.0);
+  EXPECT_EQ(fm.runtime(again).attempts, 2u);
+  fm.on_transfer_in_done(again, 11.0);
+  fm.on_exec_done(again, 16.0);
+  fm.on_complete(again, 17.0);
+  EXPECT_EQ(fm.runtime(again).phase, TaskPhase::Completed);
+}
+
+TEST(FrameworkMaster, FirstFivePerStageJumpTheQueue) {
+  // One wide stage whose tasks become ready at t=0 (roots), then a second
+  // wide stage. The first five ready tasks of EACH stage get priority.
+  const dag::Workflow wf = workload::linear_workflow(1, 12, 5.0, "wide");
+  FrameworkMaster fm(wf);
+  // All 12 are ready at time 0; the first five (by id) were promoted.
+  int promoted = 0;
+  for (TaskId t = 0; t < 12; ++t) {
+    if (fm.runtime(t).high_priority) ++promoted;
+  }
+  EXPECT_EQ(promoted, 5);
+  // Priority tasks pop first.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(fm.runtime(fm.pop_ready()).high_priority);
+  }
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(fm.runtime(fm.pop_ready()).high_priority);
+  }
+}
+
+TEST(FrameworkMaster, PriorityBudgetIsPerStage) {
+  // Two stages of 8: each stage gets its own 5 promotions.
+  dag::WorkflowBuilder builder("two-stage");
+  const auto s0 = builder.add_stage("s0");
+  const auto s1 = builder.add_stage("s1");
+  std::vector<TaskId> firsts;
+  for (int i = 0; i < 8; ++i) {
+    firsts.push_back(
+        builder.add_task(s0, "a" + std::to_string(i), 1, 1, 1, {}));
+  }
+  for (int i = 0; i < 8; ++i) {
+    builder.add_task(s1, "b" + std::to_string(i), 1, 1, 1, firsts);
+  }
+  const dag::Workflow wf = builder.build();
+  FrameworkMaster fm(wf);
+  fm.register_instance(0, 16);
+
+  // Complete stage 0 entirely.
+  while (fm.has_ready()) {
+    const TaskId t = fm.pop_ready();
+    const std::uint32_t slot = fm.take_free_slot(0);
+    fm.on_dispatch(t, 0, slot, 0.0);
+    fm.on_transfer_in_done(t, 1.0);
+    fm.on_exec_done(t, 2.0);
+    if (t < 8) fm.on_complete(t, 3.0);
+  }
+  // Stage-1 tasks became ready when the last stage-0 task completed; exactly
+  // five of them were promoted.
+  int promoted = 0;
+  for (TaskId t = 8; t < 16; ++t) {
+    if (fm.runtime(t).high_priority) ++promoted;
+  }
+  EXPECT_EQ(promoted, 5);
+}
+
+TEST(FrameworkMaster, ResubmittedPriorityTaskKeepsPriorityWithoutDoubleCount) {
+  const dag::Workflow wf = workload::linear_workflow(1, 12, 5.0, "wide");
+  FrameworkMaster fm(wf);
+  fm.register_instance(0, 12);
+  const TaskId t = fm.pop_ready();
+  ASSERT_TRUE(fm.runtime(t).high_priority);
+  fm.on_dispatch(t, 0, fm.take_free_slot(0), 0.0);
+  fm.resubmit_tasks_on(0, 1.0);
+  EXPECT_TRUE(fm.runtime(t).high_priority);
+  // Still exactly five promoted in total.
+  int promoted = 0;
+  for (TaskId i = 0; i < 12; ++i) {
+    if (fm.runtime(i).high_priority) ++promoted;
+  }
+  EXPECT_EQ(promoted, 5);
+}
+
+TEST(FrameworkMaster, ObservationsMirrorLifecycle) {
+  const dag::Workflow wf = make_small();
+  FrameworkMaster fm(wf);
+  fm.register_instance(0, 4);
+  const TaskId t = fm.pop_ready();
+  fm.on_dispatch(t, 0, 0, 10.0);
+  fm.on_transfer_in_done(t, 12.0);
+
+  std::vector<TaskObservation> obs;
+  fm.fill_observations(20.0, obs);
+  ASSERT_EQ(obs.size(), 3u);
+  EXPECT_EQ(obs[t].phase, TaskPhase::Running);
+  EXPECT_DOUBLE_EQ(obs[t].elapsed, 10.0);
+  EXPECT_DOUBLE_EQ(obs[t].elapsed_exec, 8.0);
+  EXPECT_DOUBLE_EQ(obs[t].transfer_in_time, 2.0);
+  EXPECT_EQ(obs[t].instance, 0u);
+  EXPECT_EQ(obs[1].phase, TaskPhase::Pending);
+  EXPECT_EQ(obs[2].phase, TaskPhase::Ready);
+  // Completed record carries the kickstart fields.
+  fm.on_exec_done(t, 15.0);
+  fm.on_complete(t, 16.0);
+  fm.fill_observations(20.0, obs);
+  EXPECT_EQ(obs[t].phase, TaskPhase::Completed);
+  EXPECT_DOUBLE_EQ(obs[t].exec_time, 3.0);
+  EXPECT_DOUBLE_EQ(obs[t].transfer_time, 3.0);  // 2 in + 1 out
+}
+
+TEST(FrameworkMaster, InvalidTransitionsThrow) {
+  const dag::Workflow wf = make_small();
+  FrameworkMaster fm(wf);
+  fm.register_instance(0, 4);
+  EXPECT_THROW(fm.on_dispatch(1, 0, 0, 0.0), util::ContractViolation);
+  const TaskId t = fm.pop_ready();
+  fm.on_dispatch(t, 0, 0, 0.0);
+  EXPECT_THROW(fm.on_dispatch(t, 0, 1, 0.0), util::ContractViolation);
+  EXPECT_THROW(fm.on_complete(2, 1.0), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace wire::sim

@@ -1,0 +1,156 @@
+// Driver robustness: the simulator must tolerate hostile or buggy scaling
+// policies without corrupting state — nonsense instance ids, releases of
+// provisioning instances, duplicate releases, oversized grow requests,
+// oscillating commands. Every task must still complete and billing must stay
+// consistent.
+#include <gtest/gtest.h>
+
+#include "policies/baselines.h"
+#include "sim/driver.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace wire::sim {
+namespace {
+
+CloudConfig small_cloud() {
+  CloudConfig config;
+  config.lag_seconds = 30.0;
+  config.charging_unit_seconds = 120.0;
+  config.slots_per_instance = 2;
+  config.max_instances = 5;
+  return config;
+}
+
+/// Issues deliberately malformed commands.
+class HostilePolicy final : public ScalingPolicy {
+ public:
+  explicit HostilePolicy(std::uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "hostile"; }
+  void on_run_start(const dag::Workflow&, const CloudConfig&) override {}
+
+  PoolCommand plan(const MonitorSnapshot& snapshot) override {
+    PoolCommand cmd;
+    switch (rng_.uniform_int(0, 5)) {
+      case 0:
+        cmd.grow = 1000;  // far beyond the site cap
+        break;
+      case 1:
+        // Release an instance id that does not exist.
+        cmd.releases.push_back(Release{987654u, true});
+        cmd.releases.push_back(Release{kInvalidInstance, false});
+        break;
+      case 2:
+        // Release everything, twice, mixing modes.
+        for (const InstanceObservation& inst : snapshot.instances) {
+          cmd.releases.push_back(Release{inst.id, true});
+          cmd.releases.push_back(Release{inst.id, false});
+        }
+        cmd.grow = 2;
+        break;
+      case 3:
+        // Release provisioning instances specifically.
+        for (const InstanceObservation& inst : snapshot.instances) {
+          if (inst.provisioning) {
+            cmd.releases.push_back(Release{inst.id, true});
+          }
+        }
+        break;
+      case 4:
+        cmd.grow = 3;
+        break;
+      default:
+        break;  // do nothing
+    }
+    return cmd;
+  }
+
+ private:
+  util::Rng rng_;
+};
+
+class HostileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HostileSweep, RunsSurviveMalformedCommands) {
+  const dag::Workflow wf = workload::random_layered(
+      workload::RandomDagOptions{}, static_cast<std::uint64_t>(GetParam()));
+  HostilePolicy policy(static_cast<std::uint64_t>(GetParam()) + 99);
+  RunOptions options;
+  options.seed = 7;
+  options.initial_instances = 1;
+  options.max_sim_seconds = 3.0e6;
+
+  const RunResult r = simulate(wf, policy, small_cloud(), options);
+  for (const TaskRuntime& rec : r.task_records) {
+    EXPECT_EQ(rec.phase, TaskPhase::Completed);
+  }
+  EXPECT_LE(r.peak_instances, 5u);
+  EXPECT_GE(r.cost_units, 1.0);
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostileSweep, ::testing::Range(0, 10));
+
+TEST(Robustness, ConstantChurnStillFinishes) {
+  // A policy that kills every instance except one at every tick while also
+  // requesting replacements — constant resubmission churn. (Killing the
+  // *entire* pool every tick starves the run forever by construction: the
+  // control interval equals the provisioning lag, so replacements boot
+  // exactly when the next purge fires — that case is the Starver test
+  // below.) The survivor makes progress; every task must still complete.
+  class KillAllButOne final : public ScalingPolicy {
+   public:
+    std::string name() const override { return "kill-all-but-one"; }
+    void on_run_start(const dag::Workflow&, const CloudConfig&) override {}
+    PoolCommand plan(const MonitorSnapshot& snapshot) override {
+      PoolCommand cmd;
+      bool spared = false;
+      for (const InstanceObservation& inst : snapshot.instances) {
+        if (!inst.provisioning && !spared) {
+          spared = true;
+          continue;
+        }
+        cmd.releases.push_back(Release{inst.id, false});
+      }
+      cmd.grow = 2;
+      return cmd;
+    }
+  };
+  const dag::Workflow wf = workload::linear_workflow(2, 6, 10.0);
+  KillAllButOne policy;
+  const CloudConfig config = small_cloud();
+  RunOptions options;
+  options.initial_instances = 2;
+  const RunResult r = simulate(wf, policy, config, options);
+  for (const TaskRuntime& rec : r.task_records) {
+    EXPECT_EQ(rec.phase, TaskPhase::Completed);
+  }
+}
+
+TEST(Robustness, StuckPolicyHitsTheTimeGuard) {
+  // Zero instances forever: the driver must throw the max_sim_seconds guard
+  // rather than loop silently.
+  class Starver final : public ScalingPolicy {
+   public:
+    std::string name() const override { return "starver"; }
+    void on_run_start(const dag::Workflow&, const CloudConfig&) override {}
+    PoolCommand plan(const MonitorSnapshot& snapshot) override {
+      PoolCommand cmd;
+      for (const InstanceObservation& inst : snapshot.instances) {
+        cmd.releases.push_back(Release{inst.id, false});
+      }
+      return cmd;
+    }
+  };
+  const dag::Workflow wf = workload::linear_workflow(1, 3, 50.0);
+  Starver policy;
+  RunOptions options;
+  options.initial_instances = 1;
+  options.max_sim_seconds = 10000.0;
+  EXPECT_THROW(simulate(wf, policy, small_cloud(), options),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wire::sim

@@ -1,0 +1,205 @@
+// Tests for the workload generators: Table I characterization fidelity,
+// structural properties of each family, determinism, and the synthetic
+// families (linear / random layered).
+#include <gtest/gtest.h>
+
+#include "dag/analysis.h"
+#include "util/check.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace wire::workload {
+namespace {
+
+using dag::StageClass;
+using dag::Workflow;
+
+TEST(Profiles, TableOneTaskTotals) {
+  // Table I "Total Number of Tasks" column.
+  struct Expected {
+    WorkflowProfile profile;
+    std::uint32_t tasks;
+  };
+  const Expected expected[] = {
+      {epigenomics_profile(Scale::Small), 405},
+      {epigenomics_profile(Scale::Large), 4005},
+      {tpch1_profile(Scale::Small), 62},
+      {tpch1_profile(Scale::Large), 229},
+      {tpch6_profile(Scale::Small), 33},
+      {tpch6_profile(Scale::Large), 118},
+      {pagerank_profile(Scale::Small), 115},
+      {pagerank_profile(Scale::Large), 313},
+  };
+  for (const Expected& e : expected) {
+    std::uint32_t total = 0;
+    for (const StageProfile& s : e.profile.stages) total += s.task_count;
+    EXPECT_EQ(total, e.tasks) << e.profile.name;
+  }
+}
+
+TEST(Profiles, TableOneStageCounts) {
+  EXPECT_EQ(epigenomics_profile(Scale::Small).stages.size(), 8u);
+  EXPECT_EQ(epigenomics_profile(Scale::Large).stages.size(), 8u);
+  EXPECT_EQ(tpch1_profile(Scale::Small).stages.size(), 4u);
+  EXPECT_EQ(tpch6_profile(Scale::Small).stages.size(), 2u);
+  EXPECT_EQ(pagerank_profile(Scale::Small).stages.size(), 12u);
+  EXPECT_EQ(pagerank_profile(Scale::Large).stages.size(), 12u);
+}
+
+TEST(Profiles, TableOneRegistryHasEightRuns) {
+  const auto all = table1_profiles();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].name, "Genome S");
+  EXPECT_EQ(all[7].name, "PageRank L");
+}
+
+class MakeWorkflowTest : public ::testing::TestWithParam<int> {
+ protected:
+  WorkflowProfile profile() const {
+    const auto all = table1_profiles();
+    return all[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(MakeWorkflowTest, MatchesProfileStructure) {
+  const WorkflowProfile p = profile();
+  const Workflow wf = make_workflow(p, 7);
+  EXPECT_EQ(wf.name(), p.name);
+  ASSERT_EQ(wf.stage_count(), p.stages.size());
+  std::uint32_t total = 0;
+  for (std::size_t s = 0; s < p.stages.size(); ++s) {
+    EXPECT_EQ(wf.stage_tasks(static_cast<dag::StageId>(s)).size(),
+              p.stages[s].task_count)
+        << p.name << " stage " << s;
+    total += p.stages[s].task_count;
+  }
+  EXPECT_EQ(wf.task_count(), total);
+  EXPECT_TRUE(dag::stages_are_layered(wf));
+}
+
+TEST_P(MakeWorkflowTest, StageMeansNearProfileTargets) {
+  const WorkflowProfile p = profile();
+  const Workflow wf = make_workflow(p, 7);
+  const auto summaries = dag::summarize_stages(wf);
+  for (std::size_t s = 0; s < p.stages.size(); ++s) {
+    const double target = p.stages[s].mean_exec_seconds;
+    EXPECT_GT(summaries[s].mean_ref_exec_seconds, 0.0);
+    // Skew is normalized to unit mean, so wide stages concentrate near the
+    // target; stages with a handful of tasks are dominated by individual
+    // draws and only sanity-checked above.
+    if (p.stages[s].task_count < 8) continue;
+    const double tol = std::max(0.45 * target, 0.6);
+    EXPECT_NEAR(summaries[s].mean_ref_exec_seconds, target, tol)
+        << p.name << " stage " << p.stages[s].name;
+  }
+}
+
+TEST_P(MakeWorkflowTest, DeterministicInSeed) {
+  const WorkflowProfile p = profile();
+  const Workflow a = make_workflow(p, 11);
+  const Workflow b = make_workflow(p, 11);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (dag::TaskId t = 0; t < a.task_count(); ++t) {
+    EXPECT_DOUBLE_EQ(a.task(t).ref_exec_seconds, b.task(t).ref_exec_seconds);
+    EXPECT_DOUBLE_EQ(a.task(t).input_mb, b.task(t).input_mb);
+  }
+}
+
+TEST_P(MakeWorkflowTest, DifferentSeedsDiffer) {
+  const WorkflowProfile p = profile();
+  const Workflow a = make_workflow(p, 1);
+  const Workflow b = make_workflow(p, 2);
+  int differing = 0;
+  for (dag::TaskId t = 0; t < a.task_count(); ++t) {
+    if (a.task(t).ref_exec_seconds != b.task(t).ref_exec_seconds) ++differing;
+  }
+  EXPECT_GT(differing, static_cast<int>(a.task_count() / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOneRuns, MakeWorkflowTest,
+                         ::testing::Range(0, 8));
+
+TEST(Epigenomics, PipelineShape) {
+  const Workflow wf =
+      make_workflow(epigenomics_profile(Scale::Small), 7);
+  // fastqSplit fans out: the single root has one successor per chunk.
+  ASSERT_EQ(wf.roots().size(), 1u);
+  EXPECT_EQ(wf.successors(wf.roots()[0]).size(), 100u);
+  // The per-chunk pipelines are 1:1 (partition links).
+  const auto filter_tasks = wf.stage_tasks(1);
+  for (dag::TaskId t : filter_tasks) {
+    EXPECT_EQ(wf.successors(t).size(), 1u);
+  }
+  // Final pileup is a single sink.
+  ASSERT_EQ(wf.sinks().size(), 1u);
+}
+
+TEST(Tpch6, MapReduceShape) {
+  const Workflow wf = make_workflow(tpch6_profile(Scale::Small), 7);
+  // 32 scan maps all feed the single reduce.
+  ASSERT_EQ(wf.sinks().size(), 1u);
+  EXPECT_EQ(wf.predecessors(wf.sinks()[0]).size(), 32u);
+  EXPECT_EQ(dag::max_width(wf), 32u);
+}
+
+TEST(PageRank, DatasetSizeMatchesTableOne) {
+  const Workflow s = make_workflow(pagerank_profile(Scale::Small), 7);
+  const Workflow l = make_workflow(pagerank_profile(Scale::Large), 7);
+  EXPECT_NEAR(s.input_dataset_mb() / 1024.0, 0.26, 0.26 * 0.25);
+  EXPECT_NEAR(l.input_dataset_mb() / 1024.0, 2.88, 2.88 * 0.25);
+}
+
+TEST(LinearWorkflow, AllToAllStageBarriers) {
+  const Workflow wf = linear_workflow(3, 4, 10.0);
+  EXPECT_EQ(wf.task_count(), 12u);
+  EXPECT_EQ(wf.stage_count(), 3u);
+  // Every stage-1 task depends on all 4 stage-0 tasks.
+  for (dag::TaskId t : wf.stage_tasks(1)) {
+    EXPECT_EQ(wf.predecessors(t).size(), 4u);
+  }
+  // Identical run times, no data.
+  for (const dag::TaskSpec& t : wf.tasks()) {
+    EXPECT_DOUBLE_EQ(t.ref_exec_seconds, 10.0);
+    EXPECT_DOUBLE_EQ(t.input_mb, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(dag::critical_path_seconds(wf), 30.0);
+}
+
+TEST(LinearWorkflow, SingleStage) {
+  const Workflow wf = linear_workflow(1, 100, 5.0);
+  EXPECT_EQ(wf.task_count(), 100u);
+  EXPECT_EQ(wf.roots().size(), 100u);
+  EXPECT_EQ(wf.sinks().size(), 100u);
+}
+
+TEST(LinearWorkflow, RejectsInvalidArguments) {
+  EXPECT_THROW(linear_workflow(0, 1, 1.0), util::ContractViolation);
+  EXPECT_THROW(linear_workflow(1, 0, 1.0), util::ContractViolation);
+  EXPECT_THROW(linear_workflow(1, 1, 0.0), util::ContractViolation);
+}
+
+class RandomLayeredTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomLayeredTest, AlwaysProducesValidLayeredDag) {
+  RandomDagOptions options;
+  const Workflow wf = random_layered(options, GetParam());
+  EXPECT_GE(wf.stage_count(), options.min_layers);
+  EXPECT_LE(wf.stage_count(), options.max_layers);
+  EXPECT_TRUE(dag::stages_are_layered(wf));
+  // Connectivity: every non-root task has at least one predecessor.
+  for (const dag::TaskSpec& t : wf.tasks()) {
+    if (t.stage > 0) {
+      EXPECT_GE(wf.predecessors(t.id).size(), 1u);
+    }
+    EXPECT_GT(t.ref_exec_seconds, 0.0);
+  }
+  // Topological order exists (build() would have thrown otherwise) and
+  // covers all tasks.
+  EXPECT_EQ(wf.topological_order().size(), wf.task_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLayeredTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace wire::workload

@@ -1,0 +1,134 @@
+// Tests for the extra Pegasus workflow families (Montage, CyberShake,
+// LIGO Inspiral): structural fidelity to the published characterization and
+// end-to-end runnability under WIRE.
+#include <gtest/gtest.h>
+
+#include "core/controller.h"
+#include "dag/analysis.h"
+#include "sim/driver.h"
+#include "util/check.h"
+#include "workload/pegasus_extra.h"
+
+namespace wire::workload {
+namespace {
+
+TEST(Montage, StructureMatchesCharacterization) {
+  const dag::Workflow wf = montage(50, 7);
+  // Wide projection fan-out at the top.
+  EXPECT_EQ(wf.stage_tasks(0).size(), 50u);  // mProject
+  EXPECT_EQ(wf.roots().size(), 50u);
+  // Pairwise overlap stage is wider than the tile count but bounded by 2x.
+  const auto diff = wf.stage_tasks(1);
+  EXPECT_GT(diff.size(), 50u);
+  EXPECT_LE(diff.size(), 100u);
+  for (dag::TaskId t : diff) {
+    EXPECT_EQ(wf.predecessors(t).size(), 2u);  // one task per tile pair
+  }
+  // Serial bottleneck: mConcatFit depends on every overlap.
+  const dag::TaskId concat = wf.stage_tasks(2)[0];
+  EXPECT_EQ(wf.predecessors(concat).size(), diff.size());
+  // mBackground has cross-stage edges: the tile's projection + the model.
+  for (dag::TaskId t : wf.stage_tasks(4)) {
+    EXPECT_EQ(wf.predecessors(t).size(), 2u);
+  }
+  // Single final sink (mJPEG).
+  EXPECT_EQ(wf.sinks().size(), 1u);
+  // The width profile is the classic wide-narrow-wide-narrow montage shape.
+  const auto widths = dag::width_profile(wf);
+  EXPECT_GT(widths[0], 1u);
+  EXPECT_EQ(dag::max_width(wf), diff.size());
+}
+
+TEST(Montage, ScalesWithTiles) {
+  const dag::Workflow small = montage(16, 7);
+  const dag::Workflow large = montage(100, 7);
+  EXPECT_GT(large.task_count(), 2 * small.task_count());
+  EXPECT_EQ(small.stage_count(), large.stage_count());
+  EXPECT_THROW(montage(2, 7), util::ContractViolation);
+}
+
+TEST(CyberShake, TwoMastersFeedEverySeismogram) {
+  const dag::Workflow wf = cybershake(100, 7);
+  EXPECT_EQ(wf.task_count(), 2u + 100u + 100u + 1u);
+  EXPECT_EQ(wf.roots().size(), 2u);
+  for (dag::TaskId t : wf.stage_tasks(1)) {
+    EXPECT_EQ(wf.predecessors(t).size(), 2u);  // both tensors
+  }
+  // Peak calc is 1:1 with seismograms; the hazard curve joins all peaks.
+  for (dag::TaskId t : wf.stage_tasks(2)) {
+    EXPECT_EQ(wf.predecessors(t).size(), 1u);
+  }
+  EXPECT_EQ(wf.predecessors(wf.sinks()[0]).size(), 100u);
+  // The extraction masters are long tasks, the peaks short.
+  const auto summaries = dag::summarize_stages(wf);
+  EXPECT_GT(summaries[0].mean_ref_exec_seconds, 100.0);
+  EXPECT_LT(summaries[2].mean_ref_exec_seconds, 5.0);
+}
+
+TEST(Ligo, RoundsChainThroughThinca) {
+  const dag::Workflow wf = ligo(40, 3, 7);
+  // 3 rounds x (bank + 40 inspirals + thinca) + trigbank batch + veto.
+  EXPECT_EQ(wf.stage_count(), 3u * 3u + 2u);
+  // Round r+1's bank depends on round r's thinca only.
+  const dag::TaskId bank_r1 = wf.stage_tasks(3)[0];
+  EXPECT_EQ(wf.predecessors(bank_r1).size(), 1u);
+  // The inspiral stages carry the bulk of the work.
+  const auto summaries = dag::summarize_stages(wf);
+  double inspiral_work = 0.0;
+  for (const auto& s : summaries) {
+    if (s.name.rfind("Inspiral", 0) == 0) {
+      inspiral_work += s.mean_ref_exec_seconds * s.task_count;
+    }
+  }
+  EXPECT_GT(inspiral_work, 0.7 * wf.aggregate_ref_exec_seconds());
+}
+
+TEST(PegasusExtra, DeterministicAndSeedSensitive) {
+  const dag::Workflow a = montage(30, 5);
+  const dag::Workflow b = montage(30, 5);
+  const dag::Workflow c = montage(30, 6);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (dag::TaskId t = 0; t < a.task_count(); ++t) {
+    EXPECT_DOUBLE_EQ(a.task(t).ref_exec_seconds, b.task(t).ref_exec_seconds);
+  }
+  bool differs = false;
+  for (dag::TaskId t = 0; t < a.task_count(); ++t) {
+    if (a.task(t).ref_exec_seconds != c.task(t).ref_exec_seconds) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+class PegasusExtraRuns : public ::testing::TestWithParam<int> {};
+
+TEST_P(PegasusExtraRuns, CompleteUnderWire) {
+  dag::Workflow wf = [&] {
+    switch (GetParam()) {
+      case 0: return montage(40, 7);
+      case 1: return cybershake(120, 7);
+      default: return ligo(48, 2, 7);
+    }
+  }();
+  core::WireController controller;
+  sim::CloudConfig config;
+  config.lag_seconds = 120.0;
+  config.charging_unit_seconds = 60.0;  // small unit: elasticity pays
+  config.slots_per_instance = 4;
+  config.max_instances = 12;
+  sim::RunOptions options;
+  options.seed = 9;
+  options.initial_instances = 1;
+  const sim::RunResult r = sim::simulate(wf, controller, config, options);
+  for (const sim::TaskRuntime& rec : r.task_records) {
+    EXPECT_EQ(rec.phase, sim::TaskPhase::Completed);
+  }
+  // The wide stages force elasticity on every family.
+  EXPECT_GT(r.peak_instances, 1u);
+  EXPECT_GT(r.utilization, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PegasusExtraRuns, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace wire::workload

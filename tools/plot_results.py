@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Plot the regenerated paper figures from bench_results/*.csv.
+
+Usage:
+    python3 tools/plot_results.py [bench_results] [output_dir]
+
+Requires matplotlib; emits one PNG per figure. Each bench binary must have
+been run first (``for b in build/bench/*; do $b; done``), which writes the
+CSV series this script consumes. The script is intentionally defensive: it
+skips any figure whose CSV is missing.
+"""
+import csv
+import pathlib
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def main():
+    results = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "bench_results")
+    out = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "bench_results")
+    out.mkdir(parents=True, exist_ok=True)
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; nothing plotted", file=sys.stderr)
+        return 0
+
+    def save(fig, name):
+        path = out / name
+        fig.savefig(path, dpi=130, bbox_inches="tight")
+        plt.close(fig)
+        print(f"wrote {path}")
+
+    # Figures 2 and 3: ratio curves per N.
+    for fig_name, x_key, x_label in (
+        ("fig2", "R_over_U", "R/U"),
+        ("fig3", "U_over_R", "U/R"),
+    ):
+        path = results / f"{fig_name}.csv"
+        if not path.exists():
+            continue
+        rows = read_csv(path)
+        fig, axes = plt.subplots(1, 3, figsize=(12, 3.2), sharey=False)
+        for ax, n in zip(axes, ("10", "100", "1000")):
+            series = [r for r in rows if r["N"] == n]
+            xs = [float(r[x_key]) for r in series]
+            ax.plot(xs, [float(r["cost_ratio"]) for r in series],
+                    marker="o", label="resource usage / optimal")
+            ax.plot(xs, [float(r["time_ratio"]) for r in series],
+                    marker="s", label="completion time / optimal")
+            ax.set_xscale("log")
+            ax.set_title(f"N = {n}")
+            ax.set_xlabel(x_label)
+            ax.grid(True, alpha=0.3)
+        axes[0].set_ylabel("ratio to optimal")
+        axes[0].legend(fontsize=8)
+        fig.suptitle(f"Figure {fig_name[-1]}: resource-steering policy")
+        save(fig, f"{fig_name}.png")
+
+    # Figure 4: CDF curves per workflow/class.
+    path = results / "fig4_cdf.csv"
+    if path.exists():
+        rows = read_csv(path)
+        workflows = sorted({r["workflow"] for r in rows})
+        classes = ("short", "medium", "long")
+        fig, axes = plt.subplots(
+            len(workflows), 3, figsize=(11, 2.2 * len(workflows)),
+            squeeze=False)
+        for i, wf in enumerate(workflows):
+            for j, cls in enumerate(classes):
+                ax = axes[i][j]
+                series = [r for r in rows
+                          if r["workflow"] == wf and r["class"] == cls]
+                if series:
+                    ax.plot([float(r["x"]) for r in series],
+                            [float(r["cdf"]) for r in series])
+                ax.set_title(f"{wf} / {cls}", fontsize=8)
+                ax.grid(True, alpha=0.3)
+                if j == 0:
+                    ax.set_ylabel("CDF", fontsize=8)
+        fig.suptitle("Figure 4: prediction-error CDFs")
+        fig.tight_layout()
+        save(fig, "fig4.png")
+
+    # Figures 5 and 6: grouped bars per workflow.
+    for fig_name, value_key, y_label in (
+        ("fig5", "cost_mean", "charging units"),
+        ("fig6", "relative_time_mean", "time / best"),
+    ):
+        path = results / f"{fig_name}.csv"
+        if not path.exists():
+            continue
+        rows = read_csv(path)
+        workflows = list(dict.fromkeys(r["workflow"] for r in rows))
+        policies = list(dict.fromkeys(r["policy"] for r in rows))
+        units = sorted({float(r["charging_unit_s"]) for r in rows})
+        fig, axes = plt.subplots(2, 4, figsize=(16, 6), squeeze=False)
+        for idx, wf in enumerate(workflows):
+            ax = axes[idx // 4][idx % 4]
+            width = 0.8 / len(policies)
+            for p_idx, policy in enumerate(policies):
+                ys = []
+                for u in units:
+                    match = [r for r in rows
+                             if r["workflow"] == wf and r["policy"] == policy
+                             and float(r["charging_unit_s"]) == u]
+                    ys.append(float(match[0][value_key]) if match else 0.0)
+                xs = [k + p_idx * width for k in range(len(units))]
+                ax.bar(xs, ys, width=width, label=policy if idx == 0 else None)
+            ax.set_title(wf, fontsize=9)
+            ax.set_xticks([k + 0.4 for k in range(len(units))])
+            ax.set_xticklabels([f"{int(u / 60)}m" for u in units], fontsize=7)
+            if fig_name == "fig5":
+                ax.set_yscale("log")
+            ax.grid(True, axis="y", alpha=0.3)
+            if idx % 4 == 0:
+                ax.set_ylabel(y_label, fontsize=8)
+        fig.legend(loc="lower center", ncol=4, fontsize=8)
+        fig.suptitle(
+            f"Figure {fig_name[-1]}: "
+            + ("resource cost" if fig_name == "fig5"
+               else "relative execution time"))
+        save(fig, f"{fig_name}.png")
+
+    # Deadline frontier.
+    path = results / "deadline.csv"
+    if path.exists():
+        rows = [r for r in read_csv(path) if float(r["deadline_s"]) > 0]
+        workflows = sorted({r["workload"] for r in rows})
+        fig, axes = plt.subplots(1, len(workflows),
+                                 figsize=(5 * len(workflows), 3.4),
+                                 squeeze=False)
+        for ax, wf in zip(axes[0], workflows):
+            for estimates, marker in (("online", "o"), ("history", "s")):
+                series = sorted(
+                    (r for r in rows
+                     if r["workload"] == wf and r["estimates"] == estimates),
+                    key=lambda r: float(r["deadline_s"]))
+                ax.plot([float(r["deadline_s"]) for r in series],
+                        [float(r["cost_mean"]) for r in series],
+                        marker=marker, label=estimates)
+            ax.set_title(wf, fontsize=9)
+            ax.set_xlabel("deadline (s)")
+            ax.grid(True, alpha=0.3)
+            ax.legend(fontsize=8)
+        axes[0][0].set_ylabel("charging units")
+        fig.suptitle("Deadline sweep: cost of a latency SLO")
+        save(fig, "deadline.png")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates everything: build, tests (test_output.txt), every paper
+# table/figure bench (bench_output.txt), and — when matplotlib is available —
+# the PNG plots. Run from the repository root.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt
+python3 tools/plot_results.py || true
