@@ -1,0 +1,128 @@
+// Multi-tenant ensemble study: a Poisson stream of workflow jobs sharing one
+// §IV-B site, swept over arrival rate × arbiter strategy × tenant policy
+// ({wire, reactive-conserving}). For each cell: mean/max per-job slowdown vs
+// the dedicated-site counterfactual, mean queue wait, total cost, and site
+// utilization. The interesting comparison is how much of the batch-queue
+// (fifo-exclusive) slowdown the sharing arbiters recover, and whether WIRE's
+// demand signal buys anything over reactive demand under the demand-weighted
+// strategy.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ensemble/arbiter.h"
+#include "ensemble/arrival.h"
+#include "ensemble/driver.h"
+#include "ensemble/report.h"
+#include "exp/settings.h"
+#include "metrics/report.h"
+#include "util/csv.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace wire;
+
+struct Cell {
+  double mean_interarrival = 0.0;
+  ensemble::ArbiterStrategy strategy = ensemble::ArbiterStrategy::FifoExclusive;
+  exp::PolicyKind policy = exp::PolicyKind::Wire;
+  ensemble::EnsembleReport report;
+};
+
+std::vector<workload::WorkflowProfile> catalogue() {
+  return {workload::tpch1_profile(workload::Scale::Small),
+          workload::tpch6_profile(workload::Scale::Small),
+          workload::pagerank_profile(workload::Scale::Small),
+          workload::epigenomics_profile(workload::Scale::Small)};
+}
+
+void run_cell(Cell& cell) {
+  ensemble::PoissonArrivalConfig stream;
+  stream.mean_interarrival_seconds = cell.mean_interarrival;
+  stream.job_count = 50;
+  stream.seed = 1905;  // one stream per rate, shared across strategies
+  const ensemble::ArrivalProcess arrivals =
+      ensemble::ArrivalProcess::poisson(stream, catalogue().size());
+
+  const sim::CloudConfig site = exp::paper_cloud(900.0);
+  ensemble::EnsembleOptions options;
+  options.strategy = cell.strategy;
+  options.site_cap = site.max_instances;
+
+  ensemble::EnsembleDriver driver(catalogue(), arrivals,
+                                  exp::policy_factory(cell.policy), site,
+                                  options);
+  cell.report = driver.run();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> rates = {900.0, 300.0, 100.0};  // mean interarrival
+  const std::vector<exp::PolicyKind> policies = {
+      exp::PolicyKind::Wire, exp::PolicyKind::ReactiveConserving};
+
+  std::vector<Cell> cells;
+  for (double rate : rates) {
+    for (ensemble::ArbiterStrategy strategy : ensemble::all_strategies()) {
+      for (exp::PolicyKind policy : policies) {
+        Cell cell;
+        cell.mean_interarrival = rate;
+        cell.strategy = strategy;
+        cell.policy = policy;
+        cells.push_back(cell);
+      }
+    }
+  }
+  util::parallel_for(cells.size(), [&](std::size_t i) { run_cell(cells[i]); });
+
+  std::printf(
+      "Ensemble study: 50-job Poisson streams, 4 workflow profiles, one "
+      "shared 12-instance site (u = 15 min)\nslowdown = (queue wait + "
+      "makespan) / dedicated-site makespan of the identical job\n\n");
+
+  util::CsvWriter csv(bench::results_dir() + "/ensemble.csv");
+  csv.write_row({"mean_interarrival_s", "arbiter", "policy", "mean_slowdown",
+                 "max_slowdown", "mean_wait_s", "total_cost_units",
+                 "site_utilization", "throughput_jobs_per_h"});
+
+  std::size_t idx = 0;
+  for (double rate : rates) {
+    util::TextTable table;
+    table.set_header({"arbiter", "policy", "slowdown mean", "slowdown max",
+                      "wait mean [s]", "cost [units]", "site util",
+                      "jobs/h"});
+    for (std::size_t k = 0;
+         k < ensemble::all_strategies().size() * policies.size();
+         ++k, ++idx) {
+      const Cell& cell = cells[idx];
+      const ensemble::EnsembleReport& r = cell.report;
+      metrics::EnsembleCellStats stats;
+      for (const ensemble::JobOutcome& j : r.jobs) {
+        stats.add(j.slowdown, j.queue_wait_seconds, j.cost_units);
+      }
+      table.add_row({r.arbiter_strategy, r.tenant_policy,
+                     util::fmt(r.mean_slowdown, 3),
+                     util::fmt(r.max_slowdown, 3),
+                     util::fmt(stats.queue_wait_seconds.mean(), 1),
+                     util::fmt(r.total_cost_units, 1),
+                     util::fmt(r.site_utilization, 3),
+                     util::fmt(r.throughput_jobs_per_hour, 2)});
+      csv.write_row({util::fmt(rate, 0), r.arbiter_strategy, r.tenant_policy,
+                     util::fmt(r.mean_slowdown, 4), util::fmt(r.max_slowdown, 4),
+                     util::fmt(stats.queue_wait_seconds.mean(), 2),
+                     util::fmt(r.total_cost_units, 2),
+                     util::fmt(r.site_utilization, 4),
+                     util::fmt(r.throughput_jobs_per_hour, 3)});
+    }
+    std::printf("mean interarrival %.0f s (offered load %.1f jobs/h)\n%s\n",
+                rate, 3600.0 / rate, table.render().c_str());
+  }
+  std::printf("series written to %s/ensemble.csv\n",
+              bench::results_dir().c_str());
+  return 0;
+}

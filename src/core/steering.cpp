@@ -83,14 +83,24 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
   // §III-D: Algorithm 3 assumes Q_task is non-empty; with an empty upcoming
   // load it retains a minimal pool until the next control iteration (or the
   // workflow terminates).
-  const std::uint32_t p =
+  const std::uint32_t planned =
       lookahead.upcoming.empty()
           ? (snapshot.incomplete_tasks > 0 ? 1u : 0u)
           : resize_pool(occupancy, config.charging_unit_seconds,
                         config.slots_per_instance,
                         config.restart_cost_fraction);
 
-  if (planned_size != nullptr) *planned_size = p;
+  if (planned_size != nullptr) *planned_size = planned;
+
+  // Multi-tenant runs impose an external pool ceiling (the site arbiter's
+  // share). The unconstrained Algorithm-3 size stays the reported demand
+  // signal; the command steers toward the clamped size, so capacity beyond
+  // the share is neither requested (to be clipped) nor held (instances above
+  // the ceiling drain at their charge boundaries once the share shrinks).
+  cmd.desired_pool = planned;
+  const std::uint32_t p = snapshot.pool_cap > 0
+                              ? std::min(planned, snapshot.pool_cap)
+                              : planned;
 
   // The pool at the start of the next interval: live instances that are not
   // already draining (draining ones expire within this interval).

@@ -30,7 +30,10 @@ std::uint32_t resize_pool(const std::vector<double>& upcoming,
                           std::uint32_t slots_per_instance,
                           double leftover_fraction = 0.2);
 
-/// Algorithm 2: forms the grow/release command toward the planned size.
+/// Algorithm 2: forms the grow/release command toward the planned size,
+/// clamped to MonitorSnapshot::pool_cap when an external ceiling is imposed
+/// (multi-tenant arbiter share); the unclamped Algorithm-3 size is reported
+/// through `planned_size` and PoolCommand::desired_pool.
 /// Candidates for release are ready, non-draining instances whose charging
 /// unit expires before the next interval (r_j <= lag) with restart cost
 /// c_j <= leftover_fraction * u; victims are taken in ascending restart-cost

@@ -1,0 +1,168 @@
+#include "ensemble/arbiter.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace wire::ensemble {
+
+const char* strategy_name(ArbiterStrategy strategy) {
+  switch (strategy) {
+    case ArbiterStrategy::FifoExclusive: return "fifo-exclusive";
+    case ArbiterStrategy::StaticFairShare: return "fair-share";
+    case ArbiterStrategy::DemandWeighted: return "demand-weighted";
+  }
+  return "unknown";
+}
+
+std::vector<ArbiterStrategy> all_strategies() {
+  return {ArbiterStrategy::FifoExclusive, ArbiterStrategy::StaticFairShare,
+          ArbiterStrategy::DemandWeighted};
+}
+
+namespace {
+
+/// Tenant indices in FIFO order: by arrival time, then job id.
+std::vector<std::size_t> fifo_order(const std::vector<TenantDemand>& tenants) {
+  std::vector<std::size_t> order(tenants.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tenants[a].arrival_seconds != tenants[b].arrival_seconds) {
+      return tenants[a].arrival_seconds < tenants[b].arrival_seconds;
+    }
+    return tenants[a].job < tenants[b].job;
+  });
+  return order;
+}
+
+void fifo_exclusive(std::uint32_t spare,
+                    const std::vector<std::size_t>& order,
+                    std::vector<std::uint32_t>& shares) {
+  // The whole remaining site backs the oldest job; everyone else is frozen
+  // at their floor (zero for jobs that were never admitted).
+  shares[order.front()] += spare;
+}
+
+void static_fair_share(std::uint32_t site_cap, std::uint32_t spare,
+                       const std::vector<std::size_t>& order,
+                       std::vector<std::uint32_t>& shares) {
+  // Equal entitlements cap/n, the integer remainder going to the earliest
+  // arrivals. Tenants whose floor already exceeds their entitlement keep the
+  // floor (no preemption); the others are lifted toward the entitlement one
+  // instance at a time in arrival order, which keeps the split exact when
+  // the spare runs out mid-pass.
+  const std::uint32_t n = static_cast<std::uint32_t>(order.size());
+  std::vector<std::uint32_t> entitlement(shares.size(), site_cap / n);
+  for (std::uint32_t k = 0; k < site_cap % n; ++k) {
+    ++entitlement[order[k]];
+  }
+  bool lifted = true;
+  while (spare > 0 && lifted) {
+    lifted = false;
+    for (std::size_t i : order) {
+      if (spare == 0) break;
+      if (shares[i] < entitlement[i]) {
+        ++shares[i];
+        --spare;
+        lifted = true;
+      }
+    }
+  }
+  // Entitlements sum to the cap, so spare survives the lifting only when
+  // some floors sit above their entitlement; hand it out round-robin.
+  while (spare > 0) {
+    for (std::size_t i : order) {
+      if (spare == 0) break;
+      ++shares[i];
+      --spare;
+    }
+  }
+}
+
+void demand_weighted(std::uint32_t site_cap, std::uint32_t spare,
+                     const std::vector<TenantDemand>& tenants,
+                     const std::vector<std::size_t>& order,
+                     std::vector<std::uint32_t>& shares) {
+  // Unmet demand: how far each tenant's requested pool sits above its floor.
+  std::vector<std::uint32_t> extra(tenants.size(), 0);
+  std::uint64_t total_extra = 0;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const std::uint32_t want =
+        std::max(tenants[i].live_instances,
+                 std::min(tenants[i].requested_pool, site_cap));
+    extra[i] = want - tenants[i].live_instances;
+    total_extra += extra[i];
+  }
+  if (total_extra <= spare) {
+    // Every demand fits; undemanded capacity stays unallocated until a
+    // tenant asks for it at a later reallocation.
+    for (std::size_t i = 0; i < shares.size(); ++i) shares[i] += extra[i];
+    return;
+  }
+  // Largest-remainder proportional split of the spare over unmet demand —
+  // exact integer arithmetic, so reallocation is deterministic.
+  std::vector<std::uint64_t> remainder(tenants.size(), 0);
+  std::uint32_t granted = 0;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const std::uint64_t num =
+        static_cast<std::uint64_t>(spare) * static_cast<std::uint64_t>(extra[i]);
+    const std::uint32_t grant = static_cast<std::uint32_t>(num / total_extra);
+    remainder[i] = num % total_extra;
+    shares[i] += grant;
+    granted += grant;
+  }
+  std::vector<std::size_t> by_remainder = order;
+  std::stable_sort(by_remainder.begin(), by_remainder.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return remainder[a] > remainder[b];
+                   });
+  for (std::size_t i : by_remainder) {
+    if (granted == spare) break;
+    if (remainder[i] == 0) continue;
+    ++shares[i];
+    ++granted;
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> allocate_shares(
+    ArbiterStrategy strategy, std::uint32_t site_cap,
+    const std::vector<TenantDemand>& tenants) {
+  WIRE_REQUIRE(site_cap >= 1, "site cap must be at least one instance");
+  if (tenants.empty()) return {};
+
+  std::uint64_t total_live = 0;
+  for (const TenantDemand& t : tenants) total_live += t.live_instances;
+  WIRE_REQUIRE(total_live <= site_cap,
+               "tenants hold more instances than the site cap");
+
+  // Floors: what each tenant already holds is never taken away.
+  std::vector<std::uint32_t> shares(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    shares[i] = tenants[i].live_instances;
+  }
+  const std::uint32_t spare =
+      site_cap - static_cast<std::uint32_t>(total_live);
+  const std::vector<std::size_t> order = fifo_order(tenants);
+
+  switch (strategy) {
+    case ArbiterStrategy::FifoExclusive:
+      fifo_exclusive(spare, order, shares);
+      break;
+    case ArbiterStrategy::StaticFairShare:
+      static_fair_share(site_cap, spare, order, shares);
+      break;
+    case ArbiterStrategy::DemandWeighted:
+      demand_weighted(site_cap, spare, tenants, order, shares);
+      break;
+  }
+
+  std::uint64_t total = 0;
+  for (std::uint32_t s : shares) total += s;
+  WIRE_CHECK(total <= site_cap, "arbiter over-allocated the site");
+  return shares;
+}
+
+}  // namespace wire::ensemble

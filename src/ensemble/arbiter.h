@@ -1,0 +1,72 @@
+// The site arbiter: partitions one shared instance cap among live tenants.
+//
+// Per-tenant cap semantics (the contract every strategy obeys):
+//
+//   1. `share[i] >= live_instances[i]` — a share never drops below what the
+//      tenant currently holds. The arbiter does not preempt: capacity flows
+//      between tenants only as their own scaling policies release instances
+//      (at charge boundaries, under the steering discipline). A tenant whose
+//      share shrank below its previous value simply cannot grow until its
+//      pool drains down.
+//   2. `sum(share) <= site_cap` — shares are an exclusive partition of the
+//      site. Together with (1) and the engine-side grow clipping this makes
+//      `sum(live) <= site_cap` an invariant at every event, not just at
+//      control ticks.
+//   3. Allocation is a pure function of (strategy, site_cap, tenants) with
+//      deterministic tie-breaking (arrival time, then job id), so ensemble
+//      runs are byte-reproducible.
+//
+// Strategies:
+//   FifoExclusive   — the whole site goes to the oldest unfinished job;
+//                     later arrivals wait in a FIFO queue (batch-queue
+//                     semantics, the zero-sharing baseline).
+//   StaticFairShare — every live tenant is entitled to ~cap/n; spare
+//                     capacity beyond the entitlements is handed out
+//                     round-robin in arrival order.
+//   DemandWeighted  — spare capacity (cap - sum(live)) is split in
+//                     proportion to each tenant's unmet demand, where demand
+//                     is the pool size the tenant's controller last asked
+//                     for (PoolCommand::desired_pool — WIRE's unclamped
+//                     Algorithm-3 size, the reactive baselines' load
+//                     target). Capacity nobody demands stays unallocated
+//                     and is re-offered at the next reallocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace wire::ensemble {
+
+enum class ArbiterStrategy {
+  FifoExclusive,
+  StaticFairShare,
+  DemandWeighted,
+};
+
+const char* strategy_name(ArbiterStrategy strategy);
+
+/// All three strategies, in the order above (bench sweeps).
+std::vector<ArbiterStrategy> all_strategies();
+
+/// One tenant's state as the arbiter sees it.
+struct TenantDemand {
+  std::uint32_t job = 0;
+  sim::SimTime arrival_seconds = 0.0;
+  /// Instances the tenant currently holds (provisioning + ready) — the floor
+  /// of its share.
+  std::uint32_t live_instances = 0;
+  /// Pool size the tenant's controller wants (>= 1 for a tenant that still
+  /// has work; waiting tenants report their bootstrap size).
+  std::uint32_t requested_pool = 0;
+};
+
+/// Partitions `site_cap` among `tenants` under `strategy`. Returns one share
+/// per tenant, in input order, satisfying the contract documented above.
+/// Requires site_cap >= 1 and sum(live_instances) <= site_cap.
+std::vector<std::uint32_t> allocate_shares(
+    ArbiterStrategy strategy, std::uint32_t site_cap,
+    const std::vector<TenantDemand>& tenants);
+
+}  // namespace wire::ensemble

@@ -1,0 +1,64 @@
+#include "ensemble/arrival.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wire::ensemble {
+
+namespace {
+
+/// Distinct seed streams per job: workflow instantiation and ground truth
+/// must not be correlated draws of the same stream.
+constexpr std::uint64_t kWorkflowStream = 0;
+constexpr std::uint64_t kRunStream = 1;
+
+void assign_seeds(std::vector<JobArrival>& jobs, std::uint64_t root) {
+  for (std::uint32_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].job = i;
+    jobs[i].workflow_seed =
+        util::derive_seed(root, 2ull * i + kWorkflowStream);
+    jobs[i].run_seed = util::derive_seed(root, 2ull * i + kRunStream);
+  }
+}
+
+}  // namespace
+
+ArrivalProcess ArrivalProcess::poisson(const PoissonArrivalConfig& config,
+                                       std::size_t profile_count) {
+  WIRE_REQUIRE(config.job_count >= 1, "need at least one job");
+  WIRE_REQUIRE(profile_count >= 1, "need at least one workflow profile");
+  WIRE_REQUIRE(config.mean_interarrival_seconds > 0.0,
+               "mean interarrival must be positive");
+  util::Rng rng(config.seed);
+  std::vector<JobArrival> jobs;
+  jobs.reserve(config.job_count);
+  sim::SimTime clock = 0.0;
+  for (std::uint32_t i = 0; i < config.job_count; ++i) {
+    clock += rng.exponential(config.mean_interarrival_seconds);
+    JobArrival a;
+    a.arrival_seconds = clock;
+    a.profile_index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(profile_count) - 1));
+    jobs.push_back(a);
+  }
+  assign_seeds(jobs, config.seed);
+  return ArrivalProcess(std::move(jobs));
+}
+
+ArrivalProcess ArrivalProcess::fixed_trace(std::vector<JobArrival> trace,
+                                           std::uint64_t seed) {
+  WIRE_REQUIRE(!trace.empty(), "need at least one job");
+  for (const JobArrival& a : trace) {
+    WIRE_REQUIRE(a.arrival_seconds >= 0.0, "arrival times must be >= 0");
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const JobArrival& a, const JobArrival& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+  assign_seeds(trace, seed);
+  return ArrivalProcess(std::move(trace));
+}
+
+}  // namespace wire::ensemble

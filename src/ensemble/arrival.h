@@ -1,0 +1,72 @@
+// Streaming job arrivals for the multi-tenant ensemble driver.
+//
+// An ArrivalProcess is a fully materialized, deterministic job stream: each
+// arrival names a workflow profile (by index into the profile set handed to
+// the driver), a site-clock arrival time, and two derived seeds — one for
+// workflow instantiation (workload::make_workflow) and one for the job's
+// ground-truth run variability. Materializing the stream up front keeps
+// ensemble runs byte-reproducible from (config, seed) and lets tests inspect
+// the exact trace the driver will see.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace wire::ensemble {
+
+/// One job of the stream.
+struct JobArrival {
+  /// Dense job id in arrival order (assigned by the process).
+  std::uint32_t job = 0;
+  /// Site-clock arrival time, seconds.
+  sim::SimTime arrival_seconds = 0.0;
+  /// Index into the profile set the ensemble driver was constructed with.
+  std::size_t profile_index = 0;
+  /// Seed for workload::make_workflow (per-job DAG instantiation).
+  std::uint64_t workflow_seed = 0;
+  /// Seed for the job's ground-truth variability (sim::RunOptions::seed).
+  std::uint64_t run_seed = 0;
+};
+
+/// Parameters of a Poisson job stream.
+struct PoissonArrivalConfig {
+  /// Mean interarrival time 1/λ, seconds.
+  double mean_interarrival_seconds = 600.0;
+  /// Number of jobs to draw.
+  std::uint32_t job_count = 50;
+  /// Root seed: drives interarrival draws, profile choices, and the derived
+  /// per-job workflow/run seeds.
+  std::uint64_t seed = 1;
+};
+
+/// A deterministic, pre-materialized stream of job arrivals.
+class ArrivalProcess {
+ public:
+  /// Poisson process: exponential interarrivals with the configured mean,
+  /// profiles drawn uniformly from [0, profile_count). Deterministic in
+  /// (config, profile_count). Requires job_count >= 1, profile_count >= 1,
+  /// mean_interarrival_seconds > 0.
+  static ArrivalProcess poisson(const PoissonArrivalConfig& config,
+                                std::size_t profile_count);
+
+  /// Fixed trace: the caller supplies (arrival time, profile index) pairs
+  /// explicitly; job ids and per-job seeds are (re)assigned in arrival
+  /// order so the trace is normalized. Requires a non-empty trace with
+  /// non-negative, non-decreasing-after-sort times.
+  static ArrivalProcess fixed_trace(std::vector<JobArrival> trace,
+                                    std::uint64_t seed = 1);
+
+  /// Arrivals sorted by (arrival time, job id).
+  const std::vector<JobArrival>& jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+
+ private:
+  explicit ArrivalProcess(std::vector<JobArrival> jobs)
+      : jobs_(std::move(jobs)) {}
+
+  std::vector<JobArrival> jobs_;
+};
+
+}  // namespace wire::ensemble

@@ -1,0 +1,233 @@
+#include "ensemble/driver.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/driver.h"
+#include "sim/engine.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace wire::ensemble {
+
+namespace {
+constexpr sim::SimTime kNever = std::numeric_limits<sim::SimTime>::infinity();
+}  // namespace
+
+struct EnsembleDriver::Tenant {
+  enum class State { Waiting, Active, Done };
+
+  JobArrival arrival;
+  dag::Workflow workflow;
+  std::unique_ptr<sim::ScalingPolicy> policy;
+  std::unique_ptr<sim::JobEngine> engine;
+  State state = State::Waiting;
+  sim::SimTime admitted_at = -1.0;
+  sim::SimTime completed_at = -1.0;
+  sim::RunResult result;
+
+  Tenant(JobArrival a, dag::Workflow wf) : arrival(a), workflow(std::move(wf)) {}
+
+  /// Site-clock time of the tenant's next internal event.
+  sim::SimTime next_event_site_time() const {
+    return admitted_at + engine->next_event_time();
+  }
+};
+
+EnsembleDriver::~EnsembleDriver() = default;
+
+EnsembleDriver::EnsembleDriver(std::vector<workload::WorkflowProfile> profiles,
+                               ArrivalProcess arrivals,
+                               PolicyFactory policy_factory,
+                               const sim::CloudConfig& cloud,
+                               const EnsembleOptions& options)
+    : profiles_(std::move(profiles)),
+      arrivals_(std::move(arrivals)),
+      policy_factory_(std::move(policy_factory)),
+      cloud_(cloud),
+      options_(options) {
+  WIRE_REQUIRE(!profiles_.empty(), "need at least one workflow profile");
+  WIRE_REQUIRE(options_.site_cap >= 1, "site cap must be at least one");
+  WIRE_REQUIRE(options_.initial_instances >= 1,
+               "jobs bootstrap with at least one instance");
+  WIRE_REQUIRE(static_cast<bool>(policy_factory_), "need a policy factory");
+  for (const JobArrival& a : arrivals_.jobs()) {
+    WIRE_REQUIRE(a.profile_index < profiles_.size(),
+                 "arrival references an unknown profile");
+  }
+  // The arbiter share is the binding per-tenant ceiling; the per-tenant
+  // engines must not additionally clip against a site-wide max_instances
+  // they believe they own exclusively.
+  cloud_.max_instances = 0;
+}
+
+void EnsembleDriver::admit(Tenant& tenant, sim::SimTime now) {
+  tenant.state = Tenant::State::Active;
+  tenant.admitted_at = now;
+  tenant.engine->start();
+}
+
+void EnsembleDriver::retire(Tenant& tenant, sim::SimTime now) {
+  tenant.state = Tenant::State::Done;
+  tenant.completed_at = now;
+  tenant.result = tenant.engine->result();
+  busy_slot_seconds_ += tenant.result.busy_slot_seconds;
+  allocated_instance_seconds_ += tenant.result.ready_instance_seconds;
+}
+
+void EnsembleDriver::rebalance(sim::SimTime now) {
+  // Demands over every arrived-but-unfinished tenant, in arrival order
+  // (tenants_ is appended in arrival order, so iteration order is FIFO).
+  std::vector<Tenant*> open;
+  std::vector<TenantDemand> demands;
+  for (const std::unique_ptr<Tenant>& t : tenants_) {
+    if (t->state == Tenant::State::Done) continue;
+    TenantDemand d;
+    d.job = t->arrival.job;
+    d.arrival_seconds = t->arrival.arrival_seconds;
+    if (t->state == Tenant::State::Active) {
+      d.live_instances = t->engine->live_instances();
+      d.requested_pool = t->engine->requested_pool();
+    } else {
+      d.live_instances = 0;
+      d.requested_pool = options_.initial_instances;
+    }
+    open.push_back(t.get());
+    demands.push_back(d);
+  }
+  if (open.empty()) return;
+
+  const std::vector<std::uint32_t> shares =
+      allocate_shares(options_.strategy, options_.site_cap, demands);
+
+  std::uint32_t live_total = 0;
+  for (std::size_t i = 0; i < open.size(); ++i) {
+    Tenant& t = *open[i];
+    t.engine->set_instance_cap(shares[i]);
+    if (t.state == Tenant::State::Waiting && shares[i] >= 1) {
+      admit(t, now);
+    }
+    live_total += t.engine->started() ? t.engine->live_instances() : 0;
+  }
+  WIRE_CHECK(live_total <= options_.site_cap,
+             "tenants exceed the shared site cap");
+
+  if (site_listener_) {
+    SiteSample sample;
+    sample.now = now;
+    sample.site_cap = options_.site_cap;
+    sample.live_total = live_total;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      sample.jobs.push_back(open[i]->arrival.job);
+      sample.live.push_back(open[i]->engine->started()
+                                ? open[i]->engine->live_instances()
+                                : 0);
+      sample.shares.push_back(shares[i]);
+    }
+    site_listener_(sample);
+  }
+}
+
+double EnsembleDriver::dedicated_makespan(const Tenant& tenant) {
+  // The counterfactual: the identical job (same DAG, same ground-truth
+  // seed, same policy kind) alone on the full site.
+  sim::CloudConfig dedicated = cloud_;
+  dedicated.max_instances = options_.site_cap;
+  const std::unique_ptr<sim::ScalingPolicy> policy = policy_factory_();
+  sim::RunOptions run_options;
+  run_options.seed = tenant.arrival.run_seed;
+  run_options.initial_instances = options_.initial_instances;
+  run_options.max_sim_seconds = options_.max_sim_seconds;
+  return sim::simulate(tenant.workflow, *policy, dedicated, run_options)
+      .makespan;
+}
+
+EnsembleReport EnsembleDriver::run() {
+  WIRE_REQUIRE(!ran_, "ensemble already ran");
+  ran_ = true;
+
+  std::size_t next_arrival = 0;
+  const std::vector<JobArrival>& stream = arrivals_.jobs();
+
+  for (;;) {
+    // Earliest pending site event: the next arrival or the earliest internal
+    // event among active tenants (ties: arrivals first, then lowest job id —
+    // both fixed by construction, so the interleaving is deterministic).
+    const sim::SimTime arrival_time = next_arrival < stream.size()
+                                          ? stream[next_arrival].arrival_seconds
+                                          : kNever;
+    Tenant* next_tenant = nullptr;
+    sim::SimTime tenant_time = kNever;
+    for (const std::unique_ptr<Tenant>& t : tenants_) {
+      if (t->state != Tenant::State::Active) continue;
+      const sim::SimTime when = t->next_event_site_time();
+      if (when < tenant_time) {
+        tenant_time = when;
+        next_tenant = t.get();
+      }
+    }
+    if (arrival_time == kNever && next_tenant == nullptr) break;
+
+    const sim::SimTime now = std::min(arrival_time, tenant_time);
+    if (now > options_.max_sim_seconds) {
+      throw std::runtime_error(
+          "ensemble exceeded max_sim_seconds — site appears stuck");
+    }
+
+    if (arrival_time <= tenant_time) {
+      const JobArrival& a = stream[next_arrival++];
+      auto tenant = std::make_unique<Tenant>(
+          a, workload::make_workflow(profiles_[a.profile_index],
+                                     a.workflow_seed));
+      tenant->policy = policy_factory_();
+      sim::RunOptions run_options;
+      run_options.seed = a.run_seed;
+      run_options.initial_instances = options_.initial_instances;
+      run_options.max_sim_seconds = options_.max_sim_seconds;
+      tenant->engine = std::make_unique<sim::JobEngine>(
+          tenant->workflow, *tenant->policy, cloud_, run_options);
+      tenants_.push_back(std::move(tenant));
+    } else {
+      next_tenant->engine->step();
+      if (next_tenant->engine->done()) {
+        retire(*next_tenant, now);
+      }
+    }
+    // Rebalance after every event: demands move on control ticks, floors
+    // move on boots/releases, and retirements free whole shares.
+    rebalance(now);
+  }
+
+  EnsembleReport report;
+  report.tenant_policy = tenants_.empty()
+                             ? std::string("none")
+                             : tenants_.front()->result.policy_name;
+  report.arbiter_strategy = strategy_name(options_.strategy);
+  report.site_cap = options_.site_cap;
+  report.slots_per_instance = cloud_.slots_per_instance;
+  for (const std::unique_ptr<Tenant>& t : tenants_) {
+    WIRE_CHECK(t->state == Tenant::State::Done, "unfinished tenant at exit");
+    JobOutcome j;
+    j.job = t->arrival.job;
+    j.workflow_name = t->workflow.name();
+    j.arrival_seconds = t->arrival.arrival_seconds;
+    j.admitted_seconds = t->admitted_at;
+    j.completed_seconds = t->completed_at;
+    j.queue_wait_seconds = t->admitted_at - t->arrival.arrival_seconds;
+    j.makespan_seconds = t->result.makespan;
+    if (options_.dedicated_baseline) {
+      j.dedicated_makespan_seconds = dedicated_makespan(*t);
+      j.slowdown = (j.queue_wait_seconds + j.makespan_seconds) /
+                   j.dedicated_makespan_seconds;
+    }
+    j.cost_units = t->result.cost_units;
+    j.peak_instances = t->result.peak_instances;
+    j.task_restarts = t->result.task_restarts;
+    report.jobs.push_back(std::move(j));
+  }
+  report.finalize(busy_slot_seconds_, allocated_instance_seconds_);
+  return report;
+}
+
+}  // namespace wire::ensemble

@@ -1,0 +1,108 @@
+// The ensemble driver: runs a stream of workflow jobs on one shared cloud
+// site. Each job gets its own FrameworkMaster + ScalingPolicy instance (a
+// fresh one from the policy factory) wrapped in a sim::JobEngine; the driver
+// multiplexes the engines over a single site clock, interleaving their
+// discrete events in global time order. The SiteArbiter partitions the site
+// instance cap among live jobs after every event; each tenant's engine
+// enforces its share on the grow path and surfaces it to the tenant's policy
+// through MonitorSnapshot::pool_cap.
+//
+// Isolation contract: a tenant's policy sees only its own job — its DAG, its
+// task observations, its instances, its share as pool_cap. Nothing about
+// other tenants (not even their existence) leaks through the monitoring
+// surface; cross-tenant coupling happens exclusively through the arbiter's
+// capacity partition.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ensemble/arbiter.h"
+#include "ensemble/arrival.h"
+#include "ensemble/report.h"
+#include "sim/config.h"
+#include "sim/scaling_policy.h"
+#include "workload/profiles.h"
+
+namespace wire::ensemble {
+
+/// Creates one fresh policy instance per job (tenant controllers share no
+/// state across jobs).
+using PolicyFactory =
+    std::function<std::unique_ptr<sim::ScalingPolicy>()>;
+
+struct EnsembleOptions {
+  ArbiterStrategy strategy = ArbiterStrategy::StaticFairShare;
+  /// Shared site capacity partitioned by the arbiter (>= 1).
+  std::uint32_t site_cap = 12;
+  /// Per-job bootstrap pool at admission, clamped to the job's share.
+  std::uint32_t initial_instances = 1;
+  /// Hard guard against a stuck ensemble (site clock).
+  sim::SimTime max_sim_seconds = 90.0 * 24.0 * 3600.0;
+  /// Also run every job alone on the full site (same workflow, policy kind,
+  /// seeds) to compute the dedicated-site makespan that per-job slowdown is
+  /// measured against. Doubles the simulation work; disable for quick runs
+  /// (slowdown and dedicated makespan then report 0).
+  bool dedicated_baseline = true;
+};
+
+/// Site-level observation emitted after every processed event (arrival,
+/// tenant event, retirement) once shares are rebalanced. Tests use it to
+/// assert the capacity invariant at every control point.
+struct SiteSample {
+  sim::SimTime now = 0.0;
+  std::uint32_t site_cap = 0;
+  /// Sum of live instances across all tenants (<= site_cap, invariant).
+  std::uint32_t live_total = 0;
+  /// Per-tenant rows, one for every job that has arrived but not finished,
+  /// in arrival order.
+  std::vector<std::uint32_t> jobs;
+  std::vector<std::uint32_t> live;
+  std::vector<std::uint32_t> shares;
+};
+
+class EnsembleDriver {
+ public:
+  /// `profiles` is the workflow catalogue the arrival stream indexes into;
+  /// `cloud` describes one site instance (its max_instances is ignored —
+  /// EnsembleOptions::site_cap is the shared ceiling, and the per-tenant
+  /// engines are capped by their arbiter shares instead).
+  EnsembleDriver(std::vector<workload::WorkflowProfile> profiles,
+                 ArrivalProcess arrivals, PolicyFactory policy_factory,
+                 const sim::CloudConfig& cloud,
+                 const EnsembleOptions& options = {});
+  ~EnsembleDriver();  // out of line: Tenant is private to the .cpp
+
+  /// Observer invoked after every processed site event (optional).
+  void set_site_listener(std::function<void(const SiteSample&)> listener) {
+    site_listener_ = std::move(listener);
+  }
+
+  /// Runs the whole stream to completion and reports. Deterministic in
+  /// (profiles, arrivals, policy factory output, cloud, options): two runs
+  /// with identical inputs produce byte-identical reports. Call once.
+  EnsembleReport run();
+
+ private:
+  struct Tenant;
+
+  void admit(Tenant& tenant, sim::SimTime now);
+  void retire(Tenant& tenant, sim::SimTime now);
+  void rebalance(sim::SimTime now);
+  double dedicated_makespan(const Tenant& tenant);
+
+  std::vector<workload::WorkflowProfile> profiles_;
+  ArrivalProcess arrivals_;
+  PolicyFactory policy_factory_;
+  sim::CloudConfig cloud_;
+  EnsembleOptions options_;
+  std::function<void(const SiteSample&)> site_listener_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  double busy_slot_seconds_ = 0.0;
+  double allocated_instance_seconds_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace wire::ensemble

@@ -1,0 +1,105 @@
+#include "ensemble/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace wire::ensemble {
+
+void EnsembleReport::finalize(double busy_slot_seconds,
+                              double allocated_instance_seconds) {
+  WIRE_REQUIRE(site_cap > 0 && slots_per_instance > 0,
+               "finalize needs the site geometry");
+  horizon_seconds = 0.0;
+  total_cost_units = 0.0;
+  mean_queue_wait_seconds = 0.0;
+  mean_slowdown = 0.0;
+  max_slowdown = 0.0;
+  for (const JobOutcome& j : jobs) {
+    horizon_seconds = std::max(horizon_seconds, j.completed_seconds);
+    total_cost_units += j.cost_units;
+    mean_queue_wait_seconds += j.queue_wait_seconds;
+    mean_slowdown += j.slowdown;
+    max_slowdown = std::max(max_slowdown, j.slowdown);
+  }
+  if (!jobs.empty()) {
+    mean_queue_wait_seconds /= static_cast<double>(jobs.size());
+    mean_slowdown /= static_cast<double>(jobs.size());
+  }
+  if (horizon_seconds > 0.0) {
+    const double capacity_slot_seconds =
+        static_cast<double>(site_cap) *
+        static_cast<double>(slots_per_instance) * horizon_seconds;
+    site_utilization = busy_slot_seconds / capacity_slot_seconds;
+    allocation_ratio = allocated_instance_seconds /
+                       (static_cast<double>(site_cap) * horizon_seconds);
+    throughput_jobs_per_hour =
+        static_cast<double>(jobs.size()) / horizon_seconds * 3600.0;
+  } else {
+    site_utilization = 0.0;
+    allocation_ratio = 0.0;
+    throughput_jobs_per_hour = 0.0;
+  }
+}
+
+std::string EnsembleReport::render() const {
+  util::TextTable table;
+  table.set_header({"job", "workflow", "arrival", "wait", "makespan",
+                    "dedicated", "slowdown", "cost", "peak", "restarts"});
+  for (const JobOutcome& j : jobs) {
+    table.add_row({std::to_string(j.job), j.workflow_name,
+                   util::fmt(j.arrival_seconds, 1),
+                   util::fmt(j.queue_wait_seconds, 1),
+                   util::fmt(j.makespan_seconds, 1),
+                   util::fmt(j.dedicated_makespan_seconds, 1),
+                   util::fmt(j.slowdown, 3), util::fmt(j.cost_units, 2),
+                   std::to_string(j.peak_instances),
+                   std::to_string(j.task_restarts)});
+  }
+  std::ostringstream out;
+  out << "ensemble: policy=" << tenant_policy
+      << " arbiter=" << arbiter_strategy << " site_cap=" << site_cap
+      << " jobs=" << jobs.size() << "\n";
+  out << table.render();
+  out << "horizon " << util::fmt(horizon_seconds, 1) << " s, total cost "
+      << util::fmt(total_cost_units, 2) << " units, site utilization "
+      << util::fmt(site_utilization, 4) << ", allocation ratio "
+      << util::fmt(allocation_ratio, 4) << ", throughput "
+      << util::fmt(throughput_jobs_per_hour, 3) << " jobs/h, mean wait "
+      << util::fmt(mean_queue_wait_seconds, 1) << " s, slowdown mean "
+      << util::fmt(mean_slowdown, 3) << " / max "
+      << util::fmt(max_slowdown, 3) << "\n";
+  return out.str();
+}
+
+bool operator==(const JobOutcome& a, const JobOutcome& b) {
+  return a.job == b.job && a.workflow_name == b.workflow_name &&
+         a.arrival_seconds == b.arrival_seconds &&
+         a.admitted_seconds == b.admitted_seconds &&
+         a.completed_seconds == b.completed_seconds &&
+         a.queue_wait_seconds == b.queue_wait_seconds &&
+         a.makespan_seconds == b.makespan_seconds &&
+         a.dedicated_makespan_seconds == b.dedicated_makespan_seconds &&
+         a.slowdown == b.slowdown && a.cost_units == b.cost_units &&
+         a.peak_instances == b.peak_instances &&
+         a.task_restarts == b.task_restarts;
+}
+
+bool operator==(const EnsembleReport& a, const EnsembleReport& b) {
+  return a.tenant_policy == b.tenant_policy &&
+         a.arbiter_strategy == b.arbiter_strategy &&
+         a.site_cap == b.site_cap &&
+         a.slots_per_instance == b.slots_per_instance && a.jobs == b.jobs &&
+         a.horizon_seconds == b.horizon_seconds &&
+         a.total_cost_units == b.total_cost_units &&
+         a.site_utilization == b.site_utilization &&
+         a.allocation_ratio == b.allocation_ratio &&
+         a.throughput_jobs_per_hour == b.throughput_jobs_per_hour &&
+         a.mean_queue_wait_seconds == b.mean_queue_wait_seconds &&
+         a.mean_slowdown == b.mean_slowdown &&
+         a.max_slowdown == b.max_slowdown;
+}
+
+}  // namespace wire::ensemble

@@ -54,6 +54,11 @@ std::unique_ptr<sim::ScalingPolicy> make_policy(
   return nullptr;
 }
 
+std::function<std::unique_ptr<sim::ScalingPolicy>()> policy_factory(
+    PolicyKind kind, const core::WireOptions& wire_options) {
+  return [kind, wire_options]() { return make_policy(kind, wire_options); };
+}
+
 std::uint32_t initial_instances(PolicyKind kind,
                                 const sim::CloudConfig& config) {
   if (kind == PolicyKind::FullSite) {

@@ -3,6 +3,7 @@
 // site of §IV-B (12 XOXLarge instances max, 4 slots each, ~3 minute lag).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,12 @@ sim::CloudConfig paper_cloud(double charging_unit_seconds);
 
 /// Instantiates a policy. `wire_options` applies to PolicyKind::Wire only.
 std::unique_ptr<sim::ScalingPolicy> make_policy(
+    PolicyKind kind, const core::WireOptions& wire_options = {});
+
+/// A reusable factory for `kind`: each call yields a fresh policy instance.
+/// This is the shape the multi-tenant ensemble driver consumes (one
+/// controller per concurrent job).
+std::function<std::unique_ptr<sim::ScalingPolicy>()> policy_factory(
     PolicyKind kind, const core::WireOptions& wire_options = {});
 
 /// Bootstrap pool size for a policy on a site: the full site for FullSite,

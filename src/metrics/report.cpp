@@ -14,6 +14,13 @@ void CellStats::add(const sim::RunResult& result) {
   restarts.add(static_cast<double>(result.task_restarts));
 }
 
+void EnsembleCellStats::add(double job_slowdown, double job_queue_wait,
+                            double job_cost) {
+  slowdown.add(job_slowdown);
+  queue_wait_seconds.add(job_queue_wait);
+  cost_units.add(job_cost);
+}
+
 double true_error(double estimate, double actual) { return estimate - actual; }
 
 double relative_true_error(double estimate, double actual) {

@@ -25,6 +25,19 @@ struct CellStats {
   std::size_t runs() const { return cost_units.count(); }
 };
 
+/// Aggregate of one ensemble experiment cell (same arrival stream, arbiter
+/// strategy, tenant policy) across the jobs of the stream: per-job slowdown
+/// vs the dedicated-site makespan, queue wait, and billed cost — the
+/// multi-tenant counterparts of CellStats' per-run metrics.
+struct EnsembleCellStats {
+  util::RunningStats slowdown;
+  util::RunningStats queue_wait_seconds;
+  util::RunningStats cost_units;
+
+  void add(double job_slowdown, double job_queue_wait, double job_cost);
+  std::size_t jobs() const { return slowdown.count(); }
+};
+
 /// §IV-D error definitions: for a task with actual execution time t and
 /// estimate t', the true error is t' - t and the relative true error is
 /// (t' - t)/t.

@@ -63,9 +63,12 @@ void StaticPolicy::on_run_start(const dag::Workflow& /*workflow*/,
 
 sim::PoolCommand StaticPolicy::plan(const sim::MonitorSnapshot& snapshot) {
   sim::PoolCommand cmd;
+  cmd.desired_pool = size_;
+  const std::uint32_t target =
+      snapshot.pool_cap > 0 ? std::min(size_, snapshot.pool_cap) : size_;
   const std::uint32_t live =
       static_cast<std::uint32_t>(snapshot.instances.size());
-  if (live < size_) cmd.grow = size_ - live;
+  if (live < target) cmd.grow = target - live;
   return cmd;
 }
 
@@ -77,7 +80,10 @@ void PureReactivePolicy::on_run_start(const dag::Workflow& /*workflow*/,
 sim::PoolCommand PureReactivePolicy::plan(
     const sim::MonitorSnapshot& snapshot) {
   sim::PoolCommand cmd;
-  const std::uint32_t target = reactive_target(snapshot, config_);
+  cmd.desired_pool = reactive_target(snapshot, config_);
+  const std::uint32_t target =
+      snapshot.pool_cap > 0 ? std::min(cmd.desired_pool, snapshot.pool_cap)
+                            : cmd.desired_pool;
   const std::uint32_t m = live_non_draining(snapshot);
   if (target > m) {
     cmd.grow = target - m;
@@ -117,7 +123,10 @@ void ReactiveConservingPolicy::on_run_start(const dag::Workflow& /*workflow*/,
 sim::PoolCommand ReactiveConservingPolicy::plan(
     const sim::MonitorSnapshot& snapshot) {
   sim::PoolCommand cmd;
-  const std::uint32_t target = reactive_target(snapshot, config_);
+  cmd.desired_pool = reactive_target(snapshot, config_);
+  const std::uint32_t target =
+      snapshot.pool_cap > 0 ? std::min(cmd.desired_pool, snapshot.pool_cap)
+                            : cmd.desired_pool;
   const std::uint32_t m = live_non_draining(snapshot);
   if (target > m) {
     cmd.grow = target - m;

@@ -1,0 +1,430 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace wire::sim {
+
+using dag::TaskId;
+
+JobEngine::JobEngine(const dag::Workflow& workflow, ScalingPolicy& policy,
+                     const CloudConfig& config, const RunOptions& options)
+    : workflow_(workflow),
+      policy_(policy),
+      config_(config),
+      options_(options),
+      cloud_(config),
+      framework_(workflow, config.first_fire_priority,
+                 config.checkpoint_fraction),
+      variability_(config.variability, options.seed) {
+  WIRE_REQUIRE(config.lag_seconds > 0.0, "lag must be positive");
+  WIRE_REQUIRE(config.charging_unit_seconds > 0.0,
+               "charging unit must be positive");
+  WIRE_REQUIRE(config.slots_per_instance > 0, "need at least one slot");
+}
+
+std::uint32_t JobEngine::effective_cap() const {
+  const std::uint32_t site =
+      config_.max_instances == 0 ? kNoInstanceCap : config_.max_instances;
+  return std::min(site, external_cap_);
+}
+
+void JobEngine::start() {
+  WIRE_REQUIRE(!started_, "engine already started");
+  started_ = true;
+  policy_.on_run_start(workflow_, config_);
+  const std::uint32_t initial =
+      std::min(options_.initial_instances, effective_cap());
+  for (std::uint32_t i = 0; i < initial; ++i) {
+    const InstanceId id =
+        cloud_.request_ready(0.0, variability_.sample_instance_factor());
+    framework_.register_instance(id, config_.slots_per_instance);
+  }
+  requested_pool_ = initial;
+  dispatch_all(0.0);
+  queue_.schedule(0.0, EventKind::ControlTick, 0);
+}
+
+SimTime JobEngine::next_event_time() const {
+  WIRE_REQUIRE(started_, "engine not started");
+  WIRE_CHECK(!queue_.empty(),
+             "simulation deadlock: tasks pending but no events scheduled");
+  return queue_.next_time();
+}
+
+void JobEngine::step() {
+  WIRE_REQUIRE(started_ && !done(), "step on an idle engine");
+  WIRE_CHECK(!queue_.empty(),
+             "simulation deadlock: tasks pending but no events scheduled");
+  const Event e = queue_.pop();
+  if (e.time > options_.max_sim_seconds) {
+    throw std::runtime_error(
+        "simulation exceeded max_sim_seconds — policy appears stuck on '" +
+        workflow_.name() + "'");
+  }
+  switch (e.kind) {
+    case EventKind::InstanceReady: handle_instance_ready(e); break;
+    case EventKind::TransferInDone: handle_transfer_in_done(e); break;
+    case EventKind::ExecDone: handle_exec_done(e); break;
+    case EventKind::TransferOutDone: handle_transfer_out_done(e); break;
+    case EventKind::ControlTick: handle_control_tick(e); break;
+    case EventKind::InstanceDrain: handle_instance_drain(e); break;
+    case EventKind::TransferGuard: handle_transfer_guard(e); break;
+    case EventKind::TransferStart: handle_transfer_start(e); break;
+  }
+}
+
+void JobEngine::dispatch_all(SimTime now) {
+  while (framework_.has_ready()) {
+    InstanceId target = kInvalidInstance;
+    for (InstanceId id : cloud_.dispatchable(now)) {
+      if (framework_.free_slots(id) > 0) {
+        target = id;
+        break;
+      }
+    }
+    if (target == kInvalidInstance) return;
+    const TaskId task = framework_.pop_ready();
+    const std::uint32_t slot = framework_.take_free_slot(target);
+    framework_.on_dispatch(task, target, slot, now);
+    begin_transfer(task, /*inbound=*/true, workflow_.task(task).input_mb,
+                   now);
+  }
+}
+
+double JobEngine::transfer_rate() const {
+  if (transfers_.empty()) return 0.0;
+  return std::min(config_.variability.bandwidth_mb_per_s,
+                  config_.variability.aggregate_bandwidth_mb_per_s /
+                      static_cast<double>(transfers_.size()));
+}
+
+void JobEngine::advance_transfers(SimTime now) {
+  const double rate = transfer_rate();
+  const double dt = now - transfers_updated_;
+  if (dt > 0.0 && rate > 0.0) {
+    for (ActiveTransfer& t : transfers_) {
+      t.remaining_mb -= rate * dt;
+    }
+  }
+  transfers_updated_ = now;
+}
+
+void JobEngine::arm_transfer_guard(SimTime now) {
+  ++transfer_epoch_;
+  if (transfers_.empty()) return;
+  const double rate = transfer_rate();
+  WIRE_CHECK(rate > 0.0, "active transfers with zero rate");
+  double min_remaining = transfers_.front().remaining_mb;
+  for (const ActiveTransfer& t : transfers_) {
+    min_remaining = std::min(min_remaining, t.remaining_mb);
+  }
+  const SimTime when = now + std::max(0.0, min_remaining) / rate;
+  queue_.schedule(when, EventKind::TransferGuard, 0,
+                  static_cast<std::uint32_t>(transfer_epoch_));
+}
+
+void JobEngine::begin_transfer(TaskId task, bool inbound, double payload_mb,
+                               SimTime now) {
+  // The per-dispatch scheduling overhead is fixed wall time (the master's
+  // negotiation cycle), spent before the input transfer starts; it does not
+  // consume fabric bandwidth.
+  const double overhead =
+      inbound ? config_.dispatch_overhead_seconds : 0.0;
+  if (overhead > 0.0) {
+    queue_.schedule(now + overhead, EventKind::TransferStart, task,
+                    framework_.runtime(task).attempts);
+    return;
+  }
+  start_payload_transfer(task, inbound, payload_mb, now);
+}
+
+void JobEngine::handle_transfer_start(const Event& e) {
+  const TaskId task = e.payload;
+  if (!attempt_is_current(task, e.aux)) return;
+  start_payload_transfer(task, /*inbound=*/true,
+                         workflow_.task(task).input_mb, e.time);
+}
+
+void JobEngine::start_payload_transfer(TaskId task, bool inbound,
+                                       double payload_mb, SimTime now) {
+  const EventKind done_kind =
+      inbound ? EventKind::TransferInDone : EventKind::TransferOutDone;
+  const std::uint32_t attempt = framework_.runtime(task).attempts;
+  if (!shared_bandwidth() || payload_mb <= 0.0) {
+    const double duration = variability_.sample_transfer_seconds(payload_mb);
+    queue_.schedule(now + duration, done_kind, task, attempt);
+    return;
+  }
+  advance_transfers(now);
+  ActiveTransfer t;
+  t.task = task;
+  t.attempt = attempt;
+  t.inbound = inbound;
+  // The setup latency is converted to its link-speed payload equivalent so
+  // the whole transfer lives in one bandwidth-sharing regime.
+  t.remaining_mb = payload_mb * variability_.sample_transfer_noise() +
+                   config_.variability.transfer_latency_seconds *
+                       config_.variability.bandwidth_mb_per_s;
+  transfers_.push_back(t);
+  arm_transfer_guard(now);
+}
+
+void JobEngine::finish_transfer_in(TaskId task, SimTime now) {
+  framework_.on_transfer_in_done(task, now);
+  const double factor =
+      cloud_.instance(framework_.runtime(task).instance).speed_factor;
+  double exec = variability_.sample_exec_seconds(
+      workflow_.task(task).ref_exec_seconds, factor);
+  // Checkpointed progress from killed attempts shortens the re-execution.
+  exec = std::max(0.0, exec - framework_.runtime(task).salvaged_exec);
+  queue_.schedule(now + exec, EventKind::ExecDone, task,
+                  framework_.runtime(task).attempts);
+}
+
+void JobEngine::finish_transfer_out(TaskId task, SimTime now) {
+  framework_.on_complete(task, now);
+  if (framework_.all_complete()) {
+    end_time_ = now;
+    return;
+  }
+  dispatch_all(now);
+}
+
+void JobEngine::handle_transfer_guard(const Event& e) {
+  if (static_cast<std::uint32_t>(transfer_epoch_) != e.aux) return;
+  advance_transfers(e.time);
+  std::vector<ActiveTransfer> finished;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < transfers_.size(); ++i) {
+    ActiveTransfer& t = transfers_[i];
+    const bool stale = !attempt_is_current(t.task, t.attempt);
+    if (stale) continue;  // dropped silently (task was resubmitted)
+    if (t.remaining_mb <= 1e-9) {
+      finished.push_back(t);
+      continue;
+    }
+    transfers_[keep++] = t;
+  }
+  transfers_.resize(keep);
+  arm_transfer_guard(e.time);
+  for (const ActiveTransfer& t : finished) {
+    if (t.inbound) {
+      finish_transfer_in(t.task, e.time);
+    } else {
+      finish_transfer_out(t.task, e.time);
+    }
+    if (framework_.all_complete()) return;
+  }
+}
+
+void JobEngine::purge_stale_transfers(SimTime now) {
+  if (!shared_bandwidth() || transfers_.empty()) return;
+  advance_transfers(now);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < transfers_.size(); ++i) {
+    if (attempt_is_current(transfers_[i].task, transfers_[i].attempt)) {
+      transfers_[keep++] = transfers_[i];
+    }
+  }
+  if (keep != transfers_.size()) {
+    transfers_.resize(keep);
+    arm_transfer_guard(now);
+  }
+}
+
+void JobEngine::handle_instance_ready(const Event& e) {
+  const InstanceId id = e.payload;
+  if (cloud_.instance(id).state == InstanceState::Terminated) return;
+  cloud_.mark_ready(id, e.time);
+  framework_.register_instance(id, config_.slots_per_instance);
+  dispatch_all(e.time);
+}
+
+void JobEngine::handle_transfer_in_done(const Event& e) {
+  const TaskId task = e.payload;
+  if (!attempt_is_current(task, e.aux)) return;
+  finish_transfer_in(task, e.time);
+}
+
+void JobEngine::handle_exec_done(const Event& e) {
+  const TaskId task = e.payload;
+  if (!attempt_is_current(task, e.aux)) return;
+  framework_.on_exec_done(task, e.time);
+  begin_transfer(task, /*inbound=*/false, workflow_.task(task).output_mb,
+                 e.time);
+}
+
+void JobEngine::handle_transfer_out_done(const Event& e) {
+  const TaskId task = e.payload;
+  if (!attempt_is_current(task, e.aux)) return;
+  finish_transfer_out(task, e.time);
+}
+
+MonitorSnapshot JobEngine::build_snapshot(SimTime now) const {
+  MonitorSnapshot snap;
+  snap.now = now;
+  const std::uint32_t cap = effective_cap();
+  snap.pool_cap = cap == kNoInstanceCap ? 0 : cap;
+  framework_.fill_observations(now, snap.tasks);
+  snap.ready_queue = framework_.ready_queue_snapshot();
+  snap.incomplete_tasks = static_cast<std::uint32_t>(
+      workflow_.task_count() - framework_.completed_count());
+  for (InstanceId id : cloud_.live()) {
+    const Instance& inst = cloud_.instance(id);
+    InstanceObservation obs;
+    obs.id = id;
+    obs.provisioning = inst.state == InstanceState::Provisioning;
+    obs.ready_at = inst.ready_at;
+    obs.draining = inst.drain_at >= 0.0;
+    if (inst.state == InstanceState::Ready) {
+      obs.time_to_next_charge = cloud_.time_to_next_charge(id, now);
+      obs.running_tasks = framework_.tasks_on(id);
+      obs.free_slots = framework_.free_slots(id);
+    } else {
+      obs.time_to_next_charge = config_.charging_unit_seconds;
+      obs.free_slots = config_.slots_per_instance;
+    }
+    snap.instances.push_back(std::move(obs));
+  }
+  return snap;
+}
+
+void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
+  // Drain reclaims first: they add capacity instantly and may make grow
+  // requests unnecessary (the policy accounts for that when it issues both).
+  bool reclaimed = false;
+  for (InstanceId id : cmd.cancel_drains) {
+    if (id >= cloud_.instance_count()) continue;
+    const Instance& inst = cloud_.instance(id);
+    if (inst.state != InstanceState::Ready || inst.drain_at < 0.0) continue;
+    cloud_.cancel_drain(id);
+    reclaimed = true;
+  }
+  if (reclaimed) dispatch_all(now);
+
+  // Grow, clipped to the binding ceiling (site capacity and, in multi-tenant
+  // runs, the external arbiter share).
+  std::uint32_t grow = cmd.grow;
+  const std::uint32_t cap = effective_cap();
+  const std::uint32_t live = cloud_.live_count();
+  grow = live >= cap ? 0 : std::min(grow, cap - live);
+  for (std::uint32_t i = 0; i < grow; ++i) {
+    const InstanceId id =
+        cloud_.request(now, variability_.sample_instance_factor());
+    queue_.schedule(cloud_.instance(id).ready_at, EventKind::InstanceReady,
+                    id);
+  }
+
+  // Releases.
+  bool need_dispatch = false;
+  for (const Release& rel : cmd.releases) {
+    if (rel.instance >= cloud_.instance_count()) continue;
+    const Instance& inst = cloud_.instance(rel.instance);
+    if (inst.state == InstanceState::Terminated) continue;
+    if (inst.state == InstanceState::Provisioning) {
+      // Cancel mid-boot: never billed, never usable.
+      cloud_.terminate(rel.instance, now);
+      continue;
+    }
+    if (rel.at_charge_boundary) {
+      if (inst.drain_at >= 0.0) continue;  // already draining
+      const SimTime when = cloud_.schedule_drain(rel.instance, now);
+      queue_.schedule(when, EventKind::InstanceDrain, rel.instance);
+    } else {
+      framework_.resubmit_tasks_on(rel.instance, now);
+      cloud_.terminate(rel.instance, now);
+      need_dispatch = true;
+    }
+  }
+  if (need_dispatch) {
+    purge_stale_transfers(now);
+    dispatch_all(now);
+  }
+}
+
+void JobEngine::handle_control_tick(const Event& e) {
+  if (framework_.all_complete()) return;
+  ++control_ticks_;
+  const MonitorSnapshot snap = build_snapshot(e.time);
+  if (options_.record_pool_timeline) {
+    PoolSample sample;
+    sample.time = e.time;
+    sample.live_instances = cloud_.live_count();
+    sample.ready_tasks = static_cast<std::uint32_t>(snap.ready_queue.size());
+    for (const TaskObservation& t : snap.tasks) {
+      if (t.phase == TaskPhase::Running) ++sample.running_tasks;
+    }
+    timeline_.push_back(sample);
+  }
+  const PoolCommand cmd = policy_.plan(snap);
+  // The demand signal: the policy's own desired size when reported, else the
+  // pool its command steers toward (non-draining live + grows - releases),
+  // both pre-clamping.
+  if (cmd.desired_pool > 0) {
+    requested_pool_ = cmd.desired_pool;
+  } else {
+    std::uint32_t m = 0;
+    for (const InstanceObservation& inst : snap.instances) {
+      if (!inst.draining) ++m;
+    }
+    const std::uint32_t releases =
+        static_cast<std::uint32_t>(cmd.releases.size());
+    requested_pool_ = m + cmd.grow - std::min(releases, m + cmd.grow);
+  }
+  apply_command(cmd, e.time);
+  queue_.schedule(e.time + config_.lag_seconds, EventKind::ControlTick, 0);
+}
+
+void JobEngine::handle_instance_drain(const Event& e) {
+  const InstanceId id = e.payload;
+  const Instance& inst = cloud_.instance(id);
+  if (inst.state != InstanceState::Ready) return;
+  if (inst.drain_at < 0.0 || std::abs(inst.drain_at - e.time) > 1e-6) {
+    return;  // drain was cancelled or rescheduled
+  }
+  framework_.resubmit_tasks_on(id, e.time);
+  cloud_.terminate(id, e.time);
+  purge_stale_transfers(e.time);
+  dispatch_all(e.time);
+}
+
+RunResult JobEngine::result() {
+  WIRE_REQUIRE(done(), "result before completion");
+  WIRE_REQUIRE(!finalized_, "result already taken");
+  finalized_ = true;
+  WIRE_CHECK(end_time_ >= 0.0, "run finished without an end time");
+
+  // Release whatever is still allocated; paid units up to now are kept.
+  for (InstanceId id : cloud_.live()) {
+    cloud_.terminate(id, end_time_);
+  }
+
+  RunResult result;
+  result.policy_name = policy_.name();
+  result.makespan = end_time_;
+  result.cost_units = cloud_.total_charged_units(end_time_);
+  result.ready_instance_seconds = cloud_.total_ready_seconds(end_time_);
+  result.busy_slot_seconds = framework_.busy_slot_seconds();
+  result.wasted_slot_seconds = framework_.wasted_slot_seconds();
+  const double capacity =
+      result.ready_instance_seconds * config_.slots_per_instance;
+  result.utilization = capacity > 0.0
+                           ? (result.busy_slot_seconds +
+                              result.wasted_slot_seconds) / capacity
+                           : 0.0;
+  result.peak_instances = cloud_.peak_live();
+  result.task_restarts = framework_.total_restarts();
+  result.control_ticks = control_ticks_;
+  result.task_records.reserve(workflow_.task_count());
+  for (TaskId t = 0; t < workflow_.task_count(); ++t) {
+    result.task_records.push_back(framework_.runtime(t));
+  }
+  result.pool_timeline = std::move(timeline_);
+  return result;
+}
+
+}  // namespace wire::sim

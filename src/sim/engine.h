@@ -1,0 +1,162 @@
+// The single-job simulation engine, exposed as a steppable object so an
+// external multiplexer (the ensemble driver, src/ensemble/) can interleave
+// many concurrent jobs over one shared site clock without the engine owning
+// the outer event loop. `simulate()` (sim/driver.h) remains the one-call
+// wrapper for dedicated-site runs: it constructs a JobEngine, steps it to
+// completion, and returns the result.
+//
+// Multi-tenant contract: `set_instance_cap` imposes an external pool ceiling
+// (a site arbiter's share). The engine clips every grow request so that the
+// live instance count never exceeds the cap, and surfaces the cap to the
+// scaling policy through MonitorSnapshot::pool_cap so cap-aware policies
+// (WIRE's steering, the reactive baselines) can plan within it instead of
+// issuing requests that would be clipped. The cap may change between events;
+// an arbiter that never lowers a tenant's cap below its current live count
+// preserves `live <= cap` at all times (see ensemble/arbiter.h).
+//
+// All engine times are job-local: t = 0 is the engine's bootstrap, not the
+// site epoch. A multiplexer that admits the job at site time T compares
+// `T + next_event_time()` across tenants and leaves translation to itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/workflow.h"
+#include "sim/cloud.h"
+#include "sim/config.h"
+#include "sim/driver.h"
+#include "sim/event_queue.h"
+#include "sim/framework.h"
+#include "sim/scaling_policy.h"
+#include "sim/variability.h"
+
+namespace wire::sim {
+
+/// Sentinel for "no externally imposed pool ceiling". Distinct from 0, which
+/// is a valid cap that blocks all growth (an arbiter may park a tenant at
+/// zero while other tenants hold the whole site).
+inline constexpr std::uint32_t kNoInstanceCap = 0xFFFFFFFFu;
+
+class JobEngine {
+ public:
+  /// Binds to a workflow and policy (both kept by reference; must outlive the
+  /// engine). No events exist until start().
+  JobEngine(const dag::Workflow& workflow, ScalingPolicy& policy,
+            const CloudConfig& config, const RunOptions& options);
+
+  /// Bootstraps the run at local time 0: notifies the policy, boots the
+  /// initial pool (clamped to the instance cap), and schedules the first
+  /// control tick. Requires !started().
+  void start();
+  bool started() const { return started_; }
+
+  /// All tasks completed (trivially false before start()).
+  bool done() const { return started_ && framework_.all_complete(); }
+
+  /// Local time of the earliest pending event. Requires started() && !done().
+  SimTime next_event_time() const;
+
+  /// Processes exactly one event. Requires started() && !done(). Throws
+  /// std::runtime_error past RunOptions::max_sim_seconds (a stuck policy).
+  void step();
+
+  /// Externally imposed pool ceiling (kNoInstanceCap = none beyond the site
+  /// capacity in CloudConfig::max_instances; 0 = all growth blocked). Takes
+  /// effect from the next grow request; already-live instances are never
+  /// killed by a cap change.
+  void set_instance_cap(std::uint32_t cap) { external_cap_ = cap; }
+  std::uint32_t instance_cap() const { return external_cap_; }
+
+  /// Live (provisioning + ready) instances right now.
+  std::uint32_t live_instances() const { return cloud_.live_count(); }
+
+  /// Pool size the policy asked for at its last control tick, before any
+  /// cap clamping — the demand signal for demand-weighted arbitration.
+  /// Defaults to the bootstrap pool size until the first tick.
+  std::uint32_t requested_pool() const { return requested_pool_; }
+
+  std::uint32_t incomplete_tasks() const {
+    return static_cast<std::uint32_t>(workflow_.task_count() -
+                                      framework_.completed_count());
+  }
+
+  /// Finalizes the run: terminates any still-allocated instances (their
+  /// started charging units stay billed) and assembles the result. Requires
+  /// done(); call at most once.
+  RunResult result();
+
+  const dag::Workflow& workflow() const { return workflow_; }
+
+ private:
+  void dispatch_all(SimTime now);
+  void handle_instance_ready(const Event& e);
+  void handle_transfer_in_done(const Event& e);
+  void handle_exec_done(const Event& e);
+  void handle_transfer_out_done(const Event& e);
+  void handle_control_tick(const Event& e);
+  void handle_instance_drain(const Event& e);
+  void handle_transfer_guard(const Event& e);
+  void handle_transfer_start(const Event& e);
+
+  // --- Transfer model -------------------------------------------------
+  // With aggregate_bandwidth == 0 every transfer runs at link speed for a
+  // duration fixed when it starts. Otherwise transfers share the aggregate
+  // fabric processor-style: each active transfer proceeds at
+  // min(link, aggregate / n); a single epoch-stamped guard event tracks the
+  // earliest projected completion and is re-armed whenever the active set
+  // changes.
+  bool shared_bandwidth() const {
+    return config_.variability.aggregate_bandwidth_mb_per_s > 0.0;
+  }
+  double transfer_rate() const;
+  void advance_transfers(SimTime now);
+  void arm_transfer_guard(SimTime now);
+  void begin_transfer(dag::TaskId task, bool inbound, double payload_mb,
+                      SimTime now);
+  void start_payload_transfer(dag::TaskId task, bool inbound,
+                              double payload_mb, SimTime now);
+  void finish_transfer_in(dag::TaskId task, SimTime now);
+  void finish_transfer_out(dag::TaskId task, SimTime now);
+  void purge_stale_transfers(SimTime now);
+
+  MonitorSnapshot build_snapshot(SimTime now) const;
+  void apply_command(const PoolCommand& cmd, SimTime now);
+
+  /// The binding instance ceiling: min of the site capacity and the external
+  /// cap, with 0 meaning unlimited.
+  std::uint32_t effective_cap() const;
+
+  /// True if the event still refers to the task's current attempt.
+  bool attempt_is_current(dag::TaskId task, std::uint32_t attempt) const {
+    return framework_.runtime(task).attempts == attempt &&
+           framework_.runtime(task).phase == TaskPhase::Running;
+  }
+
+  const dag::Workflow& workflow_;
+  ScalingPolicy& policy_;
+  CloudConfig config_;
+  RunOptions options_;
+  CloudPool cloud_;
+  FrameworkMaster framework_;
+  VariabilityModel variability_;
+  EventQueue queue_;
+  struct ActiveTransfer {
+    dag::TaskId task = dag::kInvalidTask;
+    std::uint32_t attempt = 0;
+    bool inbound = true;
+    double remaining_mb = 0.0;
+  };
+  std::vector<ActiveTransfer> transfers_;
+  SimTime transfers_updated_ = 0.0;
+  std::uint64_t transfer_epoch_ = 0;
+  SimTime end_time_ = -1.0;
+  std::uint32_t control_ticks_ = 0;
+  std::vector<PoolSample> timeline_;
+  std::uint32_t external_cap_ = kNoInstanceCap;
+  std::uint32_t requested_pool_ = 0;
+  bool started_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace wire::sim

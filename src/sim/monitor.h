@@ -96,6 +96,15 @@ struct MonitorSnapshot {
   std::vector<dag::TaskId> ready_queue;
   /// Number of tasks not yet completed.
   std::uint32_t incomplete_tasks = 0;
+  /// Binding instance ceiling for this job: the site capacity, further
+  /// lowered by an externally imposed share when the job runs under a
+  /// multi-tenant arbiter (src/ensemble/). 0 = unlimited (also reported in
+  /// the rare transient where an arbiter parks an empty tenant at a zero
+  /// share — the engine clips all growth then regardless of what the policy
+  /// plans). Grow requests beyond the ceiling are clipped by the engine;
+  /// cap-aware policies plan within it instead (and report their
+  /// unconstrained demand through PoolCommand::desired_pool).
+  std::uint32_t pool_cap = 0;
 };
 
 }  // namespace wire::sim

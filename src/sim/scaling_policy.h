@@ -35,6 +35,12 @@ struct PoolCommand {
   /// dispatchable again immediately (no provisioning lag, no new charge —
   /// its unit keeps running). Ignored for instances that are not draining.
   std::vector<InstanceId> cancel_drains;
+  /// The pool size the policy would run with if it were unconstrained —
+  /// i.e. before clamping to MonitorSnapshot::pool_cap. Purely advisory: the
+  /// multi-tenant arbiter (src/ensemble/) uses it as the tenant's demand
+  /// signal for demand-weighted shares. 0 = not reported; the engine then
+  /// infers demand from grow/release counts.
+  std::uint32_t desired_pool = 0;
 };
 
 /// Interface implemented by WIRE (src/core) and the baselines (src/policies).

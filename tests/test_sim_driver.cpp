@@ -3,6 +3,9 @@
 // determinism, and restart behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "dag/analysis.h"
 #include "policies/baselines.h"
 #include "sim/driver.h"
@@ -196,6 +199,56 @@ TEST(Driver, PoolTimelineIsRecordedOnRequest) {
   for (const PoolSample& s : r.pool_timeline) {
     EXPECT_LE(s.live_instances, 12u);
   }
+}
+
+/// Releases everything and never grows again: the run can make no progress,
+/// which must trip the max_sim_seconds guard instead of looping forever.
+class StallPolicy final : public ScalingPolicy {
+ public:
+  std::string name() const override { return "stall"; }
+  void on_run_start(const dag::Workflow&, const CloudConfig&) override {}
+  PoolCommand plan(const MonitorSnapshot& snapshot) override {
+    PoolCommand cmd;
+    for (const InstanceObservation& inst : snapshot.instances) {
+      cmd.releases.push_back({inst.id, /*at_charge_boundary=*/false});
+    }
+    return cmd;
+  }
+};
+
+TEST(Driver, StuckPolicyTripsMaxSimSeconds) {
+  const dag::Workflow wf = workload::linear_workflow(1, 4, 100.0);
+  StallPolicy policy;
+  RunOptions options;
+  options.initial_instances = 1;
+  options.max_sim_seconds = 3600.0;
+  EXPECT_THROW(simulate(wf, policy, exact_cloud(900.0), options),
+               std::runtime_error);
+}
+
+TEST(Driver, PoolTimelineSamplesEveryControlTick) {
+  const dag::Workflow wf = workload::linear_workflow(2, 8, 300.0);
+  policies::PureReactivePolicy policy;
+  RunOptions options;
+  options.initial_instances = 1;
+  options.record_pool_timeline = true;
+  const RunResult r = simulate(wf, policy, exact_cloud(60.0), options);
+  // One sample per control tick, in non-decreasing time order, and the live
+  // count matches what the run actually peaked at.
+  ASSERT_EQ(r.pool_timeline.size(), r.control_ticks);
+  std::uint32_t peak = 0;
+  for (std::size_t i = 0; i < r.pool_timeline.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(r.pool_timeline[i].time, r.pool_timeline[i - 1].time);
+    }
+    peak = std::max(peak, r.pool_timeline[i].live_instances);
+  }
+  EXPECT_EQ(peak, r.peak_instances);
+
+  RunOptions without = options;
+  without.record_pool_timeline = false;
+  policies::PureReactivePolicy p2;
+  EXPECT_TRUE(simulate(wf, p2, exact_cloud(60.0), without).pool_timeline.empty());
 }
 
 TEST(Driver, InvalidConfigurationThrows) {

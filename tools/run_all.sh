@@ -3,10 +3,16 @@
 # table/figure bench (bench_output.txt), and — when matplotlib is available —
 # the PNG plots. Run from the repository root.
 set -e
-cmake -B build -G Ninja
-cmake --build build
+if command -v ninja >/dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build --parallel
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do
+# Every bench binary the build produced (bench_ensemble included); CMake may
+# nest outputs differently across generators, so glob both layouts.
+for b in build/bench/bench_* build/bench/*/bench_*; do
   [ -f "$b" ] && [ -x "$b" ] && "$b"
 done 2>&1 | tee bench_output.txt
 python3 tools/plot_results.py || true
