@@ -8,18 +8,29 @@
 // Genome L snapshot (the largest workload: 4005 tasks), plus the controller
 // state footprint and the end-to-end controller time as a fraction of
 // aggregate task execution time.
+// Monitor phase: the incremental MonitorStore replaced the per-tick
+// from-scratch snapshot rebuild; the BM_MonitorTick* benchmarks compare the
+// two paths on idle control intervals of Epigenomics S vs L. The store path
+// must cost O(changes + live instances) — near-identical for S and L when
+// nothing happened — while the rebuild path scales with total task count.
+// `bench_overhead --smoke` runs just that comparison as a fast CI tripwire
+// (asserts the store path beats the rebuild on L and stays within a small
+// constant of S) without the google-benchmark harness.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string_view>
 
 #include "core/controller.h"
 #include "core/lookahead.h"
 #include "core/steering.h"
 #include "exp/settings.h"
+#include "policies/baselines.h"
 #include "predict/task_predictor.h"
 #include "sim/driver.h"
+#include "sim/engine.h"
 #include "workload/generators.h"
 #include "workload/profiles.h"
 
@@ -89,6 +100,20 @@ void BM_PredictorObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictorObserve);
 
+// The pre-refactor harvest path: without an exact delta journal the
+// predictor falls back to scanning all N task observations per tick.
+void BM_PredictorObserveFullScan(benchmark::State& state) {
+  Fixture& f = fixture();
+  sim::MonitorSnapshot snapshot = f.snapshot;
+  snapshot.delta = sim::MonitorDelta{};
+  predict::TaskPredictor predictor(f.wf);
+  for (auto _ : state) {
+    predictor.observe(snapshot);
+    benchmark::DoNotOptimize(predictor.transfer_estimate());
+  }
+}
+BENCHMARK(BM_PredictorObserveFullScan);
+
 void BM_LookaheadSimulation(benchmark::State& state) {
   Fixture& f = fixture();
   for (auto _ : state) {
@@ -122,6 +147,74 @@ void BM_FullMapeIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMapeIteration);
 
+/// A JobEngine paused mid-run (about half the tasks complete) so the
+/// monitor paths can be measured on a live pool with running tasks but no
+/// pending events — an idle control interval, the common case.
+struct PausedEngine {
+  dag::Workflow wf;
+  sim::CloudConfig config;
+  policies::ReactiveConservingPolicy policy;
+  std::unique_ptr<sim::JobEngine> engine;
+  sim::SimTime now = 0.0;
+
+  explicit PausedEngine(const workload::WorkflowProfile& profile)
+      : wf(workload::make_workflow(profile, 7)),
+        config(exp::paper_cloud(900.0)) {
+    sim::RunOptions options;
+    options.seed = 11;
+    options.initial_instances = 1;
+    engine = std::make_unique<sim::JobEngine>(wf, policy, config, options);
+    engine->start();
+    const std::uint32_t half =
+        static_cast<std::uint32_t>(wf.task_count() / 2);
+    while (!engine->done() && engine->incomplete_tasks() > half) {
+      now = engine->next_event_time();
+      engine->step();
+    }
+  }
+};
+
+PausedEngine& epi_small_engine() {
+  static PausedEngine e(workload::epigenomics_profile(workload::Scale::Small));
+  return e;
+}
+
+PausedEngine& epi_large_engine() {
+  static PausedEngine e(workload::epigenomics_profile(workload::Scale::Large));
+  return e;
+}
+
+void BM_MonitorTickStore(benchmark::State& state, PausedEngine& fixture) {
+  for (auto _ : state) {
+    const sim::MonitorSnapshot& snap = fixture.engine->peek_monitor(fixture.now);
+    benchmark::DoNotOptimize(snap.incomplete_tasks);
+  }
+}
+void BM_MonitorTickStore_EpiS(benchmark::State& state) {
+  BM_MonitorTickStore(state, epi_small_engine());
+}
+BENCHMARK(BM_MonitorTickStore_EpiS);
+void BM_MonitorTickStore_EpiL(benchmark::State& state) {
+  BM_MonitorTickStore(state, epi_large_engine());
+}
+BENCHMARK(BM_MonitorTickStore_EpiL);
+
+void BM_MonitorTickRebuild(benchmark::State& state, PausedEngine& fixture) {
+  for (auto _ : state) {
+    const sim::MonitorSnapshot snap =
+        fixture.engine->rebuild_snapshot(fixture.now);
+    benchmark::DoNotOptimize(snap.incomplete_tasks);
+  }
+}
+void BM_MonitorTickRebuild_EpiS(benchmark::State& state) {
+  BM_MonitorTickRebuild(state, epi_small_engine());
+}
+BENCHMARK(BM_MonitorTickRebuild_EpiS);
+void BM_MonitorTickRebuild_EpiL(benchmark::State& state) {
+  BM_MonitorTickRebuild(state, epi_large_engine());
+}
+BENCHMARK(BM_MonitorTickRebuild_EpiL);
+
 void BM_ResizePoolAlg3(benchmark::State& state) {
   std::vector<double> load(static_cast<std::size_t>(state.range(0)));
   for (std::size_t i = 0; i < load.size(); ++i) {
@@ -133,9 +226,73 @@ void BM_ResizePoolAlg3(benchmark::State& state) {
 }
 BENCHMARK(BM_ResizePoolAlg3)->Arg(100)->Arg(1000)->Arg(4000);
 
+/// Best-of-`reps` average seconds per call — robust to scheduler noise on
+/// shared CI runners.
+template <typename F>
+double best_seconds_per_call(F&& fn, int iters, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto end = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double>(end - begin).count() / iters);
+  }
+  return best;
+}
+
+/// CI tripwire: the incremental store's idle-tick cost must (a) beat the
+/// from-scratch rebuild on the largest workload by a wide margin and (b) be
+/// roughly independent of total task count (Epigenomics L within a small
+/// constant of S). Thresholds are loose — the honest ratios are ~1x for
+/// (b) and >10x for (a) — so only a real complexity regression trips them.
+int run_smoke() {
+  PausedEngine& small = epi_small_engine();
+  PausedEngine& large = epi_large_engine();
+  const int iters = 5000;
+  const int reps = 5;
+  const double store_s = best_seconds_per_call(
+      [&] { benchmark::DoNotOptimize(small.engine->peek_monitor(small.now)); },
+      iters, reps);
+  const double store_l = best_seconds_per_call(
+      [&] { benchmark::DoNotOptimize(large.engine->peek_monitor(large.now)); },
+      iters, reps);
+  const double rebuild_l = best_seconds_per_call(
+      [&] {
+        const sim::MonitorSnapshot snap =
+            large.engine->rebuild_snapshot(large.now);
+        benchmark::DoNotOptimize(snap.incomplete_tasks);
+      },
+      iters, reps);
+
+  std::printf("monitor idle tick, store path:   Epigenomics-S %8.1f ns, "
+              "Epigenomics-L %8.1f ns (L/S ratio %.2f)\n",
+              store_s * 1e9, store_l * 1e9, store_l / store_s);
+  std::printf("monitor idle tick, rebuild path: Epigenomics-L %8.1f ns "
+              "(rebuild/store ratio on L: %.1f)\n",
+              rebuild_l * 1e9, rebuild_l / store_l);
+
+  bool ok = true;
+  if (store_l * 2.0 >= rebuild_l) {
+    std::printf("FAIL: store path on Epigenomics-L is not at least 2x faster "
+                "than the from-scratch rebuild\n");
+    ok = false;
+  }
+  if (store_l >= store_s * 8.0) {
+    std::printf("FAIL: store idle-tick cost grows with task count "
+                "(Epigenomics-L > 8x Epigenomics-S)\n");
+    ok = false;
+  }
+  std::printf(ok ? "smoke: OK\n" : "smoke: FAILED\n");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return run_smoke();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

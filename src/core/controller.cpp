@@ -31,6 +31,7 @@ void WireController::on_run_start(const dag::Workflow& workflow,
     online_ = online.get();
     estimator_ = std::move(online);
   }
+  run_state_.reset();
 }
 
 const predict::Estimator& WireController::estimator() const {
@@ -70,7 +71,10 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
           /*on_slot=*/false});
     }
   } else {
-    lookahead = simulate_interval(*workflow_, snapshot, *estimator_, config_);
+    run_state_.update(*workflow_, snapshot);
+    lookahead =
+        simulate_interval(*workflow_, snapshot, *estimator_, config_,
+                          &run_state_);
   }
 
   // Plan + Execute: steer the pool.
@@ -96,6 +100,9 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
 std::size_t WireController::state_bytes() const {
   std::size_t bytes = sizeof(*this);
   if (estimator_) bytes += estimator_->state_bytes();
+  // RunState: one counter plus one completion flag per task.
+  bytes += run_state_.remaining_preds().capacity() *
+           (sizeof(std::uint32_t) + sizeof(char));
   return bytes;
 }
 

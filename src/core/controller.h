@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/lookahead.h"
+#include "core/run_state.h"
 #include "predict/estimator.h"
 #include "predict/history.h"
 #include "predict/task_predictor.h"
@@ -89,6 +90,9 @@ class WireController final : public sim::ScalingPolicy {
   std::unique_ptr<predict::Estimator> estimator_;
   /// Non-null iff the estimator is the online TaskPredictor.
   predict::TaskPredictor* online_ = nullptr;
+  /// Incomplete-predecessor counts for the lookahead, kept current in
+  /// O(changes) per tick from the snapshot's delta journal.
+  RunState run_state_;
   std::function<void(const MapeTrace&)> trace_listener_;
 };
 

@@ -40,18 +40,25 @@ struct LaterFinish {
 LookaheadResult simulate_interval(const dag::Workflow& workflow,
                                   const sim::MonitorSnapshot& snapshot,
                                   const predict::Estimator& predictor,
-                                  const sim::CloudConfig& config) {
+                                  const sim::CloudConfig& config,
+                                  const RunState* state) {
   WIRE_REQUIRE(snapshot.tasks.size() == workflow.task_count(),
                "snapshot does not match the workflow");
   const SimTime now = snapshot.now;
   const SimTime horizon = now + config.lag_seconds;
 
-  // Incomplete-predecessor counters seeded from the snapshot.
-  std::vector<std::uint32_t> remaining_preds(workflow.task_count(), 0);
-  for (const dag::TaskSpec& t : workflow.tasks()) {
-    for (TaskId pred : workflow.predecessors(t.id)) {
-      if (snapshot.tasks[pred].phase != TaskPhase::Completed) {
-        ++remaining_preds[t.id];
+  // Incomplete-predecessor counters: copied from the incrementally
+  // maintained RunState when available, else seeded from the snapshot.
+  std::vector<std::uint32_t> remaining_preds;
+  if (state != nullptr && state->ready()) {
+    remaining_preds = state->remaining_preds();
+  } else {
+    remaining_preds.assign(workflow.task_count(), 0);
+    for (const dag::TaskSpec& t : workflow.tasks()) {
+      for (TaskId pred : workflow.predecessors(t.id)) {
+        if (snapshot.tasks[pred].phase != TaskPhase::Completed) {
+          ++remaining_preds[t.id];
+        }
       }
     }
   }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dag/workflow.h"
+#include "core/run_state.h"
 #include "predict/estimator.h"
 #include "sim/config.h"
 #include "sim/monitor.h"
@@ -51,9 +52,15 @@ struct LookaheadResult {
 /// framework master. The policy controller's predicted assignment may drift
 /// from the true schedule; §III-D argues (and §IV-E confirms) the effect is
 /// minor.
+///
+/// `state`, when non-null and ready, supplies the incomplete-predecessor
+/// counts maintained incrementally across ticks (see RunState), replacing
+/// the O(V + E) per-call seeding scan with an O(V) copy. Null keeps the
+/// self-contained from-scratch derivation (tests, one-shot callers).
 LookaheadResult simulate_interval(const dag::Workflow& workflow,
                                   const sim::MonitorSnapshot& snapshot,
                                   const predict::Estimator& predictor,
-                                  const sim::CloudConfig& config);
+                                  const sim::CloudConfig& config,
+                                  const RunState* state = nullptr);
 
 }  // namespace wire::core

@@ -98,9 +98,16 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
   // the share is neither requested (to be clipped) nor held (instances above
   // the ceiling drain at their charge boundaries once the share shrinks).
   cmd.desired_pool = planned;
-  const std::uint32_t p = snapshot.pool_cap > 0
-                              ? std::min(planned, snapshot.pool_cap)
-                              : planned;
+  // pool_cap == 0 is a genuine zero share (growth blocked), distinct from
+  // the kNoInstanceCap "no ceiling" sentinel. A zero share must not strand
+  // the job: while work remains, keep one already-live instance rather than
+  // draining the last capacity a growth-blocked tenant can never regrow.
+  std::uint32_t p = snapshot.pool_cap != sim::kNoInstanceCap
+                        ? std::min(planned, snapshot.pool_cap)
+                        : planned;
+  if (p == 0 && snapshot.incomplete_tasks > 0 && !snapshot.instances.empty()) {
+    p = 1;
+  }
 
   // The pool at the start of the next interval: live instances that are not
   // already draining (draining ones expire within this interval).

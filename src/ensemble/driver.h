@@ -12,6 +12,13 @@
 // other tenants (not even their existence) leaks through the monitoring
 // surface; cross-tenant coupling happens exclusively through the arbiter's
 // capacity partition.
+//
+// pool_cap semantics under the arbiter: an admitted tenant always sees its
+// explicit share (1..site_cap) — never sim::kNoInstanceCap, which would mean
+// "no ceiling imposed". A share of 0 is reported as a genuine 0 (all growth
+// blocked), no longer conflated with the unlimited sentinel; arbiters floor
+// a tenant's share at its live instance count, so 0 can only reach a tenant
+// that currently holds no instances.
 #pragma once
 
 #include <cstdint>

@@ -11,12 +11,33 @@ namespace wire::policies {
 namespace {
 
 /// Active load: tasks occupying slots plus tasks waiting in the ready queue.
+/// Every Running task occupies a slot on exactly one live instance, so the
+/// per-instance rosters sum to the Running count — O(live instances) instead
+/// of a full O(total tasks) phase scan.
 std::uint32_t active_tasks(const sim::MonitorSnapshot& snapshot) {
   std::uint32_t running = 0;
-  for (const sim::TaskObservation& t : snapshot.tasks) {
-    if (t.phase == sim::TaskPhase::Running) ++running;
+  for (const sim::InstanceObservation& inst : snapshot.instances) {
+    running += static_cast<std::uint32_t>(inst.running_tasks.size());
   }
   return running + static_cast<std::uint32_t>(snapshot.ready_queue.size());
+}
+
+/// Clamps a planned pool size to the externally imposed ceiling, if any.
+/// pool_cap == 0 is a genuine zero share (all growth blocked), distinct from
+/// kNoInstanceCap (no ceiling). A zero share blocks growth but must not
+/// strand the job: while work remains, one already-live instance is kept
+/// rather than released — a blocked tenant can never regrow, so giving up
+/// the last instance would deadlock the run. (Arbiters floor shares at the
+/// live count, so this only arises under manually imposed caps.)
+std::uint32_t clamp_to_cap(std::uint32_t planned,
+                           const sim::MonitorSnapshot& snapshot) {
+  if (snapshot.pool_cap == sim::kNoInstanceCap) return planned;
+  std::uint32_t target = std::min(planned, snapshot.pool_cap);
+  if (target == 0 && snapshot.incomplete_tasks > 0 &&
+      !snapshot.instances.empty()) {
+    target = 1;
+  }
+  return target;
 }
 
 /// Reactive target pool size for a given load.
@@ -64,8 +85,7 @@ void StaticPolicy::on_run_start(const dag::Workflow& /*workflow*/,
 sim::PoolCommand StaticPolicy::plan(const sim::MonitorSnapshot& snapshot) {
   sim::PoolCommand cmd;
   cmd.desired_pool = size_;
-  const std::uint32_t target =
-      snapshot.pool_cap > 0 ? std::min(size_, snapshot.pool_cap) : size_;
+  const std::uint32_t target = clamp_to_cap(size_, snapshot);
   const std::uint32_t live =
       static_cast<std::uint32_t>(snapshot.instances.size());
   if (live < target) cmd.grow = target - live;
@@ -81,9 +101,7 @@ sim::PoolCommand PureReactivePolicy::plan(
     const sim::MonitorSnapshot& snapshot) {
   sim::PoolCommand cmd;
   cmd.desired_pool = reactive_target(snapshot, config_);
-  const std::uint32_t target =
-      snapshot.pool_cap > 0 ? std::min(cmd.desired_pool, snapshot.pool_cap)
-                            : cmd.desired_pool;
+  const std::uint32_t target = clamp_to_cap(cmd.desired_pool, snapshot);
   const std::uint32_t m = live_non_draining(snapshot);
   if (target > m) {
     cmd.grow = target - m;
@@ -124,9 +142,7 @@ sim::PoolCommand ReactiveConservingPolicy::plan(
     const sim::MonitorSnapshot& snapshot) {
   sim::PoolCommand cmd;
   cmd.desired_pool = reactive_target(snapshot, config_);
-  const std::uint32_t target =
-      snapshot.pool_cap > 0 ? std::min(cmd.desired_pool, snapshot.pool_cap)
-                            : cmd.desired_pool;
+  const std::uint32_t target = clamp_to_cap(cmd.desired_pool, snapshot);
   const std::uint32_t m = live_non_draining(snapshot);
   if (target > m) {
     cmd.grow = target - m;

@@ -36,32 +36,65 @@ long TaskPredictor::bucket_key(double input_mb) const {
   return std::lround(std::log(input_mb) / base);
 }
 
+void TaskPredictor::add_sample(SampleSet& set, double value) const {
+  set.sorted.insert(
+      std::upper_bound(set.sorted.begin(), set.sorted.end(), value), value);
+  set.sum += value;
+  if (config_.use_mean) {
+    set.center = set.sum / static_cast<double>(set.sorted.size());
+    return;
+  }
+  // util::median on a sorted sample: v[mid] is the mid-th order statistic and
+  // max of the lower half is v[mid - 1].
+  const std::size_t n = set.sorted.size();
+  const std::size_t mid = n / 2;
+  set.center = n % 2 == 1 ? set.sorted[mid]
+                          : 0.5 * (set.sorted[mid - 1] + set.sorted[mid]);
+}
+
+void TaskPredictor::record_completion(TaskId task,
+                                      const sim::TaskObservation& obs,
+                                      std::vector<double>& interval_transfers) {
+  const dag::TaskSpec& spec = workflow_->task(task);
+  StageState& stage = stages_[spec.stage];
+  WIRE_CHECK(obs.exec_time >= 0.0, "completed task without exec time");
+  add_sample(stage.completed_exec, obs.exec_time);
+  ++stage.completed;
+  stage.dirty = true;
+
+  Group& group = stage.groups[bucket_key(spec.input_mb)];
+  add_sample(group.exec, obs.exec_time);
+  group.input_mb_sum += spec.input_mb;
+
+  if (obs.transfer_time > 0.0) {
+    interval_transfers.push_back(obs.transfer_time);
+  }
+}
+
 void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
   WIRE_REQUIRE(snapshot.tasks.size() == workflow_->task_count(),
                "snapshot does not match the workflow");
   ++iterations_;
 
   std::vector<double> interval_transfers;
-  for (TaskId t = 0; t < static_cast<TaskId>(snapshot.tasks.size()); ++t) {
-    const sim::TaskObservation& obs = snapshot.tasks[t];
-    const bool newly_completed = obs.phase == TaskPhase::Completed &&
-                                 last_phase_[t] != TaskPhase::Completed;
-    last_phase_[t] = obs.phase;
-    if (!newly_completed) continue;
-
-    const dag::TaskSpec& spec = workflow_->task(t);
-    StageState& stage = stages_[spec.stage];
-    WIRE_CHECK(obs.exec_time >= 0.0, "completed task without exec time");
-    stage.completed_exec.push_back(obs.exec_time);
-    ++stage.completed;
-    stage.dirty = true;
-
-    Group& group = stage.groups[bucket_key(spec.input_mb)];
-    group.exec_times.push_back(obs.exec_time);
-    group.input_mb_sum += spec.input_mb;
-
-    if (obs.transfer_time > 0.0) {
-      interval_transfers.push_back(obs.transfer_time);
+  if (snapshot.delta.exact) {
+    // O(changes): the journal lists every completion since the previous
+    // snapshot, already in ascending TaskId order — the same order the scan
+    // below visits them. The last_phase_ guard keeps observe idempotent when
+    // the same snapshot is replayed (benches do).
+    for (TaskId t : snapshot.delta.completed) {
+      if (last_phase_[t] == TaskPhase::Completed) continue;
+      last_phase_[t] = TaskPhase::Completed;
+      record_completion(t, snapshot.tasks[t], interval_transfers);
+    }
+  } else {
+    for (TaskId t = 0; t < static_cast<TaskId>(snapshot.tasks.size()); ++t) {
+      const sim::TaskObservation& obs = snapshot.tasks[t];
+      const bool newly_completed = obs.phase == TaskPhase::Completed &&
+                                   last_phase_[t] != TaskPhase::Completed;
+      last_phase_[t] = obs.phase;
+      if (!newly_completed) continue;
+      record_completion(t, obs, interval_transfers);
     }
   }
 
@@ -73,7 +106,9 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
   }
 
   // One Algorithm-1 epoch per stage with new completions. The training set is
-  // the stage's groups of equivalent-input tasks, target = group median.
+  // the stage's groups of equivalent-input tasks, target = group median —
+  // read from each group's cached centre instead of re-deriving it from a
+  // copy of the full history.
   for (StageState& stage : stages_) {
     if (!stage.dirty) continue;
     stage.dirty = false;
@@ -82,8 +117,8 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
     for (const auto& [key, group] : stage.groups) {
       TrainingPoint p;
       p.input_mb =
-          group.input_mb_sum / static_cast<double>(group.exec_times.size());
-      p.exec_seconds = center(group.exec_times);
+          group.input_mb_sum / static_cast<double>(group.exec.size());
+      p.exec_seconds = group.exec.center;
       training.push_back(p);
     }
     stage.model.update(training);
@@ -127,20 +162,20 @@ Prediction TaskPredictor::predict_exec(
                             obs.phase == TaskPhase::Running;
   if (!ready_to_run) {
     // Policy 3: input data not yet available.
-    return {center(stage.completed_exec), Policy::CompletedNotReady};
+    return {stage.completed_exec.center, Policy::CompletedNotReady};
   }
 
   const auto it = stage.groups.find(bucket_key(spec.input_mb));
   if (it != stage.groups.end()) {
     // Policy 4: equivalent input size seen among completed peers.
-    return {center(it->second.exec_times), Policy::CompletedKnownSize};
+    return {it->second.exec.center, Policy::CompletedKnownSize};
   }
 
   // Policy 5: new input size — OGD model. Falls back to the stage centre if
   // the model is disabled (ablation) or has not been trained yet (cannot
   // happen once completed > 0, but guarded for safety).
   if (config_.disable_ogd || stage.model.epochs() == 0) {
-    return {center(stage.completed_exec), Policy::CompletedNotReady};
+    return {stage.completed_exec.center, Policy::CompletedNotReady};
   }
   return {stage.model.predict(spec.input_mb), Policy::CompletedNewSize};
 }
@@ -178,10 +213,10 @@ std::size_t TaskPredictor::state_bytes() const {
   bytes += last_phase_.capacity() * sizeof(TaskPhase);
   for (const StageState& s : stages_) {
     bytes += sizeof(StageState);
-    bytes += s.completed_exec.capacity() * sizeof(double);
+    bytes += s.completed_exec.sorted.capacity() * sizeof(double);
     for (const auto& [key, group] : s.groups) {
       bytes += sizeof(key) + sizeof(Group) +
-               group.exec_times.capacity() * sizeof(double);
+               group.exec.sorted.capacity() * sizeof(double);
     }
   }
   return bytes;

@@ -70,7 +70,10 @@ class TaskPredictor : public Estimator {
 
   /// Harvests one MAPE iteration's monitoring data: records newly completed
   /// tasks into the per-stage training state, refreshes the transfer-time
-  /// median, and runs one OGD epoch per stage with new data.
+  /// median, and runs one OGD epoch per stage with new data. When the
+  /// snapshot carries an exact delta journal (engine-produced snapshots do),
+  /// only `delta.completed` is visited — O(changes); otherwise falls back to
+  /// the full O(tasks) phase scan (hand-built snapshots in tests/harnesses).
   void observe(const sim::MonitorSnapshot& snapshot) override;
 
   /// Policies 1–5 estimate of `task`'s total execution time, given the
@@ -112,18 +115,40 @@ class TaskPredictor : public Estimator {
   /// (ablation).
   double center(std::vector<double> values) const;
 
+  /// A completion sample set kept ready for O(1) centre queries: the values
+  /// stay sorted (insertion via upper_bound) and a running sum accumulates in
+  /// arrival order, so the cached centre reproduces util::median /
+  /// util::mean bit-for-bit without copying the history on every query —
+  /// previously `center(group.exec_times)` deep-copied each group's full
+  /// history on every Algorithm-1 epoch of a dirty stage.
+  struct SampleSet {
+    std::vector<double> sorted;
+    double sum = 0.0;     // accumulated in arrival order (== util::mean fold)
+    double center = 0.0;  // cached centre; valid once !sorted.empty()
+    std::size_t size() const { return sorted.size(); }
+    bool empty() const { return sorted.empty(); }
+  };
+
+  /// Inserts a sample and refreshes the cached centre.
+  void add_sample(SampleSet& set, double value) const;
+
   struct Group {
-    std::vector<double> exec_times;
+    SampleSet exec;
     double input_mb_sum = 0.0;  // representative d_M = sum / count
   };
 
   struct StageState {
     OgdModel model;
-    std::vector<double> completed_exec;
+    SampleSet completed_exec;
     std::map<long, Group> groups;
     std::uint32_t completed = 0;
     bool dirty = false;  // new completions since the last OGD epoch
   };
+
+  /// Records one newly observed completion (shared by the delta and the
+  /// full-scan paths of observe()).
+  void record_completion(dag::TaskId task, const sim::TaskObservation& obs,
+                         std::vector<double>& interval_transfers);
 
   const dag::Workflow* workflow_;
   PredictorConfig config_;

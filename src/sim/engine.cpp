@@ -19,11 +19,17 @@ JobEngine::JobEngine(const dag::Workflow& workflow, ScalingPolicy& policy,
       cloud_(config),
       framework_(workflow, config.first_fire_priority,
                  config.checkpoint_fraction),
+      store_(workflow),
       variability_(config.variability, options.seed) {
   WIRE_REQUIRE(config.lag_seconds > 0.0, "lag must be positive");
   WIRE_REQUIRE(config.charging_unit_seconds > 0.0,
                "charging unit must be positive");
   WIRE_REQUIRE(config.slots_per_instance > 0, "need at least one slot");
+  // The master's constructor already enqueued the root tasks; sync the store
+  // once, then let lifecycle hooks keep it current. Every event from here on
+  // (bootstrap included) lands in the first tick's delta journal.
+  store_.sync(framework_, 0.0);
+  framework_.set_monitor_store(&store_);
 }
 
 std::uint32_t JobEngine::effective_cap() const {
@@ -42,6 +48,7 @@ void JobEngine::start() {
     const InstanceId id =
         cloud_.request_ready(0.0, variability_.sample_instance_factor());
     framework_.register_instance(id, config_.slots_per_instance);
+    store_.on_instance_added(id);
   }
   requested_pool_ = initial;
   dispatch_all(0.0);
@@ -264,11 +271,10 @@ void JobEngine::handle_transfer_out_done(const Event& e) {
   finish_transfer_out(task, e.time);
 }
 
-MonitorSnapshot JobEngine::build_snapshot(SimTime now) const {
+MonitorSnapshot JobEngine::rebuild_snapshot(SimTime now) const {
   MonitorSnapshot snap;
   snap.now = now;
-  const std::uint32_t cap = effective_cap();
-  snap.pool_cap = cap == kNoInstanceCap ? 0 : cap;
+  snap.pool_cap = effective_cap();
   framework_.fill_observations(now, snap.tasks);
   snap.ready_queue = framework_.ready_queue_snapshot();
   snap.incomplete_tasks = static_cast<std::uint32_t>(
@@ -293,6 +299,10 @@ MonitorSnapshot JobEngine::build_snapshot(SimTime now) const {
   return snap;
 }
 
+const MonitorSnapshot& JobEngine::peek_monitor(SimTime now) {
+  return store_.peek(now, effective_cap(), cloud_, framework_, config_);
+}
+
 void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
   // Drain reclaims first: they add capacity instantly and may make grow
   // requests unnecessary (the policy accounts for that when it issues both).
@@ -315,6 +325,7 @@ void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
   for (std::uint32_t i = 0; i < grow; ++i) {
     const InstanceId id =
         cloud_.request(now, variability_.sample_instance_factor());
+    store_.on_instance_added(id);
     queue_.schedule(cloud_.instance(id).ready_at, EventKind::InstanceReady,
                     id);
   }
@@ -328,6 +339,7 @@ void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
     if (inst.state == InstanceState::Provisioning) {
       // Cancel mid-boot: never billed, never usable.
       cloud_.terminate(rel.instance, now);
+      store_.on_instance_removed(rel.instance);
       continue;
     }
     if (rel.at_charge_boundary) {
@@ -337,6 +349,7 @@ void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
     } else {
       framework_.resubmit_tasks_on(rel.instance, now);
       cloud_.terminate(rel.instance, now);
+      store_.on_instance_removed(rel.instance);
       need_dispatch = true;
     }
   }
@@ -349,15 +362,16 @@ void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
 void JobEngine::handle_control_tick(const Event& e) {
   if (framework_.all_complete()) return;
   ++control_ticks_;
-  const MonitorSnapshot snap = build_snapshot(e.time);
+  // O(running + live + ready) store refresh instead of an O(total tasks)
+  // rebuild; the published delta lets consumers skip their own rescans too.
+  const MonitorSnapshot& snap =
+      store_.refresh(e.time, effective_cap(), cloud_, framework_, config_);
   if (options_.record_pool_timeline) {
     PoolSample sample;
     sample.time = e.time;
     sample.live_instances = cloud_.live_count();
     sample.ready_tasks = static_cast<std::uint32_t>(snap.ready_queue.size());
-    for (const TaskObservation& t : snap.tasks) {
-      if (t.phase == TaskPhase::Running) ++sample.running_tasks;
-    }
+    sample.running_tasks = store_.running_count();
     timeline_.push_back(sample);
   }
   const PoolCommand cmd = policy_.plan(snap);
@@ -388,6 +402,7 @@ void JobEngine::handle_instance_drain(const Event& e) {
   }
   framework_.resubmit_tasks_on(id, e.time);
   cloud_.terminate(id, e.time);
+  store_.on_instance_removed(id);
   purge_stale_transfers(e.time);
   dispatch_all(e.time);
 }

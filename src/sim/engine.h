@@ -28,15 +28,15 @@
 #include "sim/driver.h"
 #include "sim/event_queue.h"
 #include "sim/framework.h"
+#include "sim/monitor_store.h"
 #include "sim/scaling_policy.h"
 #include "sim/variability.h"
 
 namespace wire::sim {
 
-/// Sentinel for "no externally imposed pool ceiling". Distinct from 0, which
-/// is a valid cap that blocks all growth (an arbiter may park a tenant at
-/// zero while other tenants hold the whole site).
-inline constexpr std::uint32_t kNoInstanceCap = 0xFFFFFFFFu;
+// kNoInstanceCap (the "no externally imposed pool ceiling" sentinel) lives in
+// sim/monitor.h next to MonitorSnapshot::pool_cap, which carries it across
+// the policy boundary.
 
 class JobEngine {
  public:
@@ -88,6 +88,22 @@ class JobEngine {
 
   const dag::Workflow& workflow() const { return workflow_; }
 
+  /// From-scratch snapshot reconstruction — the O(total tasks) reference
+  /// path the incremental MonitorStore replaced on the control-tick hot
+  /// path. Kept for equivalence testing (tests/test_sim_monitor_store.cpp
+  /// asserts it matches the store field-for-field at every tick) and for the
+  /// before/after Monitor-phase benchmark. The returned snapshot carries an
+  /// empty, non-exact delta.
+  MonitorSnapshot rebuild_snapshot(SimTime now) const;
+
+  /// The store-maintained snapshot refreshed to `now` without consuming the
+  /// delta journal (see MonitorStore::peek). Safe to call between events;
+  /// does not perturb the run.
+  const MonitorSnapshot& peek_monitor(SimTime now);
+
+  /// Resident bytes of incremental monitoring state (§IV-F accounting).
+  std::size_t monitor_state_bytes() const { return store_.state_bytes(); }
+
  private:
   void dispatch_all(SimTime now);
   void handle_instance_ready(const Event& e);
@@ -120,11 +136,12 @@ class JobEngine {
   void finish_transfer_out(dag::TaskId task, SimTime now);
   void purge_stale_transfers(SimTime now);
 
-  MonitorSnapshot build_snapshot(SimTime now) const;
   void apply_command(const PoolCommand& cmd, SimTime now);
 
-  /// The binding instance ceiling: min of the site capacity and the external
-  /// cap, with 0 meaning unlimited.
+  /// The binding instance ceiling: min of the site capacity
+  /// (CloudConfig::max_instances, where 0 means unlimited) and the external
+  /// cap. kNoInstanceCap when neither binds; 0 is a genuine all-growth-blocked
+  /// ceiling. Surfaced verbatim as MonitorSnapshot::pool_cap.
   std::uint32_t effective_cap() const;
 
   /// True if the event still refers to the task's current attempt.
@@ -139,6 +156,7 @@ class JobEngine {
   RunOptions options_;
   CloudPool cloud_;
   FrameworkMaster framework_;
+  MonitorStore store_;
   VariabilityModel variability_;
   EventQueue queue_;
   struct ActiveTransfer {

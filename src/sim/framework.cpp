@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/monitor_store.h"
 #include "util/check.h"
 
 namespace wire::sim {
@@ -51,6 +52,7 @@ void FrameworkMaster::enqueue_ready(TaskId task, SimTime now) {
   rt.exec_start = -1.0;
   rt.instance = kInvalidInstance;
   ready_queue_.emplace(rt.high_priority ? 0 : 1, now, task);
+  if (store_ != nullptr) store_->on_task_ready(task, now, rt.attempts);
 }
 
 std::optional<TaskId> FrameworkMaster::peek_ready() const {
@@ -124,6 +126,9 @@ void FrameworkMaster::on_dispatch(TaskId task, InstanceId instance,
   rt.instance = instance;
   rt.slot = slot;
   ++rt.attempts;
+  if (store_ != nullptr) {
+    store_->on_task_dispatched(task, instance, now, rt.attempts);
+  }
 }
 
 void FrameworkMaster::on_transfer_in_done(TaskId task, SimTime now) {
@@ -131,6 +136,9 @@ void FrameworkMaster::on_transfer_in_done(TaskId task, SimTime now) {
   WIRE_REQUIRE(rt.phase == TaskPhase::Running, "transfer_in_done on non-running task");
   rt.transfer_in_time = now - rt.occupancy_start;
   rt.exec_start = now;
+  if (store_ != nullptr) {
+    store_->on_transfer_in_done(task, rt.transfer_in_time, now);
+  }
 }
 
 void FrameworkMaster::on_exec_done(TaskId task, SimTime now) {
@@ -154,6 +162,11 @@ std::vector<TaskId> FrameworkMaster::on_complete(TaskId task, SimTime now) {
   WIRE_CHECK(it != slots_.end(), "completed task on unknown instance");
   it->second[rt.slot] = dag::kInvalidTask;
   // rt.instance is kept: the kickstart record names the hosting instance.
+  if (store_ != nullptr) {
+    store_->on_task_completed(task, rt.exec_time,
+                              std::max(0.0, rt.transfer_in_time) +
+                                  std::max(0.0, rt.transfer_out_time));
+  }
 
   std::vector<TaskId> newly_ready;
   for (TaskId succ : workflow_->successors(task)) {

@@ -21,6 +21,7 @@
 
 namespace wire::sim {
 
+class MonitorStore;
 
 /// Internal per-task lifecycle record (superset of TaskObservation).
 struct TaskRuntime {
@@ -99,8 +100,18 @@ class FrameworkMaster {
   const TaskRuntime& runtime(dag::TaskId task) const;
   const dag::Workflow& workflow() const { return *workflow_; }
 
-  /// Fills the per-task portion of a monitoring snapshot.
+  /// Fills the per-task portion of a monitoring snapshot from scratch — the
+  /// O(total tasks) reference path. The engine's per-tick snapshots come from
+  /// the incrementally maintained MonitorStore instead; the equivalence of
+  /// the two is asserted by tests/test_sim_monitor_store.cpp.
   void fill_observations(SimTime now, std::vector<TaskObservation>& out) const;
+
+  /// Attaches an incremental monitoring store (may be null to detach). The
+  /// master notifies it at every observable lifecycle transition; the caller
+  /// is responsible for the initial MonitorStore::sync (the constructor
+  /// enqueues root tasks before any store can be attached). The store must
+  /// outlive the master or be detached first.
+  void set_monitor_store(MonitorStore* store) { store_ = store; }
 
  private:
   void enqueue_ready(dag::TaskId task, SimTime now);
@@ -114,6 +125,7 @@ class FrameworkMaster {
   std::set<std::tuple<int, SimTime, dag::TaskId>> ready_queue_;
   std::vector<std::uint32_t> stage_priority_granted_;
   std::unordered_map<InstanceId, std::vector<dag::TaskId>> slots_;
+  MonitorStore* store_ = nullptr;
   std::size_t completed_ = 0;
   std::uint32_t restarts_ = 0;
   double busy_slot_seconds_ = 0.0;

@@ -19,6 +19,11 @@ namespace wire::sim {
 using InstanceId = std::uint32_t;
 inline constexpr InstanceId kInvalidInstance = 0xFFFFFFFFu;
 
+/// Sentinel for "no externally imposed pool ceiling". Distinct from 0, which
+/// is a valid cap that blocks all growth (an arbiter may park a tenant at
+/// zero while other tenants hold the whole site).
+inline constexpr std::uint32_t kNoInstanceCap = 0xFFFFFFFFu;
+
 /// Controller-visible lifecycle phase of a task.
 enum class TaskPhase : std::uint8_t {
   /// Some predecessor has not completed yet.
@@ -85,6 +90,31 @@ struct InstanceObservation {
   std::uint32_t free_slots = 0;
 };
 
+/// Per-tick change journal: what moved since the *previous* snapshot this
+/// engine produced. Strictly derivable information — a policy diffing two
+/// consecutive snapshots could compute every list itself — so publishing it
+/// does not widen the controller-visible surface; it only lets consumers run
+/// in O(changes) instead of rescanning all N tasks.
+struct MonitorDelta {
+  /// True when the journal is exact: the snapshot was produced by the engine
+  /// and the lists cover everything that changed since the previous snapshot
+  /// (or since the engine's bootstrap, for the first one). Hand-built
+  /// snapshots (tests, harnesses) leave this false and consumers must fall
+  /// back to a full scan.
+  bool exact = false;
+  /// Tasks that completed since the last snapshot, in ascending TaskId order
+  /// (a task completes exactly once; no duplicates).
+  std::vector<dag::TaskId> completed;
+  /// Tasks whose lifecycle phase changed since the last snapshot (fired,
+  /// dispatched, completed, restarted), deduplicated, ascending TaskId order.
+  /// Superset of `completed`.
+  std::vector<dag::TaskId> phase_changed;
+  /// Instances requested since the last snapshot, in request order.
+  std::vector<InstanceId> instances_added;
+  /// Instances terminated since the last snapshot, in termination order.
+  std::vector<InstanceId> instances_removed;
+};
+
 /// Snapshot passed to ScalingPolicy::plan at each control interval.
 struct MonitorSnapshot {
   SimTime now = 0.0;
@@ -98,13 +128,15 @@ struct MonitorSnapshot {
   std::uint32_t incomplete_tasks = 0;
   /// Binding instance ceiling for this job: the site capacity, further
   /// lowered by an externally imposed share when the job runs under a
-  /// multi-tenant arbiter (src/ensemble/). 0 = unlimited (also reported in
-  /// the rare transient where an arbiter parks an empty tenant at a zero
-  /// share — the engine clips all growth then regardless of what the policy
-  /// plans). Grow requests beyond the ceiling are clipped by the engine;
-  /// cap-aware policies plan within it instead (and report their
-  /// unconstrained demand through PoolCommand::desired_pool).
-  std::uint32_t pool_cap = 0;
+  /// multi-tenant arbiter (src/ensemble/). kNoInstanceCap = unlimited; 0 is
+  /// a genuine zero share (the rare transient where an arbiter parks an
+  /// empty tenant — all growth is blocked until the share recovers). Grow
+  /// requests beyond the ceiling are clipped by the engine; cap-aware
+  /// policies plan within it instead (and report their unconstrained demand
+  /// through PoolCommand::desired_pool).
+  std::uint32_t pool_cap = kNoInstanceCap;
+  /// Changes since the previous snapshot (see MonitorDelta::exact).
+  MonitorDelta delta;
 };
 
 }  // namespace wire::sim

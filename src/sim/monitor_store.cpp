@@ -1,0 +1,217 @@
+#include "sim/monitor_store.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wire::sim {
+
+using dag::TaskId;
+
+MonitorStore::MonitorStore(const dag::Workflow& workflow)
+    : workflow_(&workflow) {
+  const std::size_t n = workflow.task_count();
+  snap_.tasks.assign(n, TaskObservation{});
+  for (const dag::TaskSpec& t : workflow.tasks()) {
+    snap_.tasks[t.id].input_mb = t.input_mb;
+  }
+  snap_.incomplete_tasks = static_cast<std::uint32_t>(n);
+  exec_start_.assign(n, -1.0);
+  running_pos_.assign(n, 0);
+  phase_stamp_.assign(n, 0);
+}
+
+void MonitorStore::sync(const FrameworkMaster& framework, SimTime now) {
+  framework.fill_observations(now, snap_.tasks);
+  snap_.incomplete_tasks = static_cast<std::uint32_t>(
+      workflow_->task_count() - framework.completed_count());
+  running_.clear();
+  std::fill(running_pos_.begin(), running_pos_.end(), 0u);
+  for (TaskId t = 0; t < workflow_->task_count(); ++t) {
+    const TaskRuntime& rt = framework.runtime(t);
+    if (rt.phase == TaskPhase::Running) {
+      running_insert(t);
+      exec_start_[t] = rt.exec_start;
+    } else {
+      exec_start_[t] = -1.0;
+    }
+  }
+  pending_ = MonitorDelta{};
+  snap_.delta = MonitorDelta{};
+  ++journal_epoch_;
+}
+
+void MonitorStore::journal_phase_change(TaskId task) {
+  if (phase_stamp_[task] != journal_epoch_) {
+    phase_stamp_[task] = journal_epoch_;
+    pending_.phase_changed.push_back(task);
+  }
+}
+
+void MonitorStore::running_insert(TaskId task) {
+  if (running_pos_[task] != 0) return;
+  running_.push_back(task);
+  running_pos_[task] = static_cast<std::uint32_t>(running_.size());
+}
+
+void MonitorStore::running_erase(TaskId task) {
+  const std::uint32_t pos = running_pos_[task];
+  if (pos == 0) return;
+  const TaskId last = running_.back();
+  running_[pos - 1] = last;
+  running_pos_[last] = pos;
+  running_.pop_back();
+  running_pos_[task] = 0;
+}
+
+void MonitorStore::on_task_ready(TaskId task, SimTime now,
+                                 std::uint32_t attempts) {
+  TaskObservation& obs = snap_.tasks[task];
+  const double input_mb = obs.input_mb;
+  obs = TaskObservation{};
+  obs.input_mb = input_mb;
+  obs.phase = TaskPhase::Ready;
+  obs.ready_since = now;
+  obs.attempts = attempts;
+  exec_start_[task] = -1.0;
+  running_erase(task);
+  journal_phase_change(task);
+}
+
+void MonitorStore::on_task_dispatched(TaskId task, InstanceId instance,
+                                      SimTime now, std::uint32_t attempts) {
+  TaskObservation& obs = snap_.tasks[task];
+  obs.phase = TaskPhase::Running;
+  obs.occupancy_start = now;
+  obs.elapsed = 0.0;
+  obs.elapsed_exec = 0.0;
+  obs.transfer_in_time = -1.0;
+  obs.instance = instance;
+  obs.attempts = attempts;
+  exec_start_[task] = -1.0;
+  running_insert(task);
+  journal_phase_change(task);
+}
+
+void MonitorStore::on_transfer_in_done(TaskId task, double transfer_in_time,
+                                       SimTime now) {
+  snap_.tasks[task].transfer_in_time = transfer_in_time;
+  exec_start_[task] = now;
+  // Still Running: no phase change to journal.
+}
+
+void MonitorStore::on_task_completed(TaskId task, double exec_time,
+                                     double transfer_time) {
+  TaskObservation& obs = snap_.tasks[task];
+  WIRE_CHECK(obs.phase != TaskPhase::Completed, "task completed twice");
+  const double input_mb = obs.input_mb;
+  const std::uint32_t attempts = obs.attempts;
+  obs = TaskObservation{};
+  obs.input_mb = input_mb;
+  obs.attempts = attempts;
+  obs.phase = TaskPhase::Completed;
+  obs.exec_time = exec_time;
+  obs.transfer_time = transfer_time;
+  exec_start_[task] = -1.0;
+  running_erase(task);
+  WIRE_CHECK(snap_.incomplete_tasks > 0, "incomplete count underflow");
+  --snap_.incomplete_tasks;
+  journal_phase_change(task);
+  pending_.completed.push_back(task);
+}
+
+void MonitorStore::on_instance_added(InstanceId instance) {
+  pending_.instances_added.push_back(instance);
+}
+
+void MonitorStore::on_instance_removed(InstanceId instance) {
+  pending_.instances_removed.push_back(instance);
+}
+
+void MonitorStore::refresh_fields(SimTime now, std::uint32_t pool_cap,
+                                  const CloudPool& cloud,
+                                  const FrameworkMaster& framework,
+                                  const CloudConfig& config) {
+  snap_.now = now;
+  snap_.pool_cap = pool_cap;
+  for (TaskId t : running_) {
+    TaskObservation& obs = snap_.tasks[t];
+    obs.elapsed = now - obs.occupancy_start;
+    obs.elapsed_exec = exec_start_[t] >= 0.0 ? now - exec_start_[t] : 0.0;
+  }
+  snap_.ready_queue = framework.ready_queue_snapshot();
+  snap_.instances.clear();
+  for (InstanceId id : cloud.live()) {
+    const Instance& inst = cloud.instance(id);
+    InstanceObservation obs;
+    obs.id = id;
+    obs.provisioning = inst.state == InstanceState::Provisioning;
+    obs.ready_at = inst.ready_at;
+    obs.draining = inst.drain_at >= 0.0;
+    if (inst.state == InstanceState::Ready) {
+      obs.time_to_next_charge = cloud.time_to_next_charge(id, now);
+      obs.running_tasks = framework.tasks_on(id);
+      obs.free_slots = framework.free_slots(id);
+    } else {
+      obs.time_to_next_charge = config.charging_unit_seconds;
+      obs.free_slots = config.slots_per_instance;
+    }
+    snap_.instances.push_back(std::move(obs));
+  }
+}
+
+const MonitorSnapshot& MonitorStore::refresh(SimTime now,
+                                             std::uint32_t pool_cap,
+                                             const CloudPool& cloud,
+                                             const FrameworkMaster& framework,
+                                             const CloudConfig& config) {
+  refresh_fields(now, pool_cap, cloud, framework, config);
+  // Publish the journal: swap it into the snapshot (reusing the previous
+  // delta's capacity as the next accumulation buffer) and canonicalize the
+  // task lists to ascending TaskId — the exact order a full rescan visits
+  // them, which keeps delta-driven consumers bit-identical to scan-driven
+  // ones.
+  std::swap(snap_.delta, pending_);
+  pending_.exact = false;
+  pending_.completed.clear();
+  pending_.phase_changed.clear();
+  pending_.instances_added.clear();
+  pending_.instances_removed.clear();
+  snap_.delta.exact = true;
+  std::sort(snap_.delta.completed.begin(), snap_.delta.completed.end());
+  std::sort(snap_.delta.phase_changed.begin(), snap_.delta.phase_changed.end());
+  ++journal_epoch_;
+  return snap_;
+}
+
+const MonitorSnapshot& MonitorStore::peek(SimTime now, std::uint32_t pool_cap,
+                                          const CloudPool& cloud,
+                                          const FrameworkMaster& framework,
+                                          const CloudConfig& config) {
+  refresh_fields(now, pool_cap, cloud, framework, config);
+  snap_.delta.exact = false;
+  snap_.delta.completed.clear();
+  snap_.delta.phase_changed.clear();
+  snap_.delta.instances_added.clear();
+  snap_.delta.instances_removed.clear();
+  return snap_;
+}
+
+std::size_t MonitorStore::state_bytes() const {
+  const auto vec = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
+  std::size_t bytes = sizeof(*this);
+  bytes += vec(snap_.tasks) + vec(snap_.ready_queue);
+  bytes += vec(snap_.instances);
+  for (const InstanceObservation& inst : snap_.instances) {
+    bytes += vec(inst.running_tasks);
+  }
+  bytes += vec(exec_start_) + vec(running_) + vec(running_pos_) +
+           vec(phase_stamp_);
+  bytes += vec(pending_.completed) + vec(pending_.phase_changed) +
+           vec(pending_.instances_added) + vec(pending_.instances_removed);
+  bytes += vec(snap_.delta.completed) + vec(snap_.delta.phase_changed) +
+           vec(snap_.delta.instances_added) + vec(snap_.delta.instances_removed);
+  return bytes;
+}
+
+}  // namespace wire::sim

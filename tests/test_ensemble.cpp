@@ -392,7 +392,11 @@ class IsolationProbePolicy : public sim::ScalingPolicy {
     if (snapshot.tasks.size() != task_count_) {
       violations_->push_back("snapshot task vector is not this job's DAG");
     }
-    if (snapshot.pool_cap == 0 || snapshot.pool_cap > site_cap_) {
+    if (snapshot.pool_cap == sim::kNoInstanceCap) {
+      violations_->push_back("pool_cap is uncapped under an arbiter");
+    } else if (snapshot.pool_cap == 0 || snapshot.pool_cap > site_cap_) {
+      // An admitted tenant's share is floored at 1 (and at its live count),
+      // so a genuine zero share must never reach a policy in these runs.
       violations_->push_back("pool_cap outside (0, site_cap]");
     }
     if (snapshot.instances.size() > snapshot.pool_cap) {
