@@ -1,0 +1,194 @@
+// Fault-degradation sweep: crash rate x scaling policy on Table-I workflows.
+//
+// The fault substrate (sim/faults.*) injects instance crashes with a short
+// revocation notice; the sweep measures how gracefully each policy degrades
+// as the crash rate climbs from a reliable cloud (0/h) to a hostile spot
+// market (4/h): makespan and cost inflation, restart churn, and whether any
+// run strands work (quarantines are impossible here — only crashes are
+// injected, and crash-killed attempts retry through the restart path, not
+// the bounded transient-failure budget).
+//
+// `--smoke` runs a 30-second tripwire subset (one workflow, WIRE +
+// reactive-conserving, rates {0, 2}/h) that asserts every task completes and
+// exits nonzero on violation — wired into CI next to bench_overhead --smoke.
+//
+// All seeds are printed (DESIGN.md: randomized harnesses announce their
+// seeds) so any cell reproduces standalone.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/settings.h"
+#include "sim/driver.h"
+#include "util/csv.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace wire;
+
+constexpr std::uint64_t kSeedRoot = 2203;
+
+struct Cell {
+  util::RunningStats makespan;
+  util::RunningStats cost;
+  util::RunningStats crashes;
+  util::RunningStats restarts;
+  util::RunningStats wasted;
+  std::uint32_t incomplete_runs = 0;
+};
+
+sim::CloudConfig faulty_cloud(double crash_rate_per_hour) {
+  sim::CloudConfig config = exp::paper_cloud(900.0);
+  config.faults.crash_rate_per_hour = crash_rate_per_hour;
+  config.faults.crash_notice_seconds = 30.0;
+  return config;
+}
+
+/// One run of a cell; returns false if any task failed to complete.
+bool run_cell(const dag::Workflow& wf, exp::PolicyKind kind,
+              double crash_rate, std::uint64_t seed, Cell* cell,
+              std::string* policy_name) {
+  const sim::CloudConfig config = faulty_cloud(crash_rate);
+  auto policy = exp::make_policy(kind);
+  sim::RunOptions options;
+  options.seed = seed;
+  options.initial_instances = exp::initial_instances(kind, config);
+  options.max_sim_seconds = 10.0 * 24.0 * 3600.0;
+  const sim::RunResult r = sim::simulate(wf, *policy, config, options);
+  if (policy_name != nullptr) *policy_name = r.policy_name;
+  bool complete = r.quarantined_tasks.empty();
+  for (const sim::TaskRuntime& rec : r.task_records) {
+    if (rec.phase != sim::TaskPhase::Completed) complete = false;
+  }
+  if (cell != nullptr) {
+    cell->makespan.add(r.makespan);
+    cell->cost.add(r.cost_units);
+    cell->crashes.add(static_cast<double>(r.instance_crashes));
+    cell->restarts.add(static_cast<double>(r.task_restarts));
+    cell->wasted.add(r.wasted_slot_seconds);
+    if (!complete) ++cell->incomplete_runs;
+  }
+  return complete;
+}
+
+int run_smoke() {
+  std::printf("bench_faults --smoke: crash-rate tripwire (seed root %llu)\n",
+              static_cast<unsigned long long>(kSeedRoot));
+  const dag::Workflow wf = workload::make_workflow(
+      workload::epigenomics_profile(workload::Scale::Small), 7);
+  int rc = 0;
+  for (exp::PolicyKind kind :
+       {exp::PolicyKind::Wire, exp::PolicyKind::ReactiveConserving}) {
+    for (double rate : {0.0, 2.0}) {
+      const std::uint64_t seed = util::derive_seed(
+          kSeedRoot, 9000 + static_cast<std::uint64_t>(rate * 10.0));
+      std::string name;
+      const bool ok = run_cell(wf, kind, rate, seed, nullptr, &name);
+      std::printf("  %-20s crash_rate=%.1f/h seed=%llu %s\n", name.c_str(),
+                  rate, static_cast<unsigned long long>(seed),
+                  ok ? "complete" : "INCOMPLETE");
+      if (!ok) rc = 1;
+    }
+  }
+  if (rc != 0) std::printf("bench_faults --smoke FAILED\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+
+  const std::vector<workload::WorkflowProfile> profiles = {
+      workload::epigenomics_profile(workload::Scale::Small),
+      workload::tpch1_profile(workload::Scale::Small),
+  };
+  const std::vector<double> rates = {0.0, 0.5, 1.0, 2.0, 4.0};
+  const std::vector<exp::PolicyKind> policies = exp::all_policies();
+  constexpr std::uint32_t kReps = 3;
+
+  struct Job {
+    std::size_t profile;
+    std::size_t policy;
+    std::size_t rate;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      for (std::size_t r = 0; r < rates.size(); ++r) {
+        jobs.push_back(Job{w, p, r});
+      }
+    }
+  }
+  std::vector<Cell> cells(jobs.size());
+  std::vector<std::string> names(jobs.size());
+
+  std::printf(
+      "Crash-rate degradation sweep: %zu workflows x %zu policies x %zu "
+      "rates, %u repetitions (seed root %llu)\n\n",
+      profiles.size(), policies.size(), rates.size(), kReps,
+      static_cast<unsigned long long>(kSeedRoot));
+
+  util::parallel_for(jobs.size(), [&](std::size_t j) {
+    const Job& job = jobs[j];
+    const dag::Workflow wf = workload::make_workflow(profiles[job.profile], 7);
+    for (std::uint32_t rep = 0; rep < kReps; ++rep) {
+      const std::uint64_t seed = util::derive_seed(kSeedRoot, j * 16 + rep);
+      run_cell(wf, policies[job.policy], rates[job.rate], seed, &cells[j],
+               &names[j]);
+    }
+  });
+
+  util::CsvWriter csv(bench::results_dir() + "/faults.csv");
+  csv.write_row({"workflow", "policy", "crash_rate_per_hour", "reps",
+                 "makespan_mean_s", "makespan_stddev_s", "cost_mean_units",
+                 "crashes_mean", "restarts_mean", "wasted_slot_s_mean",
+                 "incomplete_runs"});
+  for (std::size_t w = 0; w < profiles.size(); ++w) {
+    util::TextTable table;
+    std::vector<std::string> header{"policy \\ rate"};
+    for (double rate : rates) header.push_back(util::fmt(rate, 1) + "/h");
+    table.set_header(std::move(header));
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      std::vector<std::string> row;
+      for (std::size_t r = 0; r < rates.size(); ++r) {
+        std::size_t j = 0;
+        for (; j < jobs.size(); ++j) {
+          if (jobs[j].profile == w && jobs[j].policy == p &&
+              jobs[j].rate == r) {
+            break;
+          }
+        }
+        const Cell& cell = cells[j];
+        if (row.empty()) row.push_back(names[j]);
+        row.push_back(util::fmt(cell.cost.mean(), 0) + "u / " +
+                      util::fmt(cell.makespan.mean(), 0) + "s");
+        csv.write_row({profiles[w].name, names[j], util::fmt(rates[r], 2),
+                       std::to_string(kReps),
+                       util::fmt(cell.makespan.mean(), 1),
+                       util::fmt(cell.makespan.stddev(), 1),
+                       util::fmt(cell.cost.mean(), 3),
+                       util::fmt(cell.crashes.mean(), 2),
+                       util::fmt(cell.restarts.mean(), 2),
+                       util::fmt(cell.wasted.mean(), 1),
+                       std::to_string(cell.incomplete_runs)});
+      }
+      table.add_row(std::move(row));
+    }
+    std::printf("%s — degradation under instance crashes\n%s\n",
+                profiles[w].name.c_str(), table.render().c_str());
+  }
+  std::printf("(cells: charging units / makespan; series written to %s/faults.csv)\n",
+              bench::results_dir().c_str());
+  return 0;
+}

@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", dax_file.c_str());
       return 1;
     }
-    wf = std::make_unique<dag::Workflow>(dag::read_dax(in));
+    wf = std::make_unique<dag::Workflow>(dag::read_dax(in, dax_file));
   } else if (!dag_file.empty()) {
     std::ifstream in(dag_file);
     if (!in) {

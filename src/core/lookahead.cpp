@@ -74,9 +74,11 @@ LookaheadResult simulate_interval(const dag::Workflow& workflow,
   std::vector<std::pair<SimTime, InstanceId>> boots;
 
   for (const sim::InstanceObservation& inst : snapshot.instances) {
-    if (inst.draining) {
-      // Gone at its charge boundary (within this interval by construction of
-      // the steering policy): its tasks restart from zero.
+    if (inst.draining || inst.revoking) {
+      // Gone within the interval — at its charge boundary (drain) or at the
+      // provider's announced reclamation (revocation notice): its tasks are
+      // stranded and restart from zero, so the lookahead charges their full
+      // re-run occupancy rather than the sunk-progress remainder.
       for (TaskId task : inst.running_tasks) {
         occupancy_override[task] =
             predictor.transfer_estimate() +

@@ -110,20 +110,25 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
   }
 
   // The pool at the start of the next interval: live instances that are not
-  // already draining (draining ones expire within this interval).
+  // already draining (draining ones expire within this interval) and not
+  // under a revocation notice (the provider reclaims those on its own
+  // schedule — counting them as stable capacity would leave the next
+  // interval short exactly when replacements take a full lag to boot).
   std::uint32_t m = 0;
   for (const sim::InstanceObservation& inst : snapshot.instances) {
-    if (!inst.draining) ++m;
+    if (!inst.draining && !inst.revoking) ++m;
   }
 
   if (p > m) {
     std::uint32_t deficit = p - m;
     if (reclaim_draining) {
       // Cancelling a drain restores capacity instantly and costs nothing
-      // extra (the unit keeps running) — always preferable to a boot.
+      // extra (the unit keeps running) — always preferable to a boot. A
+      // revoking drain is not worth reclaiming: the provider kills it soon
+      // regardless.
       for (const sim::InstanceObservation& inst : snapshot.instances) {
         if (deficit == 0) break;
-        if (inst.draining) {
+        if (inst.draining && !inst.revoking) {
           cmd.cancel_drains.push_back(inst.id);
           --deficit;
         }
@@ -142,7 +147,9 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
   };
   std::vector<Candidate> candidates;
   for (const sim::InstanceObservation& inst : snapshot.instances) {
-    if (inst.provisioning || inst.draining) continue;
+    // Revoking instances are excluded from `m`, so releasing one would
+    // double-count the capacity loss; the provider reclaims it anyway.
+    if (inst.provisioning || inst.draining || inst.revoking) continue;
     if (inst.time_to_next_charge > config.lag_seconds) continue;
     double cost = 0.0;
     const auto it = lookahead.restart_cost.find(inst.id);

@@ -14,51 +14,81 @@ namespace wire::dag {
 
 namespace {
 
-/// One parsed XML tag: name, attributes, and whether it opens/closes.
+/// One parsed XML tag: name, attributes, whether it opens/closes, and the
+/// 1-based line of its '<' in the source document (for error context).
 struct Tag {
   std::string name;
   std::map<std::string, std::string> attributes;
   bool closing = false;       // </name>
   bool self_closing = false;  // <name ... />
+  std::size_t line = 0;
 };
 
 /// Minimal XML tag scanner sufficient for DAX: yields tags in document
 /// order, skipping text content, comments, CDATA-free documents assumed.
+/// Every syntax error throws DaxParseError with source:line context — a
+/// truncated or malformed document can never yield a silent partial tag
+/// stream.
 class XmlScanner {
  public:
-  explicit XmlScanner(const std::string& text) : text_(text) {}
+  XmlScanner(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
 
   /// Returns false at end of document.
   bool next(Tag& out) {
     for (;;) {
       const std::size_t open = text_.find('<', pos_);
       if (open == std::string::npos) return false;
+      const std::size_t line = line_at(open);
       pos_ = open + 1;
       if (text_.compare(pos_, 3, "!--") == 0) {
         const std::size_t end = text_.find("-->", pos_);
-        WIRE_REQUIRE(end != std::string::npos, "unterminated XML comment");
+        if (end == std::string::npos) fail(line, "unterminated XML comment");
         pos_ = end + 3;
         continue;
       }
       if (pos_ < text_.size() && (text_[pos_] == '?' || text_[pos_] == '!')) {
         const std::size_t end = text_.find('>', pos_);
-        WIRE_REQUIRE(end != std::string::npos, "unterminated declaration");
+        if (end == std::string::npos) fail(line, "unterminated declaration");
         pos_ = end + 1;
         continue;
       }
       const std::size_t end = text_.find('>', pos_);
-      WIRE_REQUIRE(end != std::string::npos, "unterminated tag");
+      if (end == std::string::npos) {
+        fail(line, "unterminated tag (document truncated?)");
+      }
       std::string body = text_.substr(pos_, end - pos_);
       pos_ = end + 1;
-      parse_tag(body, out);
+      parse_tag(std::move(body), line, out);
+      out.line = line;
       return true;
     }
   }
 
+  [[noreturn]] void fail(std::size_t line, const std::string& message) const {
+    throw DaxParseError(source_ + ":" + std::to_string(line) + ": " +
+                        message);
+  }
+
+  /// Document-level error: no single line to blame.
+  [[noreturn]] void fail(const std::string& message) const {
+    throw DaxParseError(source_ + ": " + message);
+  }
+
  private:
-  static void parse_tag(std::string body, Tag& out) {
+  /// 1-based line of byte `pos`. Scan positions only move forward, so the
+  /// newline count advances incrementally — O(document) total.
+  std::size_t line_at(std::size_t pos) {
+    while (counted_ < pos) {
+      if (text_[counted_] == '\n') ++line_;
+      ++counted_;
+    }
+    return line_;
+  }
+
+  void parse_tag(std::string body, std::size_t line, Tag& out) const {
     out = Tag{};
-    WIRE_REQUIRE(!body.empty(), "empty tag");
+    if (body.empty()) fail(line, "empty tag");
     if (body.front() == '/') {
       out.closing = true;
       body.erase(body.begin());
@@ -81,7 +111,7 @@ class XmlScanner {
       ++i;
     }
     out.name = body.substr(name_start, i - name_start);
-    WIRE_REQUIRE(!out.name.empty(), "tag without a name");
+    if (out.name.empty()) fail(line, "tag without a name");
 
     while (true) {
       skip_space();
@@ -93,23 +123,28 @@ class XmlScanner {
       }
       const std::string key = body.substr(key_start, i - key_start);
       skip_space();
-      WIRE_REQUIRE(i < body.size() && body[i] == '=',
-                   "attribute '" + key + "' without value");
+      if (i >= body.size() || body[i] != '=') {
+        fail(line, "attribute '" + key + "' without value");
+      }
       ++i;
       skip_space();
-      WIRE_REQUIRE(i < body.size() && (body[i] == '"' || body[i] == '\''),
-                   "unquoted attribute value for '" + key + "'");
+      if (i >= body.size() || (body[i] != '"' && body[i] != '\'')) {
+        fail(line, "unquoted attribute value for '" + key + "'");
+      }
       const char quote = body[i++];
       const std::size_t value_start = i;
       while (i < body.size() && body[i] != quote) ++i;
-      WIRE_REQUIRE(i < body.size(), "unterminated attribute value");
+      if (i >= body.size()) fail(line, "unterminated attribute value");
       out.attributes[key] = body.substr(value_start, i - value_start);
       ++i;
     }
   }
 
   const std::string& text_;
+  const std::string& source_;
   std::size_t pos_ = 0;
+  std::size_t counted_ = 0;
+  std::size_t line_ = 1;
 };
 
 struct DaxJob {
@@ -121,21 +156,40 @@ struct DaxJob {
   std::vector<std::string> parents;
 };
 
-}  // namespace
-
-Workflow read_dax(std::istream& is) {
-  std::ostringstream buffer;
-  buffer << is.rdbuf();
-  return dax_from_string(buffer.str());
+/// Full-string numeric parse; rejects partial parses like "12abc" that
+/// std::stod would silently truncate.
+double parse_number(const XmlScanner& scanner, std::size_t line,
+                    const std::string& value, const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(value, &consumed);
+    if (consumed != value.size()) {
+      scanner.fail(line, what + " is not a number: '" + value + "'");
+    }
+    return v;
+  } catch (const DaxParseError&) {
+    throw;
+  } catch (const std::exception&) {
+    scanner.fail(line, what + " is not a number: '" + value + "'");
+  }
 }
 
-Workflow dax_from_string(const std::string& text) {
-  XmlScanner scanner(text);
+}  // namespace
+
+Workflow read_dax(std::istream& is, const std::string& source) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return dax_from_string(buffer.str(), source);
+}
+
+Workflow dax_from_string(const std::string& text, const std::string& source) {
+  XmlScanner scanner(text, source);
   Tag tag;
 
   std::string workflow_name = "dax";
   std::vector<DaxJob> jobs;
   std::map<std::string, std::size_t> job_index;
+  std::map<std::string, std::size_t> job_line;  // first definition, for dups
   std::string current_child;  // inside a <child> element
   std::size_t current_job = static_cast<std::size_t>(-1);
   bool saw_adag = false;
@@ -150,20 +204,30 @@ Workflow dax_from_string(const std::string& text) {
     } else if (tag.name == "job" && !tag.closing) {
       DaxJob job;
       const auto id = tag.attributes.find("id");
-      WIRE_REQUIRE(id != tag.attributes.end(), "job without id");
+      if (id == tag.attributes.end()) scanner.fail(tag.line, "job without id");
       job.id = id->second;
       const auto name = tag.attributes.find("name");
-      WIRE_REQUIRE(name != tag.attributes.end(),
-                   "job " + job.id + " without a transformation name");
+      if (name == tag.attributes.end()) {
+        scanner.fail(tag.line,
+                     "job " + job.id + " without a transformation name");
+      }
       job.transformation = name->second;
       const auto runtime = tag.attributes.find("runtime");
-      WIRE_REQUIRE(runtime != tag.attributes.end(),
-                   "job " + job.id + " without a runtime attribute");
-      job.runtime = std::stod(runtime->second);
-      WIRE_REQUIRE(job.runtime >= 0.0,
-                   "job " + job.id + " has a negative runtime");
-      WIRE_REQUIRE(job_index.emplace(job.id, jobs.size()).second,
-                   "duplicate job id " + job.id);
+      if (runtime == tag.attributes.end()) {
+        scanner.fail(tag.line,
+                     "job " + job.id + " without a runtime attribute");
+      }
+      job.runtime = parse_number(scanner, tag.line, runtime->second,
+                                 "job " + job.id + " runtime");
+      if (job.runtime < 0.0) {
+        scanner.fail(tag.line, "job " + job.id + " has a negative runtime");
+      }
+      if (!job_index.emplace(job.id, jobs.size()).second) {
+        scanner.fail(tag.line,
+                     "duplicate job id " + job.id + " (first defined at line " +
+                         std::to_string(job_line.at(job.id)) + ")");
+      }
+      job_line.emplace(job.id, tag.line);
       if (!tag.self_closing) current_job = jobs.size();
       jobs.push_back(std::move(job));
     } else if (tag.name == "job" && tag.closing) {
@@ -175,7 +239,9 @@ Workflow dax_from_string(const std::string& text) {
       if (link == tag.attributes.end() || size == tag.attributes.end()) {
         continue;
       }
-      const double bytes = std::stod(size->second);
+      const double bytes =
+          parse_number(scanner, tag.line, size->second,
+                       "uses size of job " + jobs[current_job].id);
       if (link->second == "input") {
         jobs[current_job].input_bytes += bytes;
       } else if (link->second == "output") {
@@ -183,24 +249,33 @@ Workflow dax_from_string(const std::string& text) {
       }
     } else if (tag.name == "child" && !tag.closing) {
       const auto ref = tag.attributes.find("ref");
-      WIRE_REQUIRE(ref != tag.attributes.end(), "child without ref");
+      if (ref == tag.attributes.end()) {
+        scanner.fail(tag.line, "child without ref");
+      }
       current_child = ref->second;
+      if (job_index.find(current_child) == job_index.end()) {
+        scanner.fail(tag.line,
+                     "child references unknown job " + current_child);
+      }
     } else if (tag.name == "child" && tag.closing) {
       current_child.clear();
     } else if (tag.name == "parent") {
       const auto ref = tag.attributes.find("ref");
-      WIRE_REQUIRE(ref != tag.attributes.end(), "parent without ref");
-      WIRE_REQUIRE(!current_child.empty(), "parent outside a child element");
-      const auto child_it = job_index.find(current_child);
-      WIRE_REQUIRE(child_it != job_index.end(),
-                   "child references unknown job " + current_child);
-      WIRE_REQUIRE(job_index.count(ref->second) == 1,
-                   "parent references unknown job " + ref->second);
-      jobs[child_it->second].parents.push_back(ref->second);
+      if (ref == tag.attributes.end()) {
+        scanner.fail(tag.line, "parent without ref");
+      }
+      if (current_child.empty()) {
+        scanner.fail(tag.line, "parent outside a child element");
+      }
+      if (job_index.count(ref->second) != 1) {
+        scanner.fail(tag.line,
+                     "parent references unknown job " + ref->second);
+      }
+      jobs[job_index.at(current_child)].parents.push_back(ref->second);
     }
   }
-  WIRE_REQUIRE(saw_adag, "not a DAX document (no <adag> element)");
-  WIRE_REQUIRE(!jobs.empty(), "DAX contains no jobs");
+  if (!saw_adag) scanner.fail("not a DAX document (no <adag> element)");
+  if (jobs.empty()) scanner.fail("DAX contains no jobs");
 
   // Topological order (the builder requires predecessors first).
   std::vector<std::vector<std::size_t>> successors(jobs.size());
@@ -227,7 +302,9 @@ Workflow dax_from_string(const std::string& text) {
       if (--in_degree[succ] == 0) ready.push(succ);
     }
   }
-  WIRE_REQUIRE(topo.size() == jobs.size(), "DAX dependencies contain a cycle");
+  if (topo.size() != jobs.size()) {
+    scanner.fail("DAX dependencies contain a cycle");
+  }
 
   // Stage per transformation name, in order of first appearance.
   WorkflowBuilder builder(workflow_name);

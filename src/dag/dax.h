@@ -23,18 +23,32 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "dag/workflow.h"
 
 namespace wire::dag {
 
-/// Parses a DAX document into a Workflow. Throws util::ContractViolation on
-/// malformed XML, unknown job references, cyclic dependencies, or jobs
-/// without a runtime attribute.
-Workflow read_dax(std::istream& is);
+/// Thrown on any malformed DAX input: broken XML (truncated tags,
+/// unterminated comments or attribute values), missing or non-numeric
+/// attributes, duplicate job ids, edges referencing unknown jobs, cycles, or
+/// documents without jobs. The message carries "source:line:" context for
+/// tag-level errors ("source:" alone for document-level ones such as cycles),
+/// so a bad gallery file points at the offending element instead of silently
+/// producing a partial workflow.
+class DaxParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a DAX document into a Workflow. Throws DaxParseError on malformed
+/// input; `source` labels the document in error messages (pass the file
+/// name).
+Workflow read_dax(std::istream& is, const std::string& source = "<dax>");
 
 /// Parses DAX from a string.
-Workflow dax_from_string(const std::string& text);
+Workflow dax_from_string(const std::string& text,
+                         const std::string& source = "<dax>");
 
 }  // namespace wire::dag

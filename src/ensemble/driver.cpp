@@ -224,6 +224,10 @@ EnsembleReport EnsembleDriver::run() {
     j.cost_units = t->result.cost_units;
     j.peak_instances = t->result.peak_instances;
     j.task_restarts = t->result.task_restarts;
+    j.task_faults = t->result.task_faults;
+    j.instance_crashes = t->result.instance_crashes;
+    j.quarantined_tasks =
+        static_cast<std::uint32_t>(t->result.quarantined_tasks.size());
     report.jobs.push_back(std::move(j));
   }
   report.finalize(busy_slot_seconds_, allocated_instance_seconds_);

@@ -17,12 +17,18 @@ void EnsembleReport::finalize(double busy_slot_seconds,
   mean_queue_wait_seconds = 0.0;
   mean_slowdown = 0.0;
   max_slowdown = 0.0;
+  total_task_faults = 0;
+  total_instance_crashes = 0;
+  total_quarantined_tasks = 0;
   for (const JobOutcome& j : jobs) {
     horizon_seconds = std::max(horizon_seconds, j.completed_seconds);
     total_cost_units += j.cost_units;
     mean_queue_wait_seconds += j.queue_wait_seconds;
     mean_slowdown += j.slowdown;
     max_slowdown = std::max(max_slowdown, j.slowdown);
+    total_task_faults += j.task_faults;
+    total_instance_crashes += j.instance_crashes;
+    total_quarantined_tasks += j.quarantined_tasks;
   }
   if (!jobs.empty()) {
     mean_queue_wait_seconds /= static_cast<double>(jobs.size());
@@ -47,7 +53,8 @@ void EnsembleReport::finalize(double busy_slot_seconds,
 std::string EnsembleReport::render() const {
   util::TextTable table;
   table.set_header({"job", "workflow", "arrival", "wait", "makespan",
-                    "dedicated", "slowdown", "cost", "peak", "restarts"});
+                    "dedicated", "slowdown", "cost", "peak", "restarts",
+                    "faults", "crashes", "quar"});
   for (const JobOutcome& j : jobs) {
     table.add_row({std::to_string(j.job), j.workflow_name,
                    util::fmt(j.arrival_seconds, 1),
@@ -56,7 +63,10 @@ std::string EnsembleReport::render() const {
                    util::fmt(j.dedicated_makespan_seconds, 1),
                    util::fmt(j.slowdown, 3), util::fmt(j.cost_units, 2),
                    std::to_string(j.peak_instances),
-                   std::to_string(j.task_restarts)});
+                   std::to_string(j.task_restarts),
+                   std::to_string(j.task_faults),
+                   std::to_string(j.instance_crashes),
+                   std::to_string(j.quarantined_tasks)});
   }
   std::ostringstream out;
   out << "ensemble: policy=" << tenant_policy
@@ -71,6 +81,12 @@ std::string EnsembleReport::render() const {
       << util::fmt(mean_queue_wait_seconds, 1) << " s, slowdown mean "
       << util::fmt(mean_slowdown, 3) << " / max "
       << util::fmt(max_slowdown, 3) << "\n";
+  if (total_task_faults > 0 || total_instance_crashes > 0 ||
+      total_quarantined_tasks > 0) {
+    out << "faults: task faults " << total_task_faults
+        << ", instance crashes " << total_instance_crashes
+        << ", quarantined tasks " << total_quarantined_tasks << "\n";
+  }
   return out.str();
 }
 
@@ -84,7 +100,10 @@ bool operator==(const JobOutcome& a, const JobOutcome& b) {
          a.dedicated_makespan_seconds == b.dedicated_makespan_seconds &&
          a.slowdown == b.slowdown && a.cost_units == b.cost_units &&
          a.peak_instances == b.peak_instances &&
-         a.task_restarts == b.task_restarts;
+         a.task_restarts == b.task_restarts &&
+         a.task_faults == b.task_faults &&
+         a.instance_crashes == b.instance_crashes &&
+         a.quarantined_tasks == b.quarantined_tasks;
 }
 
 bool operator==(const EnsembleReport& a, const EnsembleReport& b) {
@@ -99,7 +118,10 @@ bool operator==(const EnsembleReport& a, const EnsembleReport& b) {
          a.throughput_jobs_per_hour == b.throughput_jobs_per_hour &&
          a.mean_queue_wait_seconds == b.mean_queue_wait_seconds &&
          a.mean_slowdown == b.mean_slowdown &&
-         a.max_slowdown == b.max_slowdown;
+         a.max_slowdown == b.max_slowdown &&
+         a.total_task_faults == b.total_task_faults &&
+         a.total_instance_crashes == b.total_instance_crashes &&
+         a.total_quarantined_tasks == b.total_quarantined_tasks;
 }
 
 }  // namespace wire::ensemble

@@ -34,6 +34,12 @@ struct JobOutcome {
   double cost_units = 0.0;
   std::uint32_t peak_instances = 0;
   std::uint32_t task_restarts = 0;
+  /// Transient task failures injected into this job's tasks (fault model).
+  std::uint32_t task_faults = 0;
+  /// Instance crashes suffered by this job's pool (fault model).
+  std::uint32_t instance_crashes = 0;
+  /// Tasks quarantined after exhausting their retry budget.
+  std::uint32_t quarantined_tasks = 0;
 };
 
 /// Site-level result of one ensemble run.
@@ -59,6 +65,10 @@ struct EnsembleReport {
   double mean_queue_wait_seconds = 0.0;
   double mean_slowdown = 0.0;
   double max_slowdown = 0.0;
+  /// Site-wide fault totals (all zero when the fault model is disabled).
+  std::uint32_t total_task_faults = 0;
+  std::uint32_t total_instance_crashes = 0;
+  std::uint32_t total_quarantined_tasks = 0;
 
   /// Recomputes every aggregate from `jobs` plus the per-job raw inputs
   /// recorded by the driver. Called by the driver; exposed for tests.

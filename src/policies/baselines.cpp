@@ -50,10 +50,13 @@ std::uint32_t reactive_target(const sim::MonitorSnapshot& snapshot,
   return (active + config.slots_per_instance - 1) / config.slots_per_instance;
 }
 
+/// Stable capacity at the next interval: live instances that are neither
+/// draining nor under a revocation notice (the provider reclaims announced
+/// instances on its own schedule, so they must not be counted).
 std::uint32_t live_non_draining(const sim::MonitorSnapshot& snapshot) {
   std::uint32_t m = 0;
   for (const sim::InstanceObservation& inst : snapshot.instances) {
-    if (!inst.draining) ++m;
+    if (!inst.draining && !inst.revoking) ++m;
   }
   return m;
 }
@@ -113,7 +116,11 @@ sim::PoolCommand PureReactivePolicy::plan(
   // the restart churn is as small as a purely reactive policy can manage.
   std::vector<const sim::InstanceObservation*> ready;
   for (const sim::InstanceObservation& inst : snapshot.instances) {
-    if (!inst.provisioning && !inst.draining) ready.push_back(&inst);
+    // Revoking instances are already written off (excluded from m); the
+    // provider reclaims them, so releasing one would double-count the loss.
+    if (!inst.provisioning && !inst.draining && !inst.revoking) {
+      ready.push_back(&inst);
+    }
   }
   std::sort(ready.begin(), ready.end(),
             [](const sim::InstanceObservation* a,
@@ -159,7 +166,7 @@ sim::PoolCommand ReactiveConservingPolicy::plan(
   };
   std::vector<Candidate> candidates;
   for (const sim::InstanceObservation& inst : snapshot.instances) {
-    if (inst.provisioning || inst.draining) continue;
+    if (inst.provisioning || inst.draining || inst.revoking) continue;
     if (inst.time_to_next_charge > config_.lag_seconds) continue;
     const double sunk = observed_sunk_cost(inst, snapshot) *
                         (1.0 - config_.checkpoint_fraction);

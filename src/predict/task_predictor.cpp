@@ -18,7 +18,8 @@ TaskPredictor::TaskPredictor(const dag::Workflow& workflow,
     : workflow_(&workflow),
       config_(config),
       stages_(workflow.stage_count()),
-      last_phase_(workflow.task_count(), TaskPhase::Pending) {
+      last_phase_(workflow.task_count(), TaskPhase::Pending),
+      seen_failed_(workflow.task_count(), 0) {
   for (StageState& s : stages_) {
     s.model = OgdModel(config_.learning_rate);
   }
@@ -71,6 +72,26 @@ void TaskPredictor::record_completion(TaskId task,
   }
 }
 
+void TaskPredictor::observe_failure(TaskId task,
+                                    const sim::TaskObservation& obs) {
+  if (obs.failed_attempts <= seen_failed_[task]) return;
+  seen_failed_[task] = obs.failed_attempts;
+  if (!config_.harvest_failed_attempts) return;
+  if (obs.last_failed_elapsed < 0.0) return;
+  // Contamination ablation: treat the failed attempt's elapsed occupancy as
+  // a finished-execution sample, exactly as a harvester that keys on "the
+  // task left its slot" would. It pollutes the stage centre, the task's
+  // input-size group, and (via dirty) the next OGD epoch's targets.
+  const dag::TaskSpec& spec = workflow_->task(task);
+  StageState& stage = stages_[spec.stage];
+  add_sample(stage.completed_exec, obs.last_failed_elapsed);
+  ++stage.completed;
+  stage.dirty = true;
+  Group& group = stage.groups[bucket_key(spec.input_mb)];
+  add_sample(group.exec, obs.last_failed_elapsed);
+  group.input_mb_sum += spec.input_mb;
+}
+
 void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
   WIRE_REQUIRE(snapshot.tasks.size() == workflow_->task_count(),
                "snapshot does not match the workflow");
@@ -82,6 +103,9 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
     // snapshot, already in ascending TaskId order — the same order the scan
     // below visits them. The last_phase_ guard keeps observe idempotent when
     // the same snapshot is replayed (benches do).
+    for (TaskId t : snapshot.delta.failed) {
+      observe_failure(t, snapshot.tasks[t]);
+    }
     for (TaskId t : snapshot.delta.completed) {
       if (last_phase_[t] == TaskPhase::Completed) continue;
       last_phase_[t] = TaskPhase::Completed;
@@ -90,6 +114,7 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
   } else {
     for (TaskId t = 0; t < static_cast<TaskId>(snapshot.tasks.size()); ++t) {
       const sim::TaskObservation& obs = snapshot.tasks[t];
+      observe_failure(t, obs);
       const bool newly_completed = obs.phase == TaskPhase::Completed &&
                                    last_phase_[t] != TaskPhase::Completed;
       last_phase_[t] = obs.phase;
@@ -211,6 +236,7 @@ const OgdModel& TaskPredictor::stage_model(StageId stage) const {
 std::size_t TaskPredictor::state_bytes() const {
   std::size_t bytes = sizeof(*this);
   bytes += last_phase_.capacity() * sizeof(TaskPhase);
+  bytes += seen_failed_.capacity() * sizeof(std::uint32_t);
   for (const StageState& s : stages_) {
     bytes += sizeof(StageState);
     bytes += s.completed_exec.sorted.capacity() * sizeof(double);

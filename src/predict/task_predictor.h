@@ -45,6 +45,13 @@ struct PredictorConfig {
   /// Ablation: disable the OGD model; policy 5 falls back to the stage
   /// median (policy 3's estimate).
   bool disable_ogd = false;
+  /// Ablation: harvest failed-attempt occupancy spans as if they were
+  /// execution samples. The robust default (false) learns from successful
+  /// completions only, so transient task faults cannot poison the stage
+  /// medians, the input-size groups, or the OGD training targets; turning
+  /// this on measures how much a naive any-finished-attempt harvest degrades
+  /// the predictions under faults.
+  bool harvest_failed_attempts = false;
 };
 
 /// Which of the five §III-C policies produced an estimate.
@@ -150,11 +157,21 @@ class TaskPredictor : public Estimator {
   void record_completion(dag::TaskId task, const sim::TaskObservation& obs,
                          std::vector<double>& interval_transfers);
 
+  /// Notes a newly observed failed attempt (detected via the failure counter,
+  /// so replayed snapshots stay idempotent) and — only under the
+  /// harvest_failed_attempts ablation — ingests its elapsed span as an
+  /// execution sample. When several attempts fail between two snapshots only
+  /// the last span is observable (and ingested).
+  void observe_failure(dag::TaskId task, const sim::TaskObservation& obs);
+
   const dag::Workflow* workflow_;
   PredictorConfig config_;
   std::vector<StageState> stages_;
   /// Last observed phase per task, to detect completions between iterations.
   std::vector<sim::TaskPhase> last_phase_;
+  /// Last observed failed-attempt count per task, to detect new failures
+  /// between iterations (and to keep observe_failure idempotent on replays).
+  std::vector<std::uint32_t> seen_failed_;
   double transfer_estimate_ = 0.0;
   bool has_transfer_estimate_ = false;
   std::size_t iterations_ = 0;

@@ -13,12 +13,14 @@ namespace {
 constexpr double kBillingEps = 1e-6;
 }  // namespace
 
-InstanceId CloudPool::request(SimTime now, double speed_factor) {
+InstanceId CloudPool::request(SimTime now, double speed_factor,
+                              SimTime lag_override) {
   Instance inst;
   inst.id = static_cast<InstanceId>(instances_.size());
   inst.state = InstanceState::Provisioning;
   inst.requested_at = now;
-  inst.ready_at = now + config_.lag_seconds;
+  inst.ready_at =
+      now + (lag_override >= 0.0 ? lag_override : config_.lag_seconds);
   inst.speed_factor = speed_factor;
   instances_.push_back(inst);
   peak_live_ = std::max(peak_live_, live_count());
@@ -78,6 +80,22 @@ SimTime CloudPool::schedule_drain(InstanceId id, SimTime now) {
 void CloudPool::cancel_drain(InstanceId id) {
   Instance& inst = mutable_instance(id);
   inst.drain_at = -1.0;
+}
+
+void CloudPool::mark_doomed(InstanceId id, SimTime crash_at,
+                            SimTime notice_at) {
+  Instance& inst = mutable_instance(id);
+  WIRE_REQUIRE(inst.state == InstanceState::Ready,
+               "can only doom a ready instance");
+  WIRE_REQUIRE(notice_at <= crash_at, "revocation notice after the crash");
+  inst.crash_at = crash_at;
+  inst.crash_notice_at = notice_at;
+}
+
+bool CloudPool::revocation_announced(InstanceId id, SimTime now) const {
+  const Instance& inst = instance(id);
+  return inst.state != InstanceState::Terminated &&
+         inst.crash_notice_at >= 0.0 && now >= inst.crash_notice_at;
 }
 
 bool CloudPool::is_usable(InstanceId id, SimTime now) const {

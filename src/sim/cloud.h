@@ -31,6 +31,12 @@ struct Instance {
   SimTime terminated_at = -1.0;
   /// Scheduled drain time (charge boundary); negative if not draining.
   SimTime drain_at = -1.0;
+  /// Fault injection: scheduled crash/revocation time; negative if this
+  /// instance never crashes.
+  SimTime crash_at = -1.0;
+  /// Time from which the revocation is announced to the controller
+  /// (`crash_at - notice`, clamped to the ready time); negative if no crash.
+  SimTime crash_notice_at = -1.0;
   /// Ground-truth speed factor (hidden from the controller).
   double speed_factor = 1.0;
 };
@@ -43,8 +49,11 @@ class CloudPool {
   /// Requests a new instance at `now`; it becomes Ready at now + lag.
   /// `speed_factor` comes from the variability model. Returns its id.
   /// The caller is responsible for respecting the site capacity (the driver
-  /// clips requests so policies cannot exceed it).
-  InstanceId request(SimTime now, double speed_factor);
+  /// clips requests so policies cannot exceed it). A non-negative
+  /// `lag_override` replaces the configured provisioning lag (fault
+  /// injection: straggler boots).
+  InstanceId request(SimTime now, double speed_factor,
+                     SimTime lag_override = -1.0);
 
   /// Requests an instance that is Ready immediately (initial pool at t = 0).
   InstanceId request_ready(SimTime now, double speed_factor);
@@ -63,6 +72,15 @@ class CloudPool {
   /// Cancels a pending drain (e.g. the policy changed its mind on a later
   /// tick). No-op if the instance is not draining.
   void cancel_drain(InstanceId id);
+
+  /// Fault injection: dooms a Ready instance to crash at `crash_at`, with the
+  /// revocation announced from `notice_at` (<= crash_at) onward. The engine
+  /// terminates it when the InstanceCrash event fires.
+  void mark_doomed(InstanceId id, SimTime crash_at, SimTime notice_at);
+
+  /// True when the instance's revocation has been announced (monitoring rows
+  /// report it so policies stop counting the instance as stable capacity).
+  bool revocation_announced(InstanceId id, SimTime now) const;
 
   const Instance& instance(InstanceId id) const;
   bool is_usable(InstanceId id, SimTime now) const;

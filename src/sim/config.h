@@ -48,6 +48,61 @@ struct VariabilityConfig {
   double aggregate_bandwidth_mb_per_s = 0.0;
 };
 
+/// Fault-injection knobs (all zero by default = the perfectly reliable cloud
+/// the seed implementation modeled). When every rate is zero the engine never
+/// constructs fault events and never draws from the fault RNG stream, so
+/// fault-free runs stay byte-identical to the pre-fault implementation. The
+/// controller never sees these parameters — only their consequences
+/// (revocation notices, lifecycle events, failed attempts).
+struct FaultConfig {
+  /// Instance crash/revocation rate per instance-hour of Ready time. Each
+  /// instance draws an exponential lifetime when it becomes Ready; at that
+  /// point it is reclaimed exactly like a terminate (billing stops, in-flight
+  /// tasks re-fire through the restart path).
+  double crash_rate_per_hour = 0.0;
+  /// Advance revocation notice, seconds (spot-style "you will lose this
+  /// instance at T"). From `crash_at - notice` onward the instance reports
+  /// `revoking = true` in its MonitorSnapshot row; policies must not count it
+  /// as stable capacity. 0 = crashes arrive unannounced.
+  double crash_notice_seconds = 0.0;
+  /// Probability that a provisioning request never comes up: the boot fails
+  /// at its ready time and the instance terminates without ever being Ready
+  /// (and is therefore never billed).
+  double provision_failure_prob = 0.0;
+  /// Probability that a boot straggles: its provisioning lag is multiplied by
+  /// `straggler_lag_multiplier`.
+  double straggler_prob = 0.0;
+  double straggler_lag_multiplier = 3.0;
+  /// Per-attempt transient task failure probability. A failing attempt dies
+  /// partway through execution (uniform fraction of its exec time), wasting
+  /// the occupancy so far; the framework retries with exponential backoff and
+  /// quarantines the task (plus all descendants) after RetryConfig's
+  /// max_attempts failures.
+  double task_failure_prob = 0.0;
+  /// Per-control-tick probability that the monitoring delta is withheld: the
+  /// policy sees a peek-style snapshot (refreshed fields, `delta.exact =
+  /// false`) and the journal coalesces into the next successful tick.
+  double monitor_dropout_prob = 0.0;
+
+  bool enabled() const {
+    return crash_rate_per_hour > 0.0 || provision_failure_prob > 0.0 ||
+           straggler_prob > 0.0 || task_failure_prob > 0.0 ||
+           monitor_dropout_prob > 0.0;
+  }
+};
+
+/// Bounded retry policy for transient task failures (only exercised when
+/// FaultConfig::task_failure_prob > 0).
+struct RetryConfig {
+  /// Transient failures tolerated per task before it is quarantined as a
+  /// poison task (its descendants are quarantined with it and the run
+  /// completes without them; RunResult lists the quarantined set).
+  std::uint32_t max_attempts = 3;
+  /// Backoff before retry k (1-based) is `base * factor^(k-1)` sim-seconds.
+  double backoff_base_seconds = 30.0;
+  double backoff_factor = 2.0;
+};
+
 /// Static parameters of the simulated cloud site.
 struct CloudConfig {
   /// Provisioning lag t: the maximum delay to launch or release an instance.
@@ -84,6 +139,11 @@ struct CloudConfig {
   /// same fraction. bench_checkpoint studies the interaction with the
   /// restart-cost threshold.
   double checkpoint_fraction = 0.0;
+
+  /// Ground-truth fault injection (all-zero = reliable cloud).
+  FaultConfig faults;
+  /// Retry/backoff discipline for transient task failures.
+  RetryConfig retry;
 };
 
 }  // namespace wire::sim

@@ -9,6 +9,7 @@
 
 #include "dag/workflow.h"
 #include "sim/config.h"
+#include "sim/faults.h"
 #include "sim/framework.h"
 #include "sim/scaling_policy.h"
 
@@ -52,6 +53,28 @@ struct RunResult {
   std::uint32_t peak_instances = 0;
   std::uint32_t task_restarts = 0;
   std::uint32_t control_ticks = 0;
+
+  // --- Fault injection (all zero/empty on a reliable cloud) ---
+  /// Transient task failures across all tasks (retried attempts that died
+  /// mid-execution; distinct from task_restarts, which counts kills by
+  /// instance releases/crashes).
+  std::uint32_t task_faults = 0;
+  /// Ready instances reclaimed by the fault model.
+  std::uint32_t instance_crashes = 0;
+  /// Provisioning requests that never came up (and were never billed).
+  std::uint32_t provision_failures = 0;
+  /// Boots whose provisioning lag was stretched by the straggler multiplier.
+  std::uint32_t straggler_boots = 0;
+  /// Control ticks whose monitoring delta was withheld.
+  std::uint32_t monitor_dropouts = 0;
+  /// Poison tasks: exhausted RetryConfig::max_attempts (or descend from one
+  /// that did) and were excluded from the run, ascending TaskId order. The
+  /// run "completes" without them; makespan covers the surviving tasks.
+  std::vector<dag::TaskId> quarantined_tasks;
+  /// Per-event fault journal, in injection order (replayable byte-for-byte
+  /// from the seed; see metrics::write_fault_trace_csv).
+  FaultTrace fault_trace;
+
   /// Final per-task lifecycle records (kickstart archive).
   std::vector<TaskRuntime> task_records;
   /// Present when RunOptions::record_pool_timeline is set.

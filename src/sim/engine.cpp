@@ -20,15 +20,16 @@ JobEngine::JobEngine(const dag::Workflow& workflow, ScalingPolicy& policy,
       framework_(workflow, config.first_fire_priority,
                  config.checkpoint_fraction),
       store_(workflow),
-      variability_(config.variability, options.seed) {
+      variability_(config.variability, options.seed),
+      faults_(config.faults, options.seed) {
   WIRE_REQUIRE(config.lag_seconds > 0.0, "lag must be positive");
   WIRE_REQUIRE(config.charging_unit_seconds > 0.0,
                "charging unit must be positive");
+  WIRE_REQUIRE(config.retry.max_attempts > 0, "need at least one attempt");
   WIRE_REQUIRE(config.slots_per_instance > 0, "need at least one slot");
-  // The master's constructor already enqueued the root tasks; sync the store
-  // once, then let lifecycle hooks keep it current. Every event from here on
-  // (bootstrap included) lands in the first tick's delta journal.
-  store_.sync(framework_, 0.0);
+  // The store's constructor journals the same t = 0 bootstrap the master's
+  // constructor performs (roots fired as Ready); lifecycle hooks keep it
+  // current from here on.
   framework_.set_monitor_store(&store_);
 }
 
@@ -49,6 +50,9 @@ void JobEngine::start() {
         cloud_.request_ready(0.0, variability_.sample_instance_factor());
     framework_.register_instance(id, config_.slots_per_instance);
     store_.on_instance_added(id);
+    // The bootstrap pool is already booted, so it skips the provisioning
+    // faults, but it is just as mortal as any other instance.
+    maybe_arm_crash(id, 0.0);
   }
   requested_pool_ = initial;
   dispatch_all(0.0);
@@ -81,6 +85,9 @@ void JobEngine::step() {
     case EventKind::InstanceDrain: handle_instance_drain(e); break;
     case EventKind::TransferGuard: handle_transfer_guard(e); break;
     case EventKind::TransferStart: handle_transfer_start(e); break;
+    case EventKind::InstanceCrash: handle_instance_crash(e); break;
+    case EventKind::TaskFaulted: handle_task_faulted(e); break;
+    case EventKind::TaskRetry: handle_task_retry(e); break;
   }
 }
 
@@ -188,6 +195,15 @@ void JobEngine::finish_transfer_in(TaskId task, SimTime now) {
       workflow_.task(task).ref_exec_seconds, factor);
   // Checkpointed progress from killed attempts shortens the re-execution.
   exec = std::max(0.0, exec - framework_.runtime(task).salvaged_exec);
+  if (faults_.enabled()) {
+    const ExecFaultPlan plan = faults_.plan_exec();
+    if (plan.fails && exec > 0.0) {
+      // The attempt dies partway through execution instead of finishing.
+      queue_.schedule(now + plan.fraction * exec, EventKind::TaskFaulted,
+                      task, framework_.runtime(task).attempts);
+      return;
+    }
+  }
   queue_.schedule(now + exec, EventKind::ExecDone, task,
                   framework_.runtime(task).attempts);
 }
@@ -246,8 +262,82 @@ void JobEngine::purge_stale_transfers(SimTime now) {
 void JobEngine::handle_instance_ready(const Event& e) {
   const InstanceId id = e.payload;
   if (cloud_.instance(id).state == InstanceState::Terminated) return;
+  if (faults_.enabled() && faults_.boot_failed(id)) {
+    // Provisioning failure: the boot times out instead of coming up. The
+    // instance was never Ready, so it is never billed.
+    cloud_.terminate(id, e.time);
+    store_.on_instance_removed(id);
+    faults_.record(e.time, FaultKind::ProvisionFailure, id, 0, 0.0);
+    return;
+  }
   cloud_.mark_ready(id, e.time);
   framework_.register_instance(id, config_.slots_per_instance);
+  maybe_arm_crash(id, e.time);
+  dispatch_all(e.time);
+}
+
+void JobEngine::maybe_arm_crash(InstanceId id, SimTime now) {
+  if (!faults_.enabled()) return;
+  const SimTime delay = faults_.sample_crash_delay();
+  if (delay < 0.0) return;
+  const SimTime crash_at = now + delay;
+  const SimTime notice_at =
+      std::max(now, crash_at - config_.faults.crash_notice_seconds);
+  cloud_.mark_doomed(id, crash_at, notice_at);
+  queue_.schedule(crash_at, EventKind::InstanceCrash, id);
+}
+
+void JobEngine::handle_instance_crash(const Event& e) {
+  const InstanceId id = e.payload;
+  if (cloud_.instance(id).state != InstanceState::Ready) {
+    return;  // released (drained/terminated) before the crash landed
+  }
+  // Terminate-style lifecycle: in-flight tasks re-fire through the restart
+  // path, billing stops at the crash, and the store journals the same events
+  // a policy-ordered release would — MonitorDelta stays exact.
+  framework_.resubmit_tasks_on(id, e.time);
+  cloud_.terminate(id, e.time);
+  store_.on_instance_removed(id);
+  faults_.record(e.time, FaultKind::InstanceCrash, id, 0,
+                 config_.faults.crash_notice_seconds);
+  purge_stale_transfers(e.time);
+  dispatch_all(e.time);
+}
+
+void JobEngine::handle_task_faulted(const Event& e) {
+  const TaskId task = e.payload;
+  if (!attempt_is_current(task, e.aux)) return;
+  const std::uint32_t failures = framework_.on_task_failed(task, e.time);
+  faults_.record(e.time, FaultKind::TaskFault, task, failures,
+                 framework_.runtime(task).last_failed_elapsed);
+  if (failures >= config_.retry.max_attempts) {
+    for (TaskId poisoned : framework_.quarantine(task)) {
+      faults_.record(e.time, FaultKind::TaskQuarantine, poisoned, 0, 0.0);
+    }
+    if (framework_.all_complete()) {
+      end_time_ = e.time;
+      return;
+    }
+  } else {
+    const double backoff =
+        config_.retry.backoff_base_seconds *
+        std::pow(config_.retry.backoff_factor,
+                 static_cast<double>(failures - 1));
+    queue_.schedule(e.time + backoff, EventKind::TaskRetry, task, failures);
+  }
+  dispatch_all(e.time);  // the fault freed a slot
+}
+
+void JobEngine::handle_task_retry(const Event& e) {
+  const TaskId task = e.payload;
+  const TaskRuntime& rt = framework_.runtime(task);
+  // Stale if the task moved on (quarantined by an ancestor's exhaustion, or
+  // failed again through some other path since this retry was scheduled).
+  if (rt.phase != TaskPhase::Pending || rt.quarantined ||
+      rt.failed_attempts != e.aux) {
+    return;
+  }
+  framework_.requeue_failed(task, e.time);
   dispatch_all(e.time);
 }
 
@@ -286,6 +376,8 @@ MonitorSnapshot JobEngine::rebuild_snapshot(SimTime now) const {
     obs.provisioning = inst.state == InstanceState::Provisioning;
     obs.ready_at = inst.ready_at;
     obs.draining = inst.drain_at >= 0.0;
+    obs.revoking = cloud_.revocation_announced(id, now);
+    obs.revoke_at = obs.revoking ? inst.crash_at : -1.0;
     if (inst.state == InstanceState::Ready) {
       obs.time_to_next_charge = cloud_.time_to_next_charge(id, now);
       obs.running_tasks = framework_.tasks_on(id);
@@ -323,8 +415,22 @@ void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
   const std::uint32_t live = cloud_.live_count();
   grow = live >= cap ? 0 : std::min(grow, cap - live);
   for (std::uint32_t i = 0; i < grow; ++i) {
-    const InstanceId id =
-        cloud_.request(now, variability_.sample_instance_factor());
+    SimTime lag_override = -1.0;
+    bool boot_fails = false;
+    if (faults_.enabled()) {
+      const BootPlan plan = faults_.plan_boot();
+      boot_fails = plan.failed;
+      if (plan.lag_multiplier != 1.0) {
+        lag_override = config_.lag_seconds * plan.lag_multiplier;
+      }
+    }
+    const InstanceId id = cloud_.request(
+        now, variability_.sample_instance_factor(), lag_override);
+    if (boot_fails) faults_.set_boot_failed(id);
+    if (lag_override >= 0.0) {
+      faults_.record(now, FaultKind::StragglerBoot, id, 0,
+                     config_.faults.straggler_lag_multiplier);
+    }
     store_.on_instance_added(id);
     queue_.schedule(cloud_.instance(id).ready_at, EventKind::InstanceReady,
                     id);
@@ -362,10 +468,21 @@ void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
 void JobEngine::handle_control_tick(const Event& e) {
   if (framework_.all_complete()) return;
   ++control_ticks_;
+  // Monitoring dropout: this tick's delta is withheld — the policy sees the
+  // refreshed fields but a non-exact, empty delta (consumers fall back to
+  // their full-scan paths), and the pending journal coalesces into the next
+  // successful refresh.
+  const bool dropout = faults_.enabled() && faults_.drop_monitor_tick();
+  if (dropout) {
+    faults_.record(e.time, FaultKind::MonitorDropout, 0, 0, 0.0);
+  }
   // O(running + live + ready) store refresh instead of an O(total tasks)
   // rebuild; the published delta lets consumers skip their own rescans too.
   const MonitorSnapshot& snap =
-      store_.refresh(e.time, effective_cap(), cloud_, framework_, config_);
+      dropout
+          ? store_.peek(e.time, effective_cap(), cloud_, framework_, config_)
+          : store_.refresh(e.time, effective_cap(), cloud_, framework_,
+                           config_);
   if (options_.record_pool_timeline) {
     PoolSample sample;
     sample.time = e.time;
@@ -434,9 +551,18 @@ RunResult JobEngine::result() {
   result.peak_instances = cloud_.peak_live();
   result.task_restarts = framework_.total_restarts();
   result.control_ticks = control_ticks_;
+  result.task_faults = framework_.total_task_faults();
+  result.instance_crashes = faults_.count(FaultKind::InstanceCrash);
+  result.provision_failures = faults_.count(FaultKind::ProvisionFailure);
+  result.straggler_boots = faults_.count(FaultKind::StragglerBoot);
+  result.monitor_dropouts = faults_.count(FaultKind::MonitorDropout);
+  result.fault_trace = faults_.trace();
   result.task_records.reserve(workflow_.task_count());
   for (TaskId t = 0; t < workflow_.task_count(); ++t) {
     result.task_records.push_back(framework_.runtime(t));
+    if (framework_.runtime(t).quarantined) {
+      result.quarantined_tasks.push_back(t);
+    }
   }
   result.pool_timeline = std::move(timeline_);
   return result;

@@ -27,6 +27,7 @@
 #include "sim/config.h"
 #include "sim/driver.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/framework.h"
 #include "sim/monitor_store.h"
 #include "sim/scaling_policy.h"
@@ -51,7 +52,8 @@ class JobEngine {
   void start();
   bool started() const { return started_; }
 
-  /// All tasks completed (trivially false before start()).
+  /// All tasks resolved — completed, or quarantined as poison under fault
+  /// injection (trivially false before start()).
   bool done() const { return started_ && framework_.all_complete(); }
 
   /// Local time of the earliest pending event. Requires started() && !done().
@@ -104,6 +106,12 @@ class JobEngine {
   /// Resident bytes of incremental monitoring state (§IV-F accounting).
   std::size_t monitor_state_bytes() const { return store_.state_bytes(); }
 
+  /// Ground-truth pool state — billing/lifecycle invariant checks in tests.
+  const CloudPool& cloud() const { return cloud_; }
+  /// The run's fault model (journal + counters). Disabled (and empty) unless
+  /// CloudConfig::faults has a nonzero rate.
+  const FaultModel& faults() const { return faults_; }
+
  private:
   void dispatch_all(SimTime now);
   void handle_instance_ready(const Event& e);
@@ -114,6 +122,13 @@ class JobEngine {
   void handle_instance_drain(const Event& e);
   void handle_transfer_guard(const Event& e);
   void handle_transfer_start(const Event& e);
+  void handle_instance_crash(const Event& e);
+  void handle_task_faulted(const Event& e);
+  void handle_task_retry(const Event& e);
+
+  /// Draws and schedules the crash/revocation of an instance that just
+  /// became Ready (no-op with fault injection disabled).
+  void maybe_arm_crash(InstanceId id, SimTime now);
 
   // --- Transfer model -------------------------------------------------
   // With aggregate_bandwidth == 0 every transfer runs at link speed for a
@@ -158,6 +173,9 @@ class JobEngine {
   FrameworkMaster framework_;
   MonitorStore store_;
   VariabilityModel variability_;
+  /// Fault sampler + journal on its own RNG stream; never drawn from when
+  /// CloudConfig::faults is all-zero (fault-free runs stay byte-identical).
+  FaultModel faults_;
   EventQueue queue_;
   struct ActiveTransfer {
     dag::TaskId task = dag::kInvalidTask;

@@ -34,6 +34,15 @@ enum class EventKind : std::uint8_t {
   /// The per-dispatch scheduling overhead elapsed; the input transfer
   /// begins. payload = task id, aux = attempt.
   TransferStart,
+  /// Fault injection: a Ready instance is reclaimed (spot-style revocation).
+  /// payload = instance id. Ignored if the instance terminated earlier.
+  InstanceCrash,
+  /// Fault injection: a task attempt dies mid-execution. payload = task id,
+  /// aux = attempt (stale guards are ignored, as for ExecDone).
+  TaskFaulted,
+  /// A failed task's retry backoff elapsed; it re-enters the ready queue.
+  /// payload = task id, aux = the failure count the retry was scheduled for.
+  TaskRetry,
 };
 
 struct Event {

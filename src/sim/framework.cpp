@@ -202,6 +202,62 @@ std::vector<TaskId> FrameworkMaster::resubmit_tasks_on(InstanceId instance,
   return killed;
 }
 
+std::uint32_t FrameworkMaster::on_task_failed(TaskId task, SimTime now) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_REQUIRE(rt.phase == TaskPhase::Running, "fault on non-running task");
+  auto it = slots_.find(rt.instance);
+  WIRE_CHECK(it != slots_.end(), "faulted task on unknown instance");
+  WIRE_CHECK(it->second[rt.slot] == task, "faulted task not in its slot");
+  it->second[rt.slot] = dag::kInvalidTask;
+
+  const double elapsed = now - rt.occupancy_start;
+  wasted_slot_seconds_ += elapsed;
+  ++task_faults_;
+  ++rt.failed_attempts;
+  rt.last_failed_elapsed = elapsed;
+  // A transient failure loses the attempt's progress outright — unlike an
+  // instance release there is no checkpoint to salvage from (the process
+  // died, it was not killed at a known point).
+  rt.phase = TaskPhase::Pending;
+  rt.ready_at = -1.0;
+  rt.occupancy_start = -1.0;
+  rt.exec_start = -1.0;
+  rt.transfer_in_time = -1.0;
+  rt.exec_time = -1.0;
+  rt.instance = kInvalidInstance;
+  if (store_ != nullptr) {
+    store_->on_task_failed(task, rt.attempts, rt.failed_attempts, elapsed);
+  }
+  return rt.failed_attempts;
+}
+
+void FrameworkMaster::requeue_failed(TaskId task, SimTime now) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_REQUIRE(rt.phase == TaskPhase::Pending && rt.failed_attempts > 0 &&
+                   !rt.quarantined,
+               "requeue_failed on a task that is not awaiting retry");
+  WIRE_CHECK(rt.remaining_preds == 0, "retrying task has open predecessors");
+  enqueue_ready(task, now);
+}
+
+std::vector<TaskId> FrameworkMaster::quarantine(TaskId task) {
+  std::vector<TaskId> poisoned;
+  std::vector<TaskId> stack{task};
+  while (!stack.empty()) {
+    const TaskId t = stack.back();
+    stack.pop_back();
+    TaskRuntime& rt = mutable_runtime(t);
+    if (rt.quarantined) continue;  // reachable along multiple paths
+    WIRE_CHECK(rt.phase == TaskPhase::Pending,
+               "quarantine of a task that is not blocked");
+    rt.quarantined = true;
+    ++quarantined_;
+    poisoned.push_back(t);
+    for (TaskId succ : workflow_->successors(t)) stack.push_back(succ);
+  }
+  return poisoned;
+}
+
 void FrameworkMaster::fill_observations(
     SimTime now, std::vector<TaskObservation>& out) const {
   out.assign(runtimes_.size(), TaskObservation{});
@@ -211,6 +267,8 @@ void FrameworkMaster::fill_observations(
     obs.phase = rt.phase;
     obs.input_mb = workflow_->task(static_cast<TaskId>(i)).input_mb;
     obs.attempts = rt.attempts;
+    obs.failed_attempts = rt.failed_attempts;
+    obs.last_failed_elapsed = rt.last_failed_elapsed;
     switch (rt.phase) {
       case TaskPhase::Pending:
         break;

@@ -43,6 +43,15 @@ struct TaskRuntime {
   double salvaged_exec = 0.0;
   /// Holds the stage's first-five promotion across resubmissions.
   bool high_priority = false;
+  /// Transient (fault-injected) failures of this task. Instance-release
+  /// restarts are counted in `attempts`/total_restarts, not here.
+  std::uint32_t failed_attempts = 0;
+  /// Occupancy seconds the most recent failed attempt had accumulated when
+  /// it died; < 0 if the task never failed transiently.
+  double last_failed_elapsed = -1.0;
+  /// Poison task: exhausted its retries (or descends from a task that did).
+  /// Stays Pending forever; counts as resolved for run completion.
+  bool quarantined = false;
 };
 
 class FrameworkMaster {
@@ -80,6 +89,21 @@ class FrameworkMaster {
   /// `instance` (the instance is being released). Returns the killed tasks.
   std::vector<dag::TaskId> resubmit_tasks_on(InstanceId instance, SimTime now);
 
+  // --- Fault handling (transient task failures) ---
+  /// A running attempt died mid-execution: frees the slot, charges the
+  /// occupancy so far as wasted, returns the task to Pending (the engine
+  /// schedules the backoff retry or quarantines). Returns the task's new
+  /// transient-failure count.
+  std::uint32_t on_task_failed(dag::TaskId task, SimTime now);
+  /// Re-enqueues a previously failed task whose retry backoff elapsed.
+  /// Requires it to be Pending, unquarantined, with no open predecessors.
+  void requeue_failed(dag::TaskId task, SimTime now);
+  /// Quarantines a poison task together with every (transitively) dependent
+  /// descendant — all necessarily Pending, since an incomplete ancestor
+  /// blocks them. Returns the newly quarantined tasks. Quarantined tasks
+  /// count as resolved for all_complete().
+  std::vector<dag::TaskId> quarantine(dag::TaskId task);
+
   // --- Slot bookkeeping ---
   /// Registers an instance with `slots` task slots (idempotent).
   void register_instance(InstanceId instance, std::uint32_t slots);
@@ -89,9 +113,15 @@ class FrameworkMaster {
   std::vector<dag::TaskId> tasks_on(InstanceId instance) const;
 
   // --- Progress / accounting ---
-  bool all_complete() const { return completed_ == workflow_->task_count(); }
+  /// True when every task is resolved: completed, or quarantined as poison.
+  bool all_complete() const {
+    return completed_ + quarantined_ == workflow_->task_count();
+  }
   std::size_t completed_count() const { return completed_; }
+  std::size_t quarantined_count() const { return quarantined_; }
   std::uint32_t total_restarts() const { return restarts_; }
+  /// Total transient task failures across all tasks.
+  std::uint32_t total_task_faults() const { return task_faults_; }
   /// Slot-seconds consumed by successful occupancy phases so far.
   double busy_slot_seconds() const { return busy_slot_seconds_; }
   /// Slot-seconds consumed by attempts that were killed (sunk cost paid).
@@ -107,10 +137,10 @@ class FrameworkMaster {
   void fill_observations(SimTime now, std::vector<TaskObservation>& out) const;
 
   /// Attaches an incremental monitoring store (may be null to detach). The
-  /// master notifies it at every observable lifecycle transition; the caller
-  /// is responsible for the initial MonitorStore::sync (the constructor
-  /// enqueues root tasks before any store can be attached). The store must
-  /// outlive the master or be detached first.
+  /// master notifies it at every observable lifecycle transition; the store's
+  /// constructor journals the t = 0 bootstrap (roots fired as Ready) that
+  /// this constructor performs before any store can be attached. The store
+  /// must outlive the master or be detached first.
   void set_monitor_store(MonitorStore* store) { store_ = store; }
 
  private:
@@ -127,7 +157,9 @@ class FrameworkMaster {
   std::unordered_map<InstanceId, std::vector<dag::TaskId>> slots_;
   MonitorStore* store_ = nullptr;
   std::size_t completed_ = 0;
+  std::size_t quarantined_ = 0;
   std::uint32_t restarts_ = 0;
+  std::uint32_t task_faults_ = 0;
   double busy_slot_seconds_ = 0.0;
   double wasted_slot_seconds_ = 0.0;
 };

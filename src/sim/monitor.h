@@ -72,6 +72,16 @@ struct TaskObservation {
   /// Number of attempts so far (> 1 means the task was restarted after an
   /// instance release).
   std::uint32_t attempts = 0;
+
+  // --- Fault injection (all zero/negative on a reliable cloud) ---
+  /// Transient failures of this task so far (attempts that died
+  /// mid-execution; instance-release restarts are *not* counted here).
+  std::uint32_t failed_attempts = 0;
+  /// Occupancy seconds the most recent failed attempt had accumulated when it
+  /// died; < 0 if the task never failed. Failure-truncated, so the robust
+  /// predictor harvest excludes it (PredictorConfig::harvest_failed_attempts
+  /// is the contamination ablation).
+  SimTime last_failed_elapsed = -1.0;
 };
 
 /// Controller-visible state of one worker instance.
@@ -85,6 +95,13 @@ struct InstanceObservation {
   SimTime time_to_next_charge = 0.0;
   /// Already ordered to drain at its next charge boundary.
   bool draining = false;
+  /// Spot-style revocation notice: the provider announced this instance will
+  /// be reclaimed at `revoke_at`. Steering and the baselines must not count
+  /// it as stable capacity for the next interval, and the lookahead charges
+  /// restart cost for tasks stranded on it.
+  bool revoking = false;
+  /// Announced reclamation time; < 0 when not revoking.
+  SimTime revoke_at = -1.0;
   /// Tasks currently occupying slots on this instance.
   std::vector<dag::TaskId> running_tasks;
   std::uint32_t free_slots = 0;
@@ -113,6 +130,11 @@ struct MonitorDelta {
   std::vector<InstanceId> instances_added;
   /// Instances terminated since the last snapshot, in termination order.
   std::vector<InstanceId> instances_removed;
+  /// Tasks that had an attempt fail transiently since the last snapshot,
+  /// deduplicated, ascending TaskId order (a task failing twice within one
+  /// interval appears once; `failed_attempts` in its observation carries the
+  /// count). Subset of `phase_changed`. Empty on a reliable cloud.
+  std::vector<dag::TaskId> failed;
 };
 
 /// Snapshot passed to ScalingPolicy::plan at each control interval.

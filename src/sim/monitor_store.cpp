@@ -15,30 +15,19 @@ MonitorStore::MonitorStore(const dag::Workflow& workflow)
   for (const dag::TaskSpec& t : workflow.tasks()) {
     snap_.tasks[t.id].input_mb = t.input_mb;
   }
+  // Bootstrap baseline: the framework master fires the workflow roots at
+  // t = 0 in its constructor, before the store can be attached. Journaling
+  // that state here (instead of a post-hoc O(tasks) sync) keeps the pending
+  // delta empty — the bootstrap is what the first snapshot diffs against.
+  for (TaskId root : workflow.roots()) {
+    TaskObservation& obs = snap_.tasks[root];
+    obs.phase = TaskPhase::Ready;
+    obs.ready_since = 0.0;
+  }
   snap_.incomplete_tasks = static_cast<std::uint32_t>(n);
   exec_start_.assign(n, -1.0);
   running_pos_.assign(n, 0);
   phase_stamp_.assign(n, 0);
-}
-
-void MonitorStore::sync(const FrameworkMaster& framework, SimTime now) {
-  framework.fill_observations(now, snap_.tasks);
-  snap_.incomplete_tasks = static_cast<std::uint32_t>(
-      workflow_->task_count() - framework.completed_count());
-  running_.clear();
-  std::fill(running_pos_.begin(), running_pos_.end(), 0u);
-  for (TaskId t = 0; t < workflow_->task_count(); ++t) {
-    const TaskRuntime& rt = framework.runtime(t);
-    if (rt.phase == TaskPhase::Running) {
-      running_insert(t);
-      exec_start_[t] = rt.exec_start;
-    } else {
-      exec_start_[t] = -1.0;
-    }
-  }
-  pending_ = MonitorDelta{};
-  snap_.delta = MonitorDelta{};
-  ++journal_epoch_;
 }
 
 void MonitorStore::journal_phase_change(TaskId task) {
@@ -68,8 +57,12 @@ void MonitorStore::on_task_ready(TaskId task, SimTime now,
                                  std::uint32_t attempts) {
   TaskObservation& obs = snap_.tasks[task];
   const double input_mb = obs.input_mb;
+  const std::uint32_t failed_attempts = obs.failed_attempts;
+  const SimTime last_failed_elapsed = obs.last_failed_elapsed;
   obs = TaskObservation{};
   obs.input_mb = input_mb;
+  obs.failed_attempts = failed_attempts;
+  obs.last_failed_elapsed = last_failed_elapsed;
   obs.phase = TaskPhase::Ready;
   obs.ready_since = now;
   obs.attempts = attempts;
@@ -100,15 +93,37 @@ void MonitorStore::on_transfer_in_done(TaskId task, double transfer_in_time,
   // Still Running: no phase change to journal.
 }
 
+void MonitorStore::on_task_failed(TaskId task, std::uint32_t attempts,
+                                  std::uint32_t failed_attempts,
+                                  double elapsed) {
+  TaskObservation& obs = snap_.tasks[task];
+  WIRE_CHECK(obs.phase == TaskPhase::Running, "fault on non-running task");
+  const double input_mb = obs.input_mb;
+  obs = TaskObservation{};
+  obs.input_mb = input_mb;
+  obs.attempts = attempts;
+  obs.failed_attempts = failed_attempts;
+  obs.last_failed_elapsed = elapsed;
+  obs.phase = TaskPhase::Pending;
+  exec_start_[task] = -1.0;
+  running_erase(task);
+  journal_phase_change(task);
+  pending_.failed.push_back(task);
+}
+
 void MonitorStore::on_task_completed(TaskId task, double exec_time,
                                      double transfer_time) {
   TaskObservation& obs = snap_.tasks[task];
   WIRE_CHECK(obs.phase != TaskPhase::Completed, "task completed twice");
   const double input_mb = obs.input_mb;
   const std::uint32_t attempts = obs.attempts;
+  const std::uint32_t failed_attempts = obs.failed_attempts;
+  const SimTime last_failed_elapsed = obs.last_failed_elapsed;
   obs = TaskObservation{};
   obs.input_mb = input_mb;
   obs.attempts = attempts;
+  obs.failed_attempts = failed_attempts;
+  obs.last_failed_elapsed = last_failed_elapsed;
   obs.phase = TaskPhase::Completed;
   obs.exec_time = exec_time;
   obs.transfer_time = transfer_time;
@@ -148,6 +163,8 @@ void MonitorStore::refresh_fields(SimTime now, std::uint32_t pool_cap,
     obs.provisioning = inst.state == InstanceState::Provisioning;
     obs.ready_at = inst.ready_at;
     obs.draining = inst.drain_at >= 0.0;
+    obs.revoking = cloud.revocation_announced(id, now);
+    obs.revoke_at = obs.revoking ? inst.crash_at : -1.0;
     if (inst.state == InstanceState::Ready) {
       obs.time_to_next_charge = cloud.time_to_next_charge(id, now);
       obs.running_tasks = framework.tasks_on(id);
@@ -177,9 +194,16 @@ const MonitorSnapshot& MonitorStore::refresh(SimTime now,
   pending_.phase_changed.clear();
   pending_.instances_added.clear();
   pending_.instances_removed.clear();
+  pending_.failed.clear();
   snap_.delta.exact = true;
   std::sort(snap_.delta.completed.begin(), snap_.delta.completed.end());
   std::sort(snap_.delta.phase_changed.begin(), snap_.delta.phase_changed.end());
+  // A task may fail more than once within one interval; the delta lists it
+  // once (observations carry the count).
+  std::sort(snap_.delta.failed.begin(), snap_.delta.failed.end());
+  snap_.delta.failed.erase(
+      std::unique(snap_.delta.failed.begin(), snap_.delta.failed.end()),
+      snap_.delta.failed.end());
   ++journal_epoch_;
   return snap_;
 }
@@ -194,6 +218,7 @@ const MonitorSnapshot& MonitorStore::peek(SimTime now, std::uint32_t pool_cap,
   snap_.delta.phase_changed.clear();
   snap_.delta.instances_added.clear();
   snap_.delta.instances_removed.clear();
+  snap_.delta.failed.clear();
   return snap_;
 }
 
@@ -208,9 +233,11 @@ std::size_t MonitorStore::state_bytes() const {
   bytes += vec(exec_start_) + vec(running_) + vec(running_pos_) +
            vec(phase_stamp_);
   bytes += vec(pending_.completed) + vec(pending_.phase_changed) +
-           vec(pending_.instances_added) + vec(pending_.instances_removed);
+           vec(pending_.instances_added) + vec(pending_.instances_removed) +
+           vec(pending_.failed);
   bytes += vec(snap_.delta.completed) + vec(snap_.delta.phase_changed) +
-           vec(snap_.delta.instances_added) + vec(snap_.delta.instances_removed);
+           vec(snap_.delta.instances_added) +
+           vec(snap_.delta.instances_removed) + vec(snap_.delta.failed);
   return bytes;
 }
 

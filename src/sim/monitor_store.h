@@ -34,14 +34,13 @@ namespace wire::sim {
 class MonitorStore {
  public:
   /// Binds to a workflow (kept by reference; must outlive the store) and
-  /// initializes every task observation as Pending.
+  /// journals the bootstrap state directly: every task starts Pending except
+  /// the workflow roots, which a FrameworkMaster enqueues as Ready at time 0
+  /// in its own constructor (before any store can be attached). Baking that
+  /// invariant in here replaces the former one-time O(tasks) sync() pass;
+  /// the bootstrap is the first snapshot's baseline, so the journal starts
+  /// empty and the first delta covers changes from t = 0 on.
   explicit MonitorStore(const dag::Workflow& workflow);
-
-  /// One-time O(tasks) synchronization with a framework master's current
-  /// state (the master enqueues root tasks in its constructor, before any
-  /// store can be attached). Clears the journal: the next refresh's delta
-  /// covers changes from this point on.
-  void sync(const FrameworkMaster& framework, SimTime now);
 
   // --- Task hooks (driven by FrameworkMaster) ---
   /// Task became Ready: a fresh fire or a restart after its instance was
@@ -56,6 +55,10 @@ class MonitorStore {
   /// Task completed with its kickstart record.
   void on_task_completed(dag::TaskId task, double exec_time,
                          double transfer_time);
+  /// A running attempt died transiently (fault injection): the task drops
+  /// back to Pending awaiting its retry backoff (or quarantine).
+  void on_task_failed(dag::TaskId task, std::uint32_t attempts,
+                      std::uint32_t failed_attempts, double elapsed);
 
   // --- Instance hooks (driven by JobEngine) ---
   void on_instance_added(InstanceId instance);

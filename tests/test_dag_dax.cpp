@@ -102,27 +102,82 @@ TEST(Dax, JobOrderIndependence) {
 }
 
 TEST(Dax, RejectsMalformedDocuments) {
-  EXPECT_THROW(dax_from_string("not xml at all"), util::ContractViolation);
+  EXPECT_THROW(dax_from_string("not xml at all"), DaxParseError);
   EXPECT_THROW(dax_from_string("<adag name='x'></adag>"),
-               util::ContractViolation);  // no jobs
+               DaxParseError);  // no jobs
   EXPECT_THROW(dax_from_string(
                    "<adag><job id='a' name='t'/></adag>"),  // no runtime
-               util::ContractViolation);
+               DaxParseError);
   EXPECT_THROW(
       dax_from_string("<adag><job id='a' name='t' runtime='1'/>"
                       "<job id='a' name='t' runtime='1'/></adag>"),
-      util::ContractViolation);  // duplicate id
+      DaxParseError);  // duplicate id
   EXPECT_THROW(
       dax_from_string("<adag><job id='a' name='t' runtime='1'/>"
                       "<child ref='a'><parent ref='zz'/></child></adag>"),
-      util::ContractViolation);  // unknown parent
+      DaxParseError);  // unknown parent
   EXPECT_THROW(
       dax_from_string(
           "<adag><job id='a' name='t' runtime='1'/>"
           "<job id='b' name='t' runtime='1'/>"
           "<child ref='a'><parent ref='b'/></child>"
           "<child ref='b'><parent ref='a'/></child></adag>"),
-      util::ContractViolation);  // cycle
+      DaxParseError);  // cycle
+}
+
+TEST(Dax, RejectsTruncatedAndBrokenXml) {
+  // Truncated mid-tag: never a silent partial workflow.
+  EXPECT_THROW(dax_from_string("<adag name='x'><job id='a' name='t"),
+               DaxParseError);
+  EXPECT_THROW(dax_from_string("<adag><!-- unterminated comment"),
+               DaxParseError);
+  EXPECT_THROW(dax_from_string("<adag><job id='a' name='t' runtime='1"
+                               "/></adag>"),  // quote never closed
+               DaxParseError);
+  EXPECT_THROW(dax_from_string("<adag><job id=a name='t' runtime='1'/>"
+                               "</adag>"),  // unquoted attribute
+               DaxParseError);
+  EXPECT_THROW(dax_from_string("<adag><job id='a' name='t' runtime='abc'/>"
+                               "</adag>"),  // non-numeric runtime
+               DaxParseError);
+  EXPECT_THROW(dax_from_string("<adag><job id='a' name='t' runtime='1x'/>"
+                               "</adag>"),  // trailing garbage in number
+               DaxParseError);
+  // A <child> naming a job that does not exist is an edge to nowhere even
+  // without <parent> rows inside it.
+  EXPECT_THROW(dax_from_string("<adag><job id='a' name='t' runtime='1'/>"
+                               "<child ref='zz'/></adag>"),
+               DaxParseError);
+  // <parent> outside any <child>.
+  EXPECT_THROW(dax_from_string("<adag><job id='a' name='t' runtime='1'/>"
+                               "<parent ref='a'/></adag>"),
+               DaxParseError);
+}
+
+TEST(Dax, ParseErrorsCarrySourceAndLineContext) {
+  const char* doc =
+      "<adag name='x'>\n"
+      "  <job id='a' name='t' runtime='1'/>\n"
+      "  <job id='a' name='t' runtime='1'/>\n"
+      "</adag>\n";
+  try {
+    dax_from_string(doc, "broken.dax");
+    FAIL() << "expected DaxParseError";
+  } catch (const DaxParseError& e) {
+    const std::string msg = e.what();
+    // Duplicate is on line 3; the message names the file, the line, and the
+    // first definition.
+    EXPECT_NE(msg.find("broken.dax:3:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate job id a"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  }
+  // Document-level errors carry the source without a line.
+  try {
+    dax_from_string("<adag name='x'></adag>", "empty.dax");
+    FAIL() << "expected DaxParseError";
+  } catch (const DaxParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty.dax: "), std::string::npos);
+  }
 }
 
 TEST(Dax, HandlesCommentsAndDeclarations) {

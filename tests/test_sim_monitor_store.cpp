@@ -50,6 +50,8 @@ void expect_observation_eq(const TaskObservation& got,
   EXPECT_EQ(got.exec_time, want.exec_time);
   EXPECT_EQ(got.transfer_time, want.transfer_time);
   EXPECT_EQ(got.attempts, want.attempts);
+  EXPECT_EQ(got.failed_attempts, want.failed_attempts);
+  EXPECT_EQ(got.last_failed_elapsed, want.last_failed_elapsed);
 }
 
 void expect_instance_eq(const InstanceObservation& got,
@@ -59,6 +61,8 @@ void expect_instance_eq(const InstanceObservation& got,
   EXPECT_EQ(got.ready_at, want.ready_at);
   EXPECT_EQ(got.time_to_next_charge, want.time_to_next_charge);
   EXPECT_EQ(got.draining, want.draining);
+  EXPECT_EQ(got.revoking, want.revoking);
+  EXPECT_EQ(got.revoke_at, want.revoke_at);
   EXPECT_EQ(got.running_tasks, want.running_tasks);
   EXPECT_EQ(got.free_slots, want.free_slots);
 }
@@ -144,6 +148,10 @@ class ChaosProbePolicy final : public ScalingPolicy {
     };
     EXPECT_TRUE(strictly_ascending(delta.completed));
     EXPECT_TRUE(strictly_ascending(delta.phase_changed));
+    EXPECT_TRUE(strictly_ascending(delta.failed));
+    // This suite runs with fault injection disabled, so no task can have a
+    // failed attempt (the fault chaos suite covers the populated case).
+    EXPECT_TRUE(delta.failed.empty());
 
     std::vector<dag::TaskId> want_completed;
     for (std::size_t t = 0; t < snapshot.tasks.size(); ++t) {
@@ -259,6 +267,7 @@ class MonitorStoreFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(MonitorStoreFuzz, StoreMatchesRebuildUnderChaos) {
   const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  SCOPED_TRACE("fuzz seed " + std::to_string(seed));
   const dag::Workflow wf =
       workload::random_layered(workload::RandomDagOptions{}, seed);
   ChaosProbePolicy policy(seed * 31 + 7);

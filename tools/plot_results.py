@@ -130,6 +130,44 @@ def main():
                else "relative execution time"))
         save(fig, f"{fig_name}.png")
 
+    # Fault-degradation curves: makespan and cost vs crash rate per policy.
+    path = results / "faults.csv"
+    if path.exists():
+        rows = read_csv(path)
+        workflows = list(dict.fromkeys(r["workflow"] for r in rows))
+        policies = list(dict.fromkeys(r["policy"] for r in rows))
+        fig, axes = plt.subplots(2, len(workflows),
+                                 figsize=(5 * len(workflows), 6),
+                                 squeeze=False)
+        for col, wf in enumerate(workflows):
+            for row_idx, (value_key, err_key, y_label) in enumerate((
+                    ("makespan_mean_s", "makespan_stddev_s", "makespan (s)"),
+                    ("cost_mean_units", None, "charging units"))):
+                ax = axes[row_idx][col]
+                for policy in policies:
+                    series = sorted(
+                        (r for r in rows
+                         if r["workflow"] == wf and r["policy"] == policy),
+                        key=lambda r: float(r["crash_rate_per_hour"]))
+                    xs = [float(r["crash_rate_per_hour"]) for r in series]
+                    ys = [float(r[value_key]) for r in series]
+                    if err_key:
+                        ax.errorbar(xs, ys,
+                                    yerr=[float(r[err_key]) for r in series],
+                                    marker="o", capsize=2, label=policy)
+                    else:
+                        ax.plot(xs, ys, marker="o", label=policy)
+                if row_idx == 0:
+                    ax.set_title(wf, fontsize=9)
+                else:
+                    ax.set_xlabel("instance crashes / hour")
+                ax.grid(True, alpha=0.3)
+                if col == 0:
+                    ax.set_ylabel(y_label, fontsize=8)
+        axes[0][0].legend(fontsize=8)
+        fig.suptitle("Fault study: degradation under instance crashes")
+        save(fig, "faults.png")
+
     # Deadline frontier.
     path = results / "deadline.csv"
     if path.exists():
