@@ -81,7 +81,14 @@ struct Fixture {
           static_cast<std::uint32_t>(wf.task_count());
     }
     predictor = std::make_unique<predict::TaskPredictor>(wf);
-    predictor->observe(snapshot);
+    // Bootstrap with a full-scan observe (non-exact delta): the captured
+    // snapshot's journal only covers the final interval, and a predictor
+    // that missed the run's earlier completions has no per-stage history —
+    // every prediction degrades to the uncacheable policies 1-2, which is
+    // not what a mid-run controller sees.
+    sim::MonitorSnapshot bootstrap = snapshot;
+    bootstrap.delta = sim::MonitorDelta{};
+    predictor->observe(bootstrap);
   }
 };
 
@@ -123,6 +130,55 @@ void BM_LookaheadSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LookaheadSimulation);
+
+/// An idle-tick replay of the Genome L snapshot for the incremental
+/// lookahead: same fields, but an exact empty delta — the common quiet
+/// control interval where the cache's fast path applies. (Replaying the
+/// captured delta verbatim would re-announce its completions every tick;
+/// tasks that completed before `now` are never in the forward projection, so
+/// every replay would classify as a misprediction and fall back.)
+struct CachedFixture {
+  sim::MonitorSnapshot idle;
+  core::RunState run_state;
+  core::IncrementalLookahead cache;
+
+  CachedFixture() {
+    Fixture& f = fixture();
+    idle = f.snapshot;
+    idle.delta.exact = true;
+    idle.delta.completed.clear();
+    idle.delta.phase_changed.clear();
+    idle.delta.failed.clear();
+    idle.delta.instances_added.clear();
+    idle.delta.instances_removed.clear();
+    idle.delta.instances_changed.clear();
+    run_state.update(f.wf, idle);
+    cache.reset(f.wf);
+    // Two warm-up ticks: the first is the kFirstTick fallback, the second
+    // populates the memo; steady state begins at the third.
+    tick();
+    tick();
+  }
+
+  const core::LookaheadResult& tick() {
+    Fixture& f = fixture();
+    return cache.tick(f.wf, idle, *f.predictor, f.predictor.get(), f.config,
+                      &run_state);
+  }
+};
+
+CachedFixture& cached_fixture() {
+  static CachedFixture c;
+  return c;
+}
+
+void BM_LookaheadCachedTick(benchmark::State& state) {
+  CachedFixture& c = cached_fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.tick().upcoming.size());
+  }
+}
+BENCHMARK(BM_LookaheadCachedTick);
 
 void BM_SteeringPolicy(benchmark::State& state) {
   Fixture& f = fixture();
@@ -272,6 +328,57 @@ int run_smoke() {
               "(rebuild/store ratio on L: %.1f)\n",
               rebuild_l * 1e9, rebuild_l / store_l);
 
+  // Analyze + Plan phases on the Genome L mid-run snapshot: predictor
+  // harvest, lookahead projection (from-scratch reference vs the
+  // incremental cache's memoized fast path), and Algorithm 3 steering.
+  Fixture& f = fixture();
+  CachedFixture& c = cached_fixture();
+  const int la_iters = 200;
+  const double observe_s = best_seconds_per_call(
+      [&] {
+        f.predictor->observe(c.idle);
+        benchmark::DoNotOptimize(f.predictor->transfer_estimate());
+      },
+      la_iters, reps);
+  // The cached/scratch ratio check below has real but modest headroom
+  // (~0.23 vs the 0.25 threshold); a scheduler burst on a shared runner can
+  // poison one whole best-of window, so re-measure the pair up to three
+  // times and only fail if every attempt does — a genuine regression fails
+  // all three, transient noise does not.
+  double scratch_s = 0.0;
+  double cached_s = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    scratch_s = best_seconds_per_call(
+        [&] {
+          const core::LookaheadResult result = core::simulate_interval(
+              f.wf, c.idle, *f.predictor, f.config, &c.run_state);
+          benchmark::DoNotOptimize(result.upcoming.size());
+        },
+        la_iters, reps);
+    cached_s = best_seconds_per_call(
+        [&] { benchmark::DoNotOptimize(c.tick().upcoming.size()); }, la_iters,
+        reps);
+    if (cached_s < 0.25 * scratch_s) break;
+  }
+  const core::LookaheadResult lookahead = core::simulate_interval(
+      f.wf, c.idle, *f.predictor, f.config, &c.run_state);
+  const double steer_s = best_seconds_per_call(
+      [&] {
+        const sim::PoolCommand cmd = core::steer(lookahead, c.idle, f.config);
+        benchmark::DoNotOptimize(cmd.grow);
+      },
+      la_iters, reps);
+
+  std::printf("analyze, predictor harvest:      Genome-L      %8.1f ns\n",
+              observe_s * 1e9);
+  std::printf("analyze, lookahead from-scratch: Genome-L      %8.1f ns\n",
+              scratch_s * 1e9);
+  std::printf("analyze, lookahead cached:       Genome-L      %8.1f ns "
+              "(cached/scratch ratio %.3f)\n",
+              cached_s * 1e9, cached_s / scratch_s);
+  std::printf("plan, steering (Algorithm 3):    Genome-L      %8.1f ns\n",
+              steer_s * 1e9);
+
   bool ok = true;
   if (store_l * 2.0 >= rebuild_l) {
     std::printf("FAIL: store path on Epigenomics-L is not at least 2x faster "
@@ -281,6 +388,17 @@ int run_smoke() {
   if (store_l >= store_s * 8.0) {
     std::printf("FAIL: store idle-tick cost grows with task count "
                 "(Epigenomics-L > 8x Epigenomics-S)\n");
+    ok = false;
+  }
+  if (c.cache.last_path() != core::AnalyzePath::kIncremental) {
+    std::printf("FAIL: cached lookahead replay did not classify as "
+                "incremental (path: %s)\n",
+                core::analyze_path_label(c.cache.last_path()));
+    ok = false;
+  }
+  if (cached_s >= 0.25 * scratch_s) {
+    std::printf("FAIL: cached analyze on Genome-L is not under 25%% of the "
+                "from-scratch lookahead (ratio %.3f)\n", cached_s / scratch_s);
     ok = false;
   }
   std::printf(ok ? "smoke: OK\n" : "smoke: FAILED\n");

@@ -9,7 +9,7 @@
 namespace wire::core {
 
 WireController::WireController(const WireOptions& options)
-    : options_(options) {}
+    : options_(options), lookahead_(options.lookahead_cache) {}
 
 void WireController::on_run_start(const dag::Workflow& workflow,
                                   const sim::CloudConfig& config) {
@@ -32,6 +32,7 @@ void WireController::on_run_start(const dag::Workflow& workflow,
     estimator_ = std::move(online);
   }
   run_state_.reset();
+  lookahead_.reset(workflow);
 }
 
 const predict::Estimator& WireController::estimator() const {
@@ -52,46 +53,49 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
   estimator_->observe(snapshot);
 
   // Plan: project the upcoming load.
-  LookaheadResult lookahead;
+  LookaheadResult ablation_scratch;
+  const LookaheadResult* lookahead = &ablation_scratch;
+  AnalyzePath analyze_path = AnalyzePath::kFirstTick;
   if (options_.disable_lookahead) {
     // Ablation: no DAG projection — only the tasks active right now.
     for (const sim::InstanceObservation& inst : snapshot.instances) {
       for (dag::TaskId task : inst.running_tasks) {
-        lookahead.upcoming.push_back(UpcomingTask{
-            task, estimator_->predict_remaining_occupancy(task, snapshot),
+        ablation_scratch.upcoming.push_back(UpcomingTask{
+            estimator_->predict_remaining_occupancy(task, snapshot), task,
             /*on_slot=*/true});
         auto [it, inserted] =
-            lookahead.restart_cost.try_emplace(inst.id, 0.0);
+            ablation_scratch.restart_cost.try_emplace(inst.id, 0.0);
         it->second = std::max(it->second, snapshot.tasks[task].elapsed);
       }
     }
     for (dag::TaskId task : snapshot.ready_queue) {
-      lookahead.upcoming.push_back(UpcomingTask{
-          task, estimator_->predict_remaining_occupancy(task, snapshot),
+      ablation_scratch.upcoming.push_back(UpcomingTask{
+          estimator_->predict_remaining_occupancy(task, snapshot), task,
           /*on_slot=*/false});
     }
   } else {
     run_state_.update(*workflow_, snapshot);
-    lookahead =
-        simulate_interval(*workflow_, snapshot, *estimator_, config_,
-                          &run_state_);
+    lookahead = &lookahead_.tick(*workflow_, snapshot, *estimator_, online_,
+                                 config_, &run_state_);
+    analyze_path = lookahead_.last_path();
   }
 
   // Plan + Execute: steer the pool.
   std::uint32_t planned = 0;
-  sim::PoolCommand cmd = steer(lookahead, snapshot, config_, &planned,
+  sim::PoolCommand cmd = steer(*lookahead, snapshot, config_, &planned,
                                options_.reclaim_draining);
 
   if (trace_listener_) {
     MapeTrace trace;
     trace.now = snapshot.now;
-    trace.upcoming_tasks = lookahead.upcoming.size();
-    for (const UpcomingTask& t : lookahead.upcoming) {
+    trace.upcoming_tasks = lookahead->upcoming.size();
+    for (const UpcomingTask& t : lookahead->upcoming) {
       trace.upcoming_load_seconds += t.remaining_occupancy;
     }
     trace.planned_pool = planned;
     trace.grow = cmd.grow;
     trace.releases = static_cast<std::uint32_t>(cmd.releases.size());
+    trace.analyze_path = analyze_path;
     trace_listener_(trace);
   }
   return cmd;
@@ -103,6 +107,7 @@ std::size_t WireController::state_bytes() const {
   // RunState: one counter plus one completion flag per task.
   bytes += run_state_.remaining_preds().capacity() *
            (sizeof(std::uint32_t) + sizeof(char));
+  bytes += lookahead_.state_bytes();
   return bytes;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/lookahead.h"
+#include "core/lookahead_cache.h"
 #include "core/run_state.h"
 #include "predict/estimator.h"
 #include "predict/history.h"
@@ -42,6 +43,11 @@ struct WireOptions {
   /// instant and its charging unit is already running. Off by default
   /// (fidelity to Algorithm 2); the ablation bench measures it.
   bool reclaim_draining = false;
+  /// Incremental Analyze phase (lookahead_cache.h): delta-classified
+  /// projection with a revision-validated estimate memo. Steering decisions
+  /// are byte-identical with the cache on or off; `enabled = false` is the
+  /// ablation knob.
+  LookaheadCacheOptions lookahead_cache;
 };
 
 /// Per-iteration trace record (consumed by the overhead bench and tests).
@@ -54,6 +60,9 @@ struct MapeTrace {
   std::uint32_t planned_pool = 0;
   std::uint32_t grow = 0;
   std::uint32_t releases = 0;
+  /// Which Analyze path produced the lookahead this tick (kDisabled when the
+  /// cache is off, kFirstTick placeholder under disable_lookahead).
+  AnalyzePath analyze_path = AnalyzePath::kFirstTick;
 };
 
 class WireController final : public sim::ScalingPolicy {
@@ -80,6 +89,12 @@ class WireController final : public sim::ScalingPolicy {
   /// The live online predictor; requires the default (non-oracle) estimator.
   const predict::TaskPredictor& predictor() const;
 
+  /// The incremental lookahead's per-run statistics (path counts, memo
+  /// traffic, projection accuracy).
+  const LookaheadCacheStats& lookahead_stats() const {
+    return lookahead_.stats();
+  }
+
   /// Controller state footprint in bytes (§IV-F overhead accounting).
   std::size_t state_bytes() const;
 
@@ -93,6 +108,8 @@ class WireController final : public sim::ScalingPolicy {
   /// Incomplete-predecessor counts for the lookahead, kept current in
   /// O(changes) per tick from the snapshot's delta journal.
   RunState run_state_;
+  /// Persistent projected-schedule cache (the incremental Analyze phase).
+  IncrementalLookahead lookahead_;
   std::function<void(const MapeTrace&)> trace_listener_;
 };
 

@@ -1,51 +1,16 @@
 #include "core/lookahead.h"
 
-#include <algorithm>
-#include <deque>
-#include <limits>
-#include <queue>
-#include <set>
-#include <unordered_map>
-
-#include "util/check.h"
+#include "core/lookahead_impl.h"
 
 namespace wire::core {
-
-namespace {
-
-using dag::TaskId;
-using sim::InstanceId;
-using sim::SimTime;
-using sim::TaskPhase;
-
-struct BusySlot {
-  SimTime finish = 0.0;
-  SimTime attempt_start = 0.0;
-  TaskId task = dag::kInvalidTask;
-  InstanceId instance = sim::kInvalidInstance;
-  /// True if the task was observed Running in the snapshot (as opposed to
-  /// dispatched speculatively inside this lookahead).
-  bool real = false;
-};
-
-struct LaterFinish {
-  bool operator()(const BusySlot& a, const BusySlot& b) const {
-    if (a.finish != b.finish) return a.finish > b.finish;
-    return a.task > b.task;
-  }
-};
-
-}  // namespace
 
 LookaheadResult simulate_interval(const dag::Workflow& workflow,
                                   const sim::MonitorSnapshot& snapshot,
                                   const predict::Estimator& predictor,
                                   const sim::CloudConfig& config,
                                   const RunState* state) {
-  WIRE_REQUIRE(snapshot.tasks.size() == workflow.task_count(),
-               "snapshot does not match the workflow");
-  const SimTime now = snapshot.now;
-  const SimTime horizon = now + config.lag_seconds;
+  using dag::TaskId;
+  using sim::TaskPhase;
 
   // Incomplete-predecessor counters: copied from the incrementally
   // maintained RunState when available, else seeded from the snapshot.
@@ -63,141 +28,17 @@ LookaheadResult simulate_interval(const dag::Workflow& workflow,
     }
   }
 
-  std::priority_queue<BusySlot, std::vector<BusySlot>, LaterFinish> busy;
-  std::multiset<InstanceId> free_slots;
-  std::deque<TaskId> ready(snapshot.ready_queue.begin(),
-                           snapshot.ready_queue.end());
-  // Tasks whose occupancy must be re-estimated from scratch (requeued off a
-  // draining instance: their sunk progress is lost on restart).
-  std::unordered_map<TaskId, double> occupancy_override;
-  // Instances booting within the interval: (boot time, id).
-  std::vector<std::pair<SimTime, InstanceId>> boots;
-
-  for (const sim::InstanceObservation& inst : snapshot.instances) {
-    if (inst.draining || inst.revoking) {
-      // Gone within the interval — at its charge boundary (drain) or at the
-      // provider's announced reclamation (revocation notice): its tasks are
-      // stranded and restart from zero, so the lookahead charges their full
-      // re-run occupancy rather than the sunk-progress remainder.
-      for (TaskId task : inst.running_tasks) {
-        occupancy_override[task] =
-            predictor.transfer_estimate() +
-            predictor.estimate_exec(task, snapshot);
-        ready.push_back(task);
-      }
-      continue;
-    }
-    if (inst.provisioning) {
-      if (inst.ready_at <= horizon) boots.emplace_back(inst.ready_at, inst.id);
-      continue;
-    }
-    for (TaskId task : inst.running_tasks) {
-      BusySlot slot;
-      slot.task = task;
-      slot.instance = inst.id;
-      slot.attempt_start = snapshot.tasks[task].occupancy_start;
-      slot.finish =
-          now + predictor.predict_remaining_occupancy(task, snapshot);
-      slot.real = true;
-      busy.push(slot);
-    }
-    for (std::uint32_t s = 0; s < inst.free_slots; ++s) {
-      free_slots.insert(inst.id);
-    }
-  }
-  std::sort(boots.begin(), boots.end());
-
-  const auto occupancy_of = [&](TaskId task) {
-    const auto it = occupancy_override.find(task);
-    if (it != occupancy_override.end()) return it->second;
-    return predictor.predict_remaining_occupancy(task, snapshot);
-  };
-
-  const auto dispatch_at = [&](SimTime t) {
-    while (!ready.empty() && !free_slots.empty()) {
-      const TaskId task = ready.front();
-      ready.pop_front();
-      const auto slot_it = free_slots.begin();
-      const InstanceId inst = *slot_it;
-      free_slots.erase(slot_it);
-      BusySlot slot;
-      slot.task = task;
-      slot.instance = inst;
-      slot.attempt_start = t;
-      slot.finish = t + occupancy_of(task);
-      busy.push(slot);
-    }
-  };
-
-  dispatch_at(now);
-
   LookaheadResult result;
-  // Observed-running tasks whose completion within the interval is predicted
-  // but not yet observed. Their successors fire (that is the point of the
-  // workflow simulator), but their slot is NOT released to the projected
-  // ready queue and they stay in Q_task: the completion is speculative, the
-  // predictions are conservative minimums, and handing the slot to queued
-  // work would hide real queue pressure from the pool sizing.
-  std::vector<TaskId> speculative_completions;
-  std::size_t boot_cursor = 0;
-  for (;;) {
-    const SimTime next_finish =
-        busy.empty() ? std::numeric_limits<SimTime>::infinity()
-                     : busy.top().finish;
-    const SimTime next_boot = boot_cursor < boots.size()
-                                  ? boots[boot_cursor].first
-                                  : std::numeric_limits<SimTime>::infinity();
-    const SimTime next_event = std::min(next_finish, next_boot);
-    if (next_event > horizon) break;
-
-    if (next_boot <= next_finish) {
-      const InstanceId inst = boots[boot_cursor++].second;
-      for (std::uint32_t s = 0; s < config.slots_per_instance; ++s) {
-        free_slots.insert(inst);
-      }
-      dispatch_at(next_boot);
-      continue;
-    }
-
-    const BusySlot done = busy.top();
-    busy.pop();
-    ++result.projected_completions;
-    for (TaskId succ : workflow.successors(done.task)) {
-      WIRE_CHECK(remaining_preds[succ] > 0, "predecessor underflow");
-      if (--remaining_preds[succ] == 0) {
-        ready.push_back(succ);
-      }
-    }
-    if (done.real) {
-      speculative_completions.push_back(done.task);
-      continue;
-    }
-    free_slots.insert(done.instance);
-    dispatch_at(done.finish);
-  }
-
-  // Q_task: tasks on slots at the horizon (by projected completion), then the
-  // projected ready queue in dispatch order.
-  std::vector<BusySlot> still_busy;
-  still_busy.reserve(busy.size());
-  while (!busy.empty()) {
-    still_busy.push_back(busy.top());
-    busy.pop();
-  }
-  for (const BusySlot& slot : still_busy) {
-    result.upcoming.push_back(UpcomingTask{
-        slot.task, std::max(0.0, slot.finish - horizon), /*on_slot=*/true});
-    auto [it, inserted] =
-        result.restart_cost.try_emplace(slot.instance, 0.0);
-    it->second = std::max(it->second, horizon - slot.attempt_start);
-  }
-  for (TaskId task : speculative_completions) {
-    result.upcoming.push_back(UpcomingTask{task, 0.0, /*on_slot=*/true});
-  }
-  for (TaskId task : ready) {
-    result.upcoming.push_back(
-        UpcomingTask{task, occupancy_of(task), /*on_slot=*/false});
-  }
+  detail::simulate_interval_impl(
+      workflow, snapshot, config, remaining_preds, /*undo_log=*/nullptr,
+      [&](TaskId task) {
+        return predictor.predict_remaining_occupancy(task, snapshot);
+      },
+      [&](TaskId task) {
+        return predictor.transfer_estimate() +
+               predictor.estimate_exec(task, snapshot);
+      },
+      detail::EmissionCap{}, detail::WavefrontCapture{}, result);
   return result;
 }
 

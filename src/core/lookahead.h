@@ -20,12 +20,14 @@
 
 namespace wire::core {
 
-/// One entry of the upcoming load Q_task.
+/// One entry of the upcoming load Q_task. Field order packs the struct into
+/// 16 bytes; Q_task runs to thousands of entries per control tick and the
+/// emission loop is store-bandwidth-bound, so the layout is measurable.
 struct UpcomingTask {
-  dag::TaskId task = dag::kInvalidTask;
   /// Predicted minimum remaining slot occupancy at the start of the next
   /// interval (seconds).
   double remaining_occupancy = 0.0;
+  dag::TaskId task = dag::kInvalidTask;
   /// True if the task is projected to be occupying a slot at the start of
   /// the next interval (as opposed to waiting in the ready queue). On-slot
   /// tasks cannot be time-multiplexed by the pool-sizing bin-packer: their
@@ -43,6 +45,12 @@ struct LookaheadResult {
   std::unordered_map<sim::InstanceId, double> restart_cost;
   /// Tasks projected to complete within the interval.
   std::uint32_t projected_completions = 0;
+  /// Queue-tail entries omitted by the adaptive horizon cap (see
+  /// LookaheadCacheOptions::adaptive_horizon). Always 0 from
+  /// simulate_interval and from the cache with the cap off; when non-zero,
+  /// `upcoming` is a prefix whose Algorithm-3 pool size already saturates
+  /// the binding instance ceiling, so the steering decision is unchanged.
+  std::uint32_t truncated_tasks = 0;
 };
 
 /// Projects execution from snapshot.now to snapshot.now + lag with the

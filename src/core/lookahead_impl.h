@@ -1,0 +1,328 @@
+// Shared event-loop skeleton of WIRE's internal workflow simulator.
+//
+// Both the from-scratch reference (simulate_interval, lookahead.cpp) and the
+// incremental lookahead (lookahead_cache.cpp) instantiate this one template,
+// differing only in where the occupancy estimates come from (direct
+// predictor calls vs a revision-validated memo). Byte-identical steering
+// decisions are the contract — every Table-I and ensemble baseline is diffed
+// in hexfloat — and floating-point arithmetic does not reassociate: two
+// independently written loops that are merely "mathematically equal" drift
+// in ulps. One skeleton makes the arithmetic identical by construction; the
+// occupancy sources are obliged to return bit-equal doubles, which the
+// differential suite (tests/test_core_lookahead_incremental.cpp) enforces at
+// every control tick under fault chaos.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/lookahead.h"
+#include "util/check.h"
+
+namespace wire::core::detail {
+
+struct BusySlot {
+  sim::SimTime finish = 0.0;
+  sim::SimTime attempt_start = 0.0;
+  dag::TaskId task = dag::kInvalidTask;
+  sim::InstanceId instance = sim::kInvalidInstance;
+  /// True if the task was observed Running in the snapshot (as opposed to
+  /// dispatched speculatively inside this lookahead).
+  bool real = false;
+};
+
+struct LaterFinish {
+  bool operator()(const BusySlot& a, const BusySlot& b) const {
+    if (a.finish != b.finish) return a.finish > b.finish;
+    return a.task > b.task;
+  }
+};
+
+/// Optional capture of the projection's internal wavefront, consumed by the
+/// incremental lookahead to classify the next tick's delta against what this
+/// tick predicted.
+struct WavefrontCapture {
+  /// Tasks whose completion within the interval the projection predicted
+  /// (observed-running and speculatively dispatched alike).
+  std::vector<dag::TaskId>* projected_complete = nullptr;
+  /// Every task that held a slot at any point of the projection.
+  std::vector<dag::TaskId>* projected_running = nullptr;
+};
+
+/// Opt-in adaptive horizon cap: stop emitting queue-tail entries once the
+/// steering decision can no longer change. The stopping rule mirrors
+/// Algorithm 3's greedy packer online (same clamp, same retire/advance
+/// arithmetic): its main-loop instance count after consuming a prefix is a
+/// lower bound on the count after the full queue (the packer is an online
+/// algorithm — its state after i entries is independent of later ones, and
+/// the final leftover rule only ever adds one). Once that bound reaches the
+/// binding pool ceiling, the planned size saturates at >= the ceiling for
+/// prefix and full queue alike, so the clamped steering decision is
+/// identical; only the unclamped demand signal (PoolCommand::desired_pool)
+/// saturates instead of being exact, which is why the cap stays opt-in and
+/// off for multi-tenant runs whose arbiter consumes that signal.
+struct EmissionCap {
+  bool enabled = false;
+  /// The binding instance ceiling (snapshot.pool_cap, which already folds in
+  /// the site capacity). Truncation starts once the mirrored packer's
+  /// main-loop count reaches this.
+  std::uint32_t target_pool = 0;
+};
+
+/// Online mirror of resize_pool's main loop (steering.cpp). Feeding it the
+/// same clamped occupancies in the same order reproduces the same `p`.
+class PackerMirror {
+ public:
+  PackerMirror(double charging_unit, std::uint32_t slots_per_instance)
+      : charging_unit_(charging_unit), slots_(slots_per_instance) {
+    slot_used_.reserve(slots_);
+  }
+
+  std::uint32_t count() const { return p_; }
+
+  void add(double occupancy) {
+    slot_used_.push_back(occupancy);
+    while (slot_used_.size() == slots_) {
+      const double t_min =
+          *std::min_element(slot_used_.begin(), slot_used_.end());
+      t_used_ += t_min;
+      if (t_used_ >= charging_unit_) {
+        ++p_;
+        t_used_ = 0.0;
+        slot_used_.clear();
+      } else {
+        std::vector<double> next;
+        next.reserve(slot_used_.size());
+        for (double t_c : slot_used_) {
+          if (t_c != t_min) next.push_back(t_c - t_min);
+        }
+        slot_used_ = std::move(next);
+      }
+    }
+  }
+
+ private:
+  double charging_unit_;
+  std::uint32_t slots_;
+  std::vector<double> slot_used_;
+  double t_used_ = 0.0;
+  std::uint32_t p_ = 0;
+};
+
+/// The §III-B2 projection loop. `remaining_occ(task)` estimates remaining
+/// slot occupancy at snapshot.now; `fresh_occ(task)` estimates a
+/// from-scratch re-run (transfer + execution) for tasks requeued off a
+/// draining/revoking instance. `remaining_preds` is mutated while projecting
+/// firings; with `undo_log` non-null every decrement records its task there
+/// and the caller restores (one increment per entry) instead of copying the
+/// whole vector per tick. `result` is cleared and filled in place so a
+/// persistent caller (the incremental lookahead) reuses its buffer capacity
+/// across ticks instead of reallocating the Q_task vector every interval.
+template <typename RemainingOcc, typename FreshOcc>
+void simulate_interval_impl(const dag::Workflow& workflow,
+                            const sim::MonitorSnapshot& snapshot,
+                            const sim::CloudConfig& config,
+                            std::vector<std::uint32_t>& remaining_preds,
+                            std::vector<dag::TaskId>* undo_log,
+                            RemainingOcc&& remaining_occ, FreshOcc&& fresh_occ,
+                            const EmissionCap& cap,
+                            const WavefrontCapture& capture,
+                            LookaheadResult& result) {
+  result.upcoming.clear();
+  result.restart_cost.clear();
+  result.projected_completions = 0;
+  result.truncated_tasks = 0;
+  using dag::TaskId;
+  using sim::InstanceId;
+  using sim::SimTime;
+  using sim::TaskPhase;
+
+  WIRE_REQUIRE(snapshot.tasks.size() == workflow.task_count(),
+               "snapshot does not match the workflow");
+  const SimTime now = snapshot.now;
+  const SimTime horizon = now + config.lag_seconds;
+
+  std::priority_queue<BusySlot, std::vector<BusySlot>, LaterFinish> busy;
+  // Free slots as a min-heap of instance ids (duplicates = multiple free
+  // slots): pops the lowest id exactly like the multiset this replaces, at a
+  // fraction of the allocation cost.
+  std::priority_queue<InstanceId, std::vector<InstanceId>,
+                      std::greater<InstanceId>>
+      free_slots;
+  // FIFO ready queue as vector + cursor (entries before `ready_head` are
+  // consumed); the queue only grows, so indices stay stable.
+  std::vector<TaskId> ready(snapshot.ready_queue.begin(),
+                            snapshot.ready_queue.end());
+  std::size_t ready_head = 0;
+  // Tasks whose occupancy must be re-estimated from scratch (requeued off a
+  // draining instance: their sunk progress is lost on restart).
+  std::unordered_map<TaskId, double> occupancy_override;
+  // Instances booting within the interval: (boot time, id).
+  std::vector<std::pair<SimTime, InstanceId>> boots;
+
+  for (const sim::InstanceObservation& inst : snapshot.instances) {
+    if (inst.draining || inst.revoking) {
+      // Gone within the interval — at its charge boundary (drain) or at the
+      // provider's announced reclamation (revocation notice): its tasks are
+      // stranded and restart from zero, so the lookahead charges their full
+      // re-run occupancy rather than the sunk-progress remainder.
+      for (TaskId task : inst.running_tasks) {
+        // A crash that raced the refresh can leave a requeued task both in
+        // the instance's stale running_tasks list and in
+        // snapshot.ready_queue. It is only stranded if the snapshot still
+        // observes it Running; otherwise it is already queued and pushing it
+        // here would project it twice (double dispatch, phantom load, and a
+        // predecessor-underflow trip when both copies complete). Engine
+        // snapshots are internally consistent, so this is the defensive
+        // contract for archived or hand-built snapshots.
+        if (snapshot.tasks[task].phase != TaskPhase::Running) continue;
+        occupancy_override[task] = fresh_occ(task);
+        ready.push_back(task);
+      }
+      continue;
+    }
+    if (inst.provisioning) {
+      if (inst.ready_at <= horizon) boots.emplace_back(inst.ready_at, inst.id);
+      continue;
+    }
+    for (TaskId task : inst.running_tasks) {
+      BusySlot slot;
+      slot.task = task;
+      slot.instance = inst.id;
+      slot.attempt_start = snapshot.tasks[task].occupancy_start;
+      slot.finish = now + remaining_occ(task);
+      slot.real = true;
+      busy.push(slot);
+      if (capture.projected_running != nullptr) {
+        capture.projected_running->push_back(task);
+      }
+    }
+    for (std::uint32_t s = 0; s < inst.free_slots; ++s) {
+      free_slots.push(inst.id);
+    }
+  }
+  std::sort(boots.begin(), boots.end());
+
+  const auto occupancy_of = [&](TaskId task) {
+    if (!occupancy_override.empty()) {
+      const auto it = occupancy_override.find(task);
+      if (it != occupancy_override.end()) return it->second;
+    }
+    return remaining_occ(task);
+  };
+
+  const auto dispatch_at = [&](SimTime t) {
+    while (ready_head < ready.size() && !free_slots.empty()) {
+      const TaskId task = ready[ready_head++];
+      const InstanceId inst = free_slots.top();
+      free_slots.pop();
+      BusySlot slot;
+      slot.task = task;
+      slot.instance = inst;
+      slot.attempt_start = t;
+      slot.finish = t + occupancy_of(task);
+      busy.push(slot);
+      if (capture.projected_running != nullptr) {
+        capture.projected_running->push_back(task);
+      }
+    }
+  };
+
+  dispatch_at(now);
+
+  // Observed-running tasks whose completion within the interval is predicted
+  // but not yet observed. Their successors fire (that is the point of the
+  // workflow simulator), but their slot is NOT released to the projected
+  // ready queue and they stay in Q_task: the completion is speculative, the
+  // predictions are conservative minimums, and handing the slot to queued
+  // work would hide real queue pressure from the pool sizing.
+  std::vector<TaskId> speculative_completions;
+  std::size_t boot_cursor = 0;
+  for (;;) {
+    const SimTime next_finish =
+        busy.empty() ? std::numeric_limits<SimTime>::infinity()
+                     : busy.top().finish;
+    const SimTime next_boot = boot_cursor < boots.size()
+                                  ? boots[boot_cursor].first
+                                  : std::numeric_limits<SimTime>::infinity();
+    const SimTime next_event = std::min(next_finish, next_boot);
+    if (next_event > horizon) break;
+
+    if (next_boot <= next_finish) {
+      const InstanceId inst = boots[boot_cursor++].second;
+      for (std::uint32_t s = 0; s < config.slots_per_instance; ++s) {
+        free_slots.push(inst);
+      }
+      dispatch_at(next_boot);
+      continue;
+    }
+
+    const BusySlot done = busy.top();
+    busy.pop();
+    ++result.projected_completions;
+    if (capture.projected_complete != nullptr) {
+      capture.projected_complete->push_back(done.task);
+    }
+    for (TaskId succ : workflow.successors(done.task)) {
+      WIRE_CHECK(remaining_preds[succ] > 0, "predecessor underflow");
+      if (undo_log != nullptr) undo_log->push_back(succ);
+      if (--remaining_preds[succ] == 0) {
+        ready.push_back(succ);
+      }
+    }
+    if (done.real) {
+      speculative_completions.push_back(done.task);
+      continue;
+    }
+    free_slots.push(done.instance);
+    dispatch_at(done.finish);
+  }
+
+  // Q_task: tasks on slots at the horizon (by projected completion), then the
+  // projected ready queue in dispatch order.
+  PackerMirror packer(config.charging_unit_seconds, config.slots_per_instance);
+  result.upcoming.reserve(busy.size() + speculative_completions.size() +
+                          (ready.size() - ready_head));
+  std::vector<BusySlot> still_busy;
+  still_busy.reserve(busy.size());
+  while (!busy.empty()) {
+    still_busy.push_back(busy.top());
+    busy.pop();
+  }
+  for (const BusySlot& slot : still_busy) {
+    const double occ = std::max(0.0, slot.finish - horizon);
+    result.upcoming.push_back(UpcomingTask{occ, slot.task, /*on_slot=*/true});
+    if (cap.enabled) {
+      packer.add(std::max(occ, config.charging_unit_seconds));
+    }
+    auto [it, inserted] =
+        result.restart_cost.try_emplace(slot.instance, 0.0);
+    it->second = std::max(it->second, horizon - slot.attempt_start);
+  }
+  for (TaskId task : speculative_completions) {
+    result.upcoming.push_back(UpcomingTask{0.0, task, /*on_slot=*/true});
+    if (cap.enabled) packer.add(config.charging_unit_seconds);
+  }
+  // On-slot entries are never truncated (their restart costs are charged
+  // above regardless); only the queue tail is.
+  std::uint32_t remaining_ready =
+      static_cast<std::uint32_t>(ready.size() - ready_head);
+  for (std::size_t q = ready_head; q < ready.size(); ++q) {
+    if (cap.enabled && packer.count() >= cap.target_pool) {
+      result.truncated_tasks = remaining_ready;
+      break;
+    }
+    const TaskId task = ready[q];
+    const double occ = occupancy_of(task);
+    result.upcoming.push_back(UpcomingTask{occ, task, /*on_slot=*/false});
+    if (cap.enabled) packer.add(occ);
+    --remaining_ready;
+  }
+}
+
+}  // namespace wire::core::detail

@@ -18,6 +18,7 @@
 
 #include "dag/workflow.h"
 #include "sim/monitor.h"
+#include "util/check.h"
 
 namespace wire::core {
 
@@ -40,6 +41,16 @@ class RunState {
 
   /// Incomplete-predecessor count per task; valid after the first update().
   const std::vector<std::uint32_t>& remaining_preds() const {
+    return remaining_preds_;
+  }
+
+  /// Mutable access for the incremental lookahead's speculative projection:
+  /// the cache decrements counters as it fires tasks inside its event loop
+  /// (recording an undo log) and restores every decrement before returning,
+  /// replacing the O(V) copy per tick with O(projected firings). Requires
+  /// ready(); callers must leave the counters exactly as found.
+  std::vector<std::uint32_t>& speculative_preds() {
+    WIRE_REQUIRE(synced_, "speculative access before first update");
     return remaining_preds_;
   }
 

@@ -96,6 +96,7 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
   WIRE_REQUIRE(snapshot.tasks.size() == workflow_->task_count(),
                "snapshot does not match the workflow");
   ++iterations_;
+  last_refit_stages_ = 0;
 
   std::vector<double> interval_transfers;
   if (snapshot.delta.exact) {
@@ -128,6 +129,7 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
   if (!interval_transfers.empty()) {
     transfer_estimate_ = center(std::move(interval_transfers));
     has_transfer_estimate_ = true;
+    ++revision_;
   }
 
   // One Algorithm-1 epoch per stage with new completions. The training set is
@@ -137,6 +139,12 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
   for (StageState& stage : stages_) {
     if (!stage.dirty) continue;
     stage.dirty = false;
+    // All learned-state mutations (record_completion, observe_failure
+    // ingestion, the model.update below) mark the stage dirty and land
+    // before any predict call, so one bump per refit is exact.
+    ++stage.revision;
+    ++revision_;
+    ++last_refit_stages_;
     std::vector<TrainingPoint> training;
     training.reserve(stage.groups.size());
     for (const auto& [key, group] : stage.groups) {
@@ -209,23 +217,33 @@ double TaskPredictor::predict_remaining_occupancy(
     TaskId task, const sim::MonitorSnapshot& snapshot) const {
   const sim::TaskObservation& obs = snapshot.tasks[task];
   if (obs.phase == TaskPhase::Completed) return 0.0;
+  return remaining_occupancy_with(predict_exec(task, snapshot).exec_seconds,
+                                  obs);
+}
 
-  const Prediction pred = predict_exec(task, snapshot);
+double TaskPredictor::remaining_occupancy_with(
+    double exec_seconds, const sim::TaskObservation& obs) const {
+  if (obs.phase == TaskPhase::Completed) return 0.0;
   const double t_data = has_transfer_estimate_ ? transfer_estimate_ : 0.0;
 
   if (obs.phase == TaskPhase::Running) {
     if (obs.transfer_in_time < 0.0) {
       // Still transferring input: remaining transfer (floored) + execution.
       const double remaining_transfer = std::max(0.0, t_data - obs.elapsed);
-      return remaining_transfer + pred.exec_seconds;
+      return remaining_transfer + exec_seconds;
     }
     // Executing: predicted total minus elapsed, floored at zero ("about to
     // complete" when the prediction underestimates).
-    return std::max(0.0, pred.exec_seconds - obs.elapsed_exec);
+    return std::max(0.0, exec_seconds - obs.elapsed_exec);
   }
 
   // Ready or pending: full transfer + execution estimate.
-  return t_data + pred.exec_seconds;
+  return t_data + exec_seconds;
+}
+
+std::uint64_t TaskPredictor::stage_revision(StageId stage) const {
+  WIRE_REQUIRE(stage < stages_.size(), "unknown stage id");
+  return stages_[stage].revision;
 }
 
 const OgdModel& TaskPredictor::stage_model(StageId stage) const {

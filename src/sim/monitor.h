@@ -135,6 +135,17 @@ struct MonitorDelta {
   /// interval appears once; `failed_attempts` in its observation carries the
   /// count). Subset of `phase_changed`. Empty on a reliable cloud.
   std::vector<dag::TaskId> failed;
+  /// Instances whose *lifecycle* changed since the last snapshot: requested,
+  /// terminated, boot completed (provisioning -> ready), drain ordered, a
+  /// revocation notice posted, or the announced revoke_at moved. Ascending
+  /// id order, deduplicated; superset of instances_added/removed. Ordinary
+  /// slot churn (free_slots, running_tasks) and charge-clock advancement are
+  /// deliberately NOT listed — they change on almost every busy tick and are
+  /// visible in the instance rows themselves. Like every other list this is
+  /// derivable by diffing consecutive snapshots' instance rows, so it widens
+  /// nothing; it lets the incremental lookahead classify pool stability in
+  /// O(1) instead of re-diffing the rows per tick.
+  std::vector<InstanceId> instances_changed;
 };
 
 /// Snapshot passed to ScalingPolicy::plan at each control interval.

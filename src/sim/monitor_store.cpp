@@ -195,6 +195,7 @@ const MonitorSnapshot& MonitorStore::refresh(SimTime now,
   pending_.instances_added.clear();
   pending_.instances_removed.clear();
   pending_.failed.clear();
+  pending_.instances_changed.clear();
   snap_.delta.exact = true;
   std::sort(snap_.delta.completed.begin(), snap_.delta.completed.end());
   std::sort(snap_.delta.phase_changed.begin(), snap_.delta.phase_changed.end());
@@ -204,6 +205,46 @@ const MonitorSnapshot& MonitorStore::refresh(SimTime now,
   snap_.delta.failed.erase(
       std::unique(snap_.delta.failed.begin(), snap_.delta.failed.end()),
       snap_.delta.failed.end());
+
+  // Lifecycle diff against the previous published snapshot's rows (the
+  // rebuild above is already O(live); this adds one sorted merge over the
+  // same rows). Peeks skip this entirely, so a dropout interval's changes
+  // coalesce into the next exact delta.
+  cur_lifecycle_.clear();
+  for (const InstanceObservation& obs : snap_.instances) {
+    cur_lifecycle_.push_back({obs.id, obs.provisioning, obs.draining,
+                              obs.revoking, obs.ready_at, obs.revoke_at});
+  }
+  std::sort(cur_lifecycle_.begin(), cur_lifecycle_.end(),
+            [](const InstanceLifecycle& a, const InstanceLifecycle& b) {
+              return a.id < b.id;
+            });
+  snap_.delta.instances_changed.clear();
+  {
+    std::size_t i = 0, j = 0;
+    while (i < prev_lifecycle_.size() || j < cur_lifecycle_.size()) {
+      if (j == cur_lifecycle_.size() ||
+          (i < prev_lifecycle_.size() &&
+           prev_lifecycle_[i].id < cur_lifecycle_[j].id)) {
+        snap_.delta.instances_changed.push_back(prev_lifecycle_[i++].id);
+        continue;
+      }
+      if (i == prev_lifecycle_.size() ||
+          cur_lifecycle_[j].id < prev_lifecycle_[i].id) {
+        snap_.delta.instances_changed.push_back(cur_lifecycle_[j++].id);
+        continue;
+      }
+      const InstanceLifecycle& p = prev_lifecycle_[i++];
+      const InstanceLifecycle& c = cur_lifecycle_[j++];
+      if (p.provisioning != c.provisioning || p.draining != c.draining ||
+          p.revoking != c.revoking || p.ready_at != c.ready_at ||
+          p.revoke_at != c.revoke_at) {
+        snap_.delta.instances_changed.push_back(c.id);
+      }
+    }
+  }
+  std::swap(prev_lifecycle_, cur_lifecycle_);
+
   ++journal_epoch_;
   return snap_;
 }
@@ -219,6 +260,7 @@ const MonitorSnapshot& MonitorStore::peek(SimTime now, std::uint32_t pool_cap,
   snap_.delta.instances_added.clear();
   snap_.delta.instances_removed.clear();
   snap_.delta.failed.clear();
+  snap_.delta.instances_changed.clear();
   return snap_;
 }
 
@@ -234,10 +276,12 @@ std::size_t MonitorStore::state_bytes() const {
            vec(phase_stamp_);
   bytes += vec(pending_.completed) + vec(pending_.phase_changed) +
            vec(pending_.instances_added) + vec(pending_.instances_removed) +
-           vec(pending_.failed);
+           vec(pending_.failed) + vec(pending_.instances_changed);
   bytes += vec(snap_.delta.completed) + vec(snap_.delta.phase_changed) +
            vec(snap_.delta.instances_added) +
-           vec(snap_.delta.instances_removed) + vec(snap_.delta.failed);
+           vec(snap_.delta.instances_removed) + vec(snap_.delta.failed) +
+           vec(snap_.delta.instances_changed);
+  bytes += vec(prev_lifecycle_) + vec(cur_lifecycle_);
   return bytes;
 }
 

@@ -102,6 +102,19 @@ class MonitorStore {
   void running_insert(dag::TaskId task);
   void running_erase(dag::TaskId task);
 
+  /// The lifecycle-relevant projection of one instance row, kept from the
+  /// previous *published* snapshot so refresh can diff rows into
+  /// MonitorDelta::instances_changed. Peeks do not update it: a dropout
+  /// tick's lifecycle changes coalesce into the next exact delta.
+  struct InstanceLifecycle {
+    InstanceId id = kInvalidInstance;
+    bool provisioning = false;
+    bool draining = false;
+    bool revoking = false;
+    SimTime ready_at = 0.0;
+    SimTime revoke_at = -1.0;
+  };
+
   const dag::Workflow* workflow_;
   MonitorSnapshot snap_;
   /// Execution-start time of each task's current attempt (< 0 while still
@@ -116,6 +129,10 @@ class MonitorStore {
   /// journaled this interval).
   std::vector<std::uint64_t> phase_stamp_;
   std::uint64_t journal_epoch_ = 1;
+  /// Sorted-by-id lifecycle rows of the last published snapshot (and a
+  /// scratch buffer reused across refreshes).
+  std::vector<InstanceLifecycle> prev_lifecycle_;
+  std::vector<InstanceLifecycle> cur_lifecycle_;
 };
 
 }  // namespace wire::sim

@@ -26,7 +26,7 @@ TEST(Reclaim, SteerCancelsDrainsBeforeBooting) {
   LookaheadResult lookahead;
   for (int i = 0; i < 12; ++i) {
     lookahead.upcoming.push_back(
-        UpcomingTask{static_cast<dag::TaskId>(i), 1800.0, false});
+        UpcomingTask{1800.0, static_cast<dag::TaskId>(i), false});
   }
   sim::MonitorSnapshot snap;
   snap.incomplete_tasks = 12;
@@ -56,7 +56,7 @@ TEST(Reclaim, PartialReclaimStillBoots) {
   LookaheadResult lookahead;
   for (int i = 0; i < 16; ++i) {
     lookahead.upcoming.push_back(
-        UpcomingTask{static_cast<dag::TaskId>(i), 1800.0, false});
+        UpcomingTask{1800.0, static_cast<dag::TaskId>(i), false});
   }
   sim::MonitorSnapshot snap;
   snap.incomplete_tasks = 16;

@@ -113,8 +113,8 @@ sim::InstanceObservation instance(sim::InstanceId id, double r,
 TEST(Steer, GrowsToPlannedSize) {
   LookaheadResult lookahead;
   for (int i = 0; i < 8; ++i) {
-    lookahead.upcoming.push_back(UpcomingTask{static_cast<dag::TaskId>(i),
-                                              1800.0});
+    lookahead.upcoming.push_back(UpcomingTask{1800.0,
+                                              static_cast<dag::TaskId>(i)});
   }
   sim::MonitorSnapshot snap;
   snap.incomplete_tasks = 8;
@@ -176,7 +176,7 @@ TEST(Steer, VictimsOrderedByRestartCost) {
     snap.instances.push_back(instance(id, 50.0));
   }
   // Load sized for p = 1 -> release two: cheapest restart costs first.
-  lookahead.upcoming.push_back(UpcomingTask{0, 10.0});
+  lookahead.upcoming.push_back(UpcomingTask{10.0, 0});
   const sim::PoolCommand cmd = steer(lookahead, snap, test_config());
   ASSERT_EQ(cmd.releases.size(), 2u);
   EXPECT_EQ(cmd.releases[0].instance, 1u);
@@ -185,7 +185,7 @@ TEST(Steer, VictimsOrderedByRestartCost) {
 
 TEST(Steer, DrainingAndProvisioningAreNotVictims) {
   LookaheadResult lookahead;
-  lookahead.upcoming.push_back(UpcomingTask{0, 10.0});  // p = 1
+  lookahead.upcoming.push_back(UpcomingTask{10.0, 0});  // p = 1
   sim::MonitorSnapshot snap;
   snap.incomplete_tasks = 1;
   snap.instances.push_back(instance(0, 50.0, /*draining=*/true));
@@ -201,8 +201,8 @@ TEST(Steer, DrainingAndProvisioningAreNotVictims) {
 TEST(Steer, NoChangeWhenPlannedEqualsCurrent) {
   LookaheadResult lookahead;
   for (int i = 0; i < 4; ++i) {
-    lookahead.upcoming.push_back(UpcomingTask{static_cast<dag::TaskId>(i),
-                                              900.0});
+    lookahead.upcoming.push_back(UpcomingTask{900.0,
+                                              static_cast<dag::TaskId>(i)});
   }
   sim::MonitorSnapshot snap;
   snap.incomplete_tasks = 4;

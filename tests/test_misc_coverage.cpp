@@ -46,7 +46,7 @@ TEST(Steering, PlannedSizeOutParameterMatchesAlgorithm3) {
   core::LookaheadResult lookahead;
   for (int i = 0; i < 8; ++i) {
     lookahead.upcoming.push_back(
-        core::UpcomingTask{static_cast<dag::TaskId>(i), 1800.0, false});
+        core::UpcomingTask{1800.0, static_cast<dag::TaskId>(i), false});
   }
   sim::MonitorSnapshot snap;
   snap.incomplete_tasks = 8;
@@ -83,7 +83,7 @@ TEST(Steering, OnSlotPinningRaisesThePlan) {
   core::LookaheadResult queued_only;
   for (int i = 0; i < 8; ++i) {
     queued_only.upcoming.push_back(
-        core::UpcomingTask{static_cast<dag::TaskId>(i), 30.0, false});
+        core::UpcomingTask{30.0, static_cast<dag::TaskId>(i), false});
   }
   std::uint32_t planned_queued = 0;
   core::steer(queued_only, snap, config, &planned_queued);
@@ -92,7 +92,7 @@ TEST(Steering, OnSlotPinningRaisesThePlan) {
   for (int i = 0; i < 8; ++i) {
     // First four are on slots: each counts a full charging unit.
     pinned.upcoming.push_back(
-        core::UpcomingTask{static_cast<dag::TaskId>(i), 30.0, i < 4});
+        core::UpcomingTask{30.0, static_cast<dag::TaskId>(i), i < 4});
   }
   std::uint32_t planned_pinned = 0;
   core::steer(pinned, snap, config, &planned_pinned);

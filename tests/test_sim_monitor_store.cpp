@@ -14,7 +14,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "exp/settings.h"
@@ -188,6 +190,46 @@ class ChaosProbePolicy final : public ScalingPolicy {
       current.insert(inst.id);
     }
     EXPECT_EQ(current, expected);
+
+    // instances_changed: the lifecycle-only diff against the previous exact
+    // snapshot — exactly the ids whose membership or lifecycle fields
+    // (provisioning, draining, revoking, ready_at, revoke_at) moved, in
+    // ascending order. Rows that only changed load state (free_slots,
+    // running_tasks, time_to_next_charge) must NOT be listed: the
+    // incremental lookahead relies on a quiet list meaning "the pool shape
+    // the previous projection assumed still stands".
+    auto lifecycle_of = [](const InstanceObservation& inst) {
+      return std::make_tuple(inst.provisioning, inst.draining, inst.revoking,
+                             inst.ready_at, inst.revoke_at);
+    };
+    std::set<InstanceId> want_changed;
+    std::map<InstanceId, LifecycleTuple> cur_lifecycle;
+    for (const InstanceObservation& inst : snapshot.instances) {
+      cur_lifecycle.emplace(inst.id, lifecycle_of(inst));
+    }
+    for (const auto& [id, prev] : prev_lifecycle_) {
+      const auto it = cur_lifecycle.find(id);
+      if (it == cur_lifecycle.end() || it->second != prev) {
+        want_changed.insert(id);
+      }
+    }
+    for (const auto& [id, cur] : cur_lifecycle) {
+      if (prev_lifecycle_.find(id) == prev_lifecycle_.end()) {
+        want_changed.insert(id);
+      }
+    }
+    EXPECT_EQ(std::vector<InstanceId>(want_changed.begin(), want_changed.end()),
+              delta.instances_changed);
+    for (InstanceId id : delta.instances_added) {
+      EXPECT_TRUE(std::binary_search(delta.instances_changed.begin(),
+                                     delta.instances_changed.end(), id))
+          << "added instance " << id << " missing from instances_changed";
+    }
+    for (InstanceId id : delta.instances_removed) {
+      EXPECT_TRUE(std::binary_search(delta.instances_changed.begin(),
+                                     delta.instances_changed.end(), id))
+          << "removed instance " << id << " missing from instances_changed";
+    }
   }
 
   void remember(const MonitorSnapshot& snapshot) {
@@ -195,8 +237,13 @@ class ChaosProbePolicy final : public ScalingPolicy {
       prev_phase_[t] = snapshot.tasks[t].phase;
     }
     prev_instances_.clear();
+    prev_lifecycle_.clear();
     for (const InstanceObservation& inst : snapshot.instances) {
       prev_instances_.push_back(inst.id);
+      prev_lifecycle_.emplace(
+          inst.id, std::make_tuple(inst.provisioning, inst.draining,
+                                   inst.revoking, inst.ready_at,
+                                   inst.revoke_at));
     }
   }
 
@@ -253,6 +300,8 @@ class ChaosProbePolicy final : public ScalingPolicy {
     return cmd;
   }
 
+  using LifecycleTuple = std::tuple<bool, bool, bool, SimTime, SimTime>;
+
   util::Rng rng_;
   const JobEngine* engine_ = nullptr;
   bool benign_ = false;
@@ -261,6 +310,7 @@ class ChaosProbePolicy final : public ScalingPolicy {
   std::uint32_t drains_ = 0;
   std::vector<TaskPhase> prev_phase_;
   std::vector<InstanceId> prev_instances_;
+  std::map<InstanceId, LifecycleTuple> prev_lifecycle_;
 };
 
 class MonitorStoreFuzz : public ::testing::TestWithParam<int> {};
