@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadline.dir/bench_deadline.cpp.o"
+  "CMakeFiles/bench_deadline.dir/bench_deadline.cpp.o.d"
+  "bench_deadline"
+  "bench_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ensemble.dir/bench_ensemble.cpp.o"
+  "CMakeFiles/bench_ensemble.dir/bench_ensemble.cpp.o.d"
+  "bench_ensemble"
+  "bench_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generalize.dir/bench_generalize.cpp.o"
+  "CMakeFiles/bench_generalize.dir/bench_generalize.cpp.o.d"
+  "bench_generalize"
+  "bench_generalize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generalize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

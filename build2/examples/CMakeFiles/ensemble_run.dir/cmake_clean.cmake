@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_run.dir/ensemble_run.cpp.o"
+  "CMakeFiles/ensemble_run.dir/ensemble_run.cpp.o.d"
+  "ensemble_run"
+  "ensemble_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epigenomics_campaign.dir/epigenomics_campaign.cpp.o"
+  "CMakeFiles/epigenomics_campaign.dir/epigenomics_campaign.cpp.o.d"
+  "epigenomics_campaign"
+  "epigenomics_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epigenomics_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_shootout.dir/policy_shootout.cpp.o"
+  "CMakeFiles/policy_shootout.dir/policy_shootout.cpp.o.d"
+  "policy_shootout"
+  "policy_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_run.dir/wire_run.cpp.o"
+  "CMakeFiles/wire_run.dir/wire_run.cpp.o.d"
+  "wire_run"
+  "wire_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("dag")
+subdirs("workload")
+subdirs("sim")
+subdirs("predict")
+subdirs("core")
+subdirs("policies")
+subdirs("ensemble")
+subdirs("metrics")
+subdirs("exp")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/wire_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/wire_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/lookahead.cpp" "src/core/CMakeFiles/wire_core.dir/lookahead.cpp.o" "gcc" "src/core/CMakeFiles/wire_core.dir/lookahead.cpp.o.d"
+  "/root/repo/src/core/lookahead_cache.cpp" "src/core/CMakeFiles/wire_core.dir/lookahead_cache.cpp.o" "gcc" "src/core/CMakeFiles/wire_core.dir/lookahead_cache.cpp.o.d"
+  "/root/repo/src/core/run_state.cpp" "src/core/CMakeFiles/wire_core.dir/run_state.cpp.o" "gcc" "src/core/CMakeFiles/wire_core.dir/run_state.cpp.o.d"
+  "/root/repo/src/core/steering.cpp" "src/core/CMakeFiles/wire_core.dir/steering.cpp.o" "gcc" "src/core/CMakeFiles/wire_core.dir/steering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/dag/CMakeFiles/wire_dag.dir/DependInfo.cmake"
+  "/root/repo/build2/src/predict/CMakeFiles/wire_predict.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/wire_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/wire_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

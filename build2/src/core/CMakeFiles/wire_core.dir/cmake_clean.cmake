@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_core.dir/controller.cpp.o"
+  "CMakeFiles/wire_core.dir/controller.cpp.o.d"
+  "CMakeFiles/wire_core.dir/lookahead.cpp.o"
+  "CMakeFiles/wire_core.dir/lookahead.cpp.o.d"
+  "CMakeFiles/wire_core.dir/lookahead_cache.cpp.o"
+  "CMakeFiles/wire_core.dir/lookahead_cache.cpp.o.d"
+  "CMakeFiles/wire_core.dir/run_state.cpp.o"
+  "CMakeFiles/wire_core.dir/run_state.cpp.o.d"
+  "CMakeFiles/wire_core.dir/steering.cpp.o"
+  "CMakeFiles/wire_core.dir/steering.cpp.o.d"
+  "libwire_core.a"
+  "libwire_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

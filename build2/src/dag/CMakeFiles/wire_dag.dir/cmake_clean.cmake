@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_dag.dir/analysis.cpp.o"
+  "CMakeFiles/wire_dag.dir/analysis.cpp.o.d"
+  "CMakeFiles/wire_dag.dir/clustering.cpp.o"
+  "CMakeFiles/wire_dag.dir/clustering.cpp.o.d"
+  "CMakeFiles/wire_dag.dir/dax.cpp.o"
+  "CMakeFiles/wire_dag.dir/dax.cpp.o.d"
+  "CMakeFiles/wire_dag.dir/serialize.cpp.o"
+  "CMakeFiles/wire_dag.dir/serialize.cpp.o.d"
+  "CMakeFiles/wire_dag.dir/workflow.cpp.o"
+  "CMakeFiles/wire_dag.dir/workflow.cpp.o.d"
+  "libwire_dag.a"
+  "libwire_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_ensemble.dir/arbiter.cpp.o"
+  "CMakeFiles/wire_ensemble.dir/arbiter.cpp.o.d"
+  "CMakeFiles/wire_ensemble.dir/arrival.cpp.o"
+  "CMakeFiles/wire_ensemble.dir/arrival.cpp.o.d"
+  "CMakeFiles/wire_ensemble.dir/driver.cpp.o"
+  "CMakeFiles/wire_ensemble.dir/driver.cpp.o.d"
+  "CMakeFiles/wire_ensemble.dir/report.cpp.o"
+  "CMakeFiles/wire_ensemble.dir/report.cpp.o.d"
+  "libwire_ensemble.a"
+  "libwire_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_exp.dir/prediction_harness.cpp.o"
+  "CMakeFiles/wire_exp.dir/prediction_harness.cpp.o.d"
+  "CMakeFiles/wire_exp.dir/runner.cpp.o"
+  "CMakeFiles/wire_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/wire_exp.dir/settings.cpp.o"
+  "CMakeFiles/wire_exp.dir/settings.cpp.o.d"
+  "libwire_exp.a"
+  "libwire_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/export.cpp" "src/metrics/CMakeFiles/wire_metrics.dir/export.cpp.o" "gcc" "src/metrics/CMakeFiles/wire_metrics.dir/export.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/wire_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/wire_metrics.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/dag/CMakeFiles/wire_dag.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/wire_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/wire_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

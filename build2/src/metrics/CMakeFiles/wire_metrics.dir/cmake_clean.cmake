@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_metrics.dir/export.cpp.o"
+  "CMakeFiles/wire_metrics.dir/export.cpp.o.d"
+  "CMakeFiles/wire_metrics.dir/report.cpp.o"
+  "CMakeFiles/wire_metrics.dir/report.cpp.o.d"
+  "libwire_metrics.a"
+  "libwire_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

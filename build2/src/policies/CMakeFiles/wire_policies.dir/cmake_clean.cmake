@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_policies.dir/baselines.cpp.o"
+  "CMakeFiles/wire_policies.dir/baselines.cpp.o.d"
+  "CMakeFiles/wire_policies.dir/deadline.cpp.o"
+  "CMakeFiles/wire_policies.dir/deadline.cpp.o.d"
+  "libwire_policies.a"
+  "libwire_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

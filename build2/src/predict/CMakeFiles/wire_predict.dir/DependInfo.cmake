@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/history.cpp" "src/predict/CMakeFiles/wire_predict.dir/history.cpp.o" "gcc" "src/predict/CMakeFiles/wire_predict.dir/history.cpp.o.d"
+  "/root/repo/src/predict/ogd.cpp" "src/predict/CMakeFiles/wire_predict.dir/ogd.cpp.o" "gcc" "src/predict/CMakeFiles/wire_predict.dir/ogd.cpp.o.d"
+  "/root/repo/src/predict/oracle.cpp" "src/predict/CMakeFiles/wire_predict.dir/oracle.cpp.o" "gcc" "src/predict/CMakeFiles/wire_predict.dir/oracle.cpp.o.d"
+  "/root/repo/src/predict/task_predictor.cpp" "src/predict/CMakeFiles/wire_predict.dir/task_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/wire_predict.dir/task_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/dag/CMakeFiles/wire_dag.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/wire_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/wire_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_predict.dir/history.cpp.o"
+  "CMakeFiles/wire_predict.dir/history.cpp.o.d"
+  "CMakeFiles/wire_predict.dir/ogd.cpp.o"
+  "CMakeFiles/wire_predict.dir/ogd.cpp.o.d"
+  "CMakeFiles/wire_predict.dir/oracle.cpp.o"
+  "CMakeFiles/wire_predict.dir/oracle.cpp.o.d"
+  "CMakeFiles/wire_predict.dir/task_predictor.cpp.o"
+  "CMakeFiles/wire_predict.dir/task_predictor.cpp.o.d"
+  "libwire_predict.a"
+  "libwire_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cloud.cpp" "src/sim/CMakeFiles/wire_sim.dir/cloud.cpp.o" "gcc" "src/sim/CMakeFiles/wire_sim.dir/cloud.cpp.o.d"
+  "/root/repo/src/sim/driver.cpp" "src/sim/CMakeFiles/wire_sim.dir/driver.cpp.o" "gcc" "src/sim/CMakeFiles/wire_sim.dir/driver.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/wire_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/wire_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/wire_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/wire_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "src/sim/CMakeFiles/wire_sim.dir/faults.cpp.o" "gcc" "src/sim/CMakeFiles/wire_sim.dir/faults.cpp.o.d"
+  "/root/repo/src/sim/framework.cpp" "src/sim/CMakeFiles/wire_sim.dir/framework.cpp.o" "gcc" "src/sim/CMakeFiles/wire_sim.dir/framework.cpp.o.d"
+  "/root/repo/src/sim/monitor_store.cpp" "src/sim/CMakeFiles/wire_sim.dir/monitor_store.cpp.o" "gcc" "src/sim/CMakeFiles/wire_sim.dir/monitor_store.cpp.o.d"
+  "/root/repo/src/sim/variability.cpp" "src/sim/CMakeFiles/wire_sim.dir/variability.cpp.o" "gcc" "src/sim/CMakeFiles/wire_sim.dir/variability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/dag/CMakeFiles/wire_dag.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/wire_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

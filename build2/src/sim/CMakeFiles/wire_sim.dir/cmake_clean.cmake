@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_sim.dir/cloud.cpp.o"
+  "CMakeFiles/wire_sim.dir/cloud.cpp.o.d"
+  "CMakeFiles/wire_sim.dir/driver.cpp.o"
+  "CMakeFiles/wire_sim.dir/driver.cpp.o.d"
+  "CMakeFiles/wire_sim.dir/engine.cpp.o"
+  "CMakeFiles/wire_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/wire_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/wire_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/wire_sim.dir/faults.cpp.o"
+  "CMakeFiles/wire_sim.dir/faults.cpp.o.d"
+  "CMakeFiles/wire_sim.dir/framework.cpp.o"
+  "CMakeFiles/wire_sim.dir/framework.cpp.o.d"
+  "CMakeFiles/wire_sim.dir/monitor_store.cpp.o"
+  "CMakeFiles/wire_sim.dir/monitor_store.cpp.o.d"
+  "CMakeFiles/wire_sim.dir/variability.cpp.o"
+  "CMakeFiles/wire_sim.dir/variability.cpp.o.d"
+  "libwire_sim.a"
+  "libwire_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

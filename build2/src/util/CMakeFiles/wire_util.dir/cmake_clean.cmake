@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_util.dir/check.cpp.o"
+  "CMakeFiles/wire_util.dir/check.cpp.o.d"
+  "CMakeFiles/wire_util.dir/csv.cpp.o"
+  "CMakeFiles/wire_util.dir/csv.cpp.o.d"
+  "CMakeFiles/wire_util.dir/log.cpp.o"
+  "CMakeFiles/wire_util.dir/log.cpp.o.d"
+  "CMakeFiles/wire_util.dir/rng.cpp.o"
+  "CMakeFiles/wire_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wire_util.dir/stats.cpp.o"
+  "CMakeFiles/wire_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wire_util.dir/table.cpp.o"
+  "CMakeFiles/wire_util.dir/table.cpp.o.d"
+  "CMakeFiles/wire_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/wire_util.dir/thread_pool.cpp.o.d"
+  "libwire_util.a"
+  "libwire_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

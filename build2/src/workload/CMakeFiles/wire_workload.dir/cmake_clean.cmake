@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_workload.dir/generators.cpp.o"
+  "CMakeFiles/wire_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/wire_workload.dir/pegasus_extra.cpp.o"
+  "CMakeFiles/wire_workload.dir/pegasus_extra.cpp.o.d"
+  "CMakeFiles/wire_workload.dir/profiles.cpp.o"
+  "CMakeFiles/wire_workload.dir/profiles.cpp.o.d"
+  "libwire_workload.a"
+  "libwire_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

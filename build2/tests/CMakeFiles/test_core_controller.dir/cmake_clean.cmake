@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_controller.dir/test_core_controller.cpp.o"
+  "CMakeFiles/test_core_controller.dir/test_core_controller.cpp.o.d"
+  "test_core_controller"
+  "test_core_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

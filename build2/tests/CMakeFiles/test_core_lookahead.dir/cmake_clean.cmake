@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_lookahead.dir/test_core_lookahead.cpp.o"
+  "CMakeFiles/test_core_lookahead.dir/test_core_lookahead.cpp.o.d"
+  "test_core_lookahead"
+  "test_core_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_lookahead_incremental.dir/test_core_lookahead_incremental.cpp.o"
+  "CMakeFiles/test_core_lookahead_incremental.dir/test_core_lookahead_incremental.cpp.o.d"
+  "test_core_lookahead_incremental"
+  "test_core_lookahead_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_lookahead_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_reclaim.dir/test_core_reclaim.cpp.o"
+  "CMakeFiles/test_core_reclaim.dir/test_core_reclaim.cpp.o.d"
+  "test_core_reclaim"
+  "test_core_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

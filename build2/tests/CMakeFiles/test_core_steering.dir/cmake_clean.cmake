@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_steering.dir/test_core_steering.cpp.o"
+  "CMakeFiles/test_core_steering.dir/test_core_steering.cpp.o.d"
+  "test_core_steering"
+  "test_core_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

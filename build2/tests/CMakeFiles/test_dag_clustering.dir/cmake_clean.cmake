@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_clustering.dir/test_dag_clustering.cpp.o"
+  "CMakeFiles/test_dag_clustering.dir/test_dag_clustering.cpp.o.d"
+  "test_dag_clustering"
+  "test_dag_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

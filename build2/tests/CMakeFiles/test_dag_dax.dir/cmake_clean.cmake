@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_dax.dir/test_dag_dax.cpp.o"
+  "CMakeFiles/test_dag_dax.dir/test_dag_dax.cpp.o.d"
+  "test_dag_dax"
+  "test_dag_dax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_dax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_workflow.dir/test_dag_workflow.cpp.o"
+  "CMakeFiles/test_dag_workflow.dir/test_dag_workflow.cpp.o.d"
+  "test_dag_workflow"
+  "test_dag_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_exp.dir/test_metrics_exp.cpp.o"
+  "CMakeFiles/test_metrics_exp.dir/test_metrics_exp.cpp.o.d"
+  "test_metrics_exp"
+  "test_metrics_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

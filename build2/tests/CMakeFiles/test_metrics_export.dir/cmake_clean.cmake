@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_export.dir/test_metrics_export.cpp.o"
+  "CMakeFiles/test_metrics_export.dir/test_metrics_export.cpp.o.d"
+  "test_metrics_export"
+  "test_metrics_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

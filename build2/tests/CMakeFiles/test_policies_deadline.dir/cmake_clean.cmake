@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policies_deadline.dir/test_policies_deadline.cpp.o"
+  "CMakeFiles/test_policies_deadline.dir/test_policies_deadline.cpp.o.d"
+  "test_policies_deadline"
+  "test_policies_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policies_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

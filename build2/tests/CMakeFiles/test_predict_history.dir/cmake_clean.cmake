@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_history.dir/test_predict_history.cpp.o"
+  "CMakeFiles/test_predict_history.dir/test_predict_history.cpp.o.d"
+  "test_predict_history"
+  "test_predict_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_ogd.dir/test_predict_ogd.cpp.o"
+  "CMakeFiles/test_predict_ogd.dir/test_predict_ogd.cpp.o.d"
+  "test_predict_ogd"
+  "test_predict_ogd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_ogd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_oracle.dir/test_predict_oracle.cpp.o"
+  "CMakeFiles/test_predict_oracle.dir/test_predict_oracle.cpp.o.d"
+  "test_predict_oracle"
+  "test_predict_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

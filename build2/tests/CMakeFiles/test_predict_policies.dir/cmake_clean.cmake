@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict_policies.dir/test_predict_policies.cpp.o"
+  "CMakeFiles/test_predict_policies.dir/test_predict_policies.cpp.o.d"
+  "test_predict_policies"
+  "test_predict_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/test_property_sweeps.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_property_sweeps.dir/test_property_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/core/CMakeFiles/wire_core.dir/DependInfo.cmake"
+  "/root/repo/build2/src/dag/CMakeFiles/wire_dag.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ensemble/CMakeFiles/wire_ensemble.dir/DependInfo.cmake"
+  "/root/repo/build2/src/exp/CMakeFiles/wire_exp.dir/DependInfo.cmake"
+  "/root/repo/build2/src/metrics/CMakeFiles/wire_metrics.dir/DependInfo.cmake"
+  "/root/repo/build2/src/policies/CMakeFiles/wire_policies.dir/DependInfo.cmake"
+  "/root/repo/build2/src/predict/CMakeFiles/wire_predict.dir/DependInfo.cmake"
+  "/root/repo/build2/src/sim/CMakeFiles/wire_sim.dir/DependInfo.cmake"
+  "/root/repo/build2/src/util/CMakeFiles/wire_util.dir/DependInfo.cmake"
+  "/root/repo/build2/src/workload/CMakeFiles/wire_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_checkpoint.dir/test_sim_checkpoint.cpp.o"
+  "CMakeFiles/test_sim_checkpoint.dir/test_sim_checkpoint.cpp.o.d"
+  "test_sim_checkpoint"
+  "test_sim_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

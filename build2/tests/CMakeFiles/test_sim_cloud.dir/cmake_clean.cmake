@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_cloud.dir/test_sim_cloud.cpp.o"
+  "CMakeFiles/test_sim_cloud.dir/test_sim_cloud.cpp.o.d"
+  "test_sim_cloud"
+  "test_sim_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_faults.dir/test_sim_faults.cpp.o"
+  "CMakeFiles/test_sim_faults.dir/test_sim_faults.cpp.o.d"
+  "test_sim_faults"
+  "test_sim_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

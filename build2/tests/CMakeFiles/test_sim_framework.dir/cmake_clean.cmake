@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_framework.dir/test_sim_framework.cpp.o"
+  "CMakeFiles/test_sim_framework.dir/test_sim_framework.cpp.o.d"
+  "test_sim_framework"
+  "test_sim_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_monitor_store.dir/test_sim_monitor_store.cpp.o"
+  "CMakeFiles/test_sim_monitor_store.dir/test_sim_monitor_store.cpp.o.d"
+  "test_sim_monitor_store"
+  "test_sim_monitor_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_monitor_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

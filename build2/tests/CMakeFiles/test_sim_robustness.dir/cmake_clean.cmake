@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_robustness.dir/test_sim_robustness.cpp.o"
+  "CMakeFiles/test_sim_robustness.dir/test_sim_robustness.cpp.o.d"
+  "test_sim_robustness"
+  "test_sim_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_transfers.dir/test_sim_transfers.cpp.o"
+  "CMakeFiles/test_sim_transfers.dir/test_sim_transfers.cpp.o.d"
+  "test_sim_transfers"
+  "test_sim_transfers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_transfers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_pegasus.dir/test_workload_pegasus.cpp.o"
+  "CMakeFiles/test_workload_pegasus.dir/test_workload_pegasus.cpp.o.d"
+  "test_workload_pegasus"
+  "test_workload_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
