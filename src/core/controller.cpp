@@ -9,7 +9,9 @@
 namespace wire::core {
 
 WireController::WireController(const WireOptions& options)
-    : options_(options), lookahead_(options.lookahead_cache) {}
+    : options_(options), lookahead_(options.lookahead_cache) {
+  lookahead_.set_scratch(options_.plan_scratch);
+}
 
 void WireController::on_run_start(const dag::Workflow& workflow,
                                   const sim::CloudConfig& config) {
@@ -80,10 +82,12 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
     analyze_path = lookahead_.last_path();
   }
 
-  // Plan + Execute: steer the pool.
+  // Plan + Execute: steer the pool (on the lookahead's scratch arena, which
+  // also covers the ablation path — its buffers are free between ticks).
   std::uint32_t planned = 0;
   sim::PoolCommand cmd = steer(*lookahead, snapshot, config_, &planned,
-                               options_.reclaim_draining);
+                               options_.reclaim_draining,
+                               lookahead_.scratch().get());
 
   if (trace_listener_) {
     MapeTrace trace;
@@ -96,6 +100,7 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
     trace.grow = cmd.grow;
     trace.releases = static_cast<std::uint32_t>(cmd.releases.size());
     trace.analyze_path = analyze_path;
+    trace.plan_stamped = lookahead->plan_valid;
     trace_listener_(trace);
   }
   return cmd;
@@ -108,6 +113,10 @@ std::size_t WireController::state_bytes() const {
   bytes += run_state_.remaining_preds().capacity() *
            (sizeof(std::uint32_t) + sizeof(char));
   bytes += lookahead_.state_bytes();
+  // The Plan scratch arena is charged here only when this controller owns
+  // it; a shared (ensemble) arena is charged once by its owner, not once
+  // per tenant.
+  if (!options_.plan_scratch) bytes += lookahead_.scratch()->state_bytes();
   return bytes;
 }
 

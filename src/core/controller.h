@@ -48,6 +48,12 @@ struct WireOptions {
   /// are byte-identical with the cache on or off; `enabled = false` is the
   /// ablation knob.
   LookaheadCacheOptions lookahead_cache;
+  /// Optional shared Plan scratch arena. When non-null, this controller's
+  /// lookahead projects on these buffers instead of its own — the ensemble
+  /// path hands N tenant controllers ONE arena (they are stepped strictly
+  /// sequentially; see plan_scratch.h for the contract). Null keeps a
+  /// per-controller arena. Bit-identical either way.
+  std::shared_ptr<PlanScratch> plan_scratch;
 };
 
 /// Per-iteration trace record (consumed by the overhead bench and tests).
@@ -63,6 +69,9 @@ struct MapeTrace {
   /// Which Analyze path produced the lookahead this tick (kDisabled when the
   /// cache is off, kFirstTick placeholder under disable_lookahead).
   AnalyzePath analyze_path = AnalyzePath::kFirstTick;
+  /// True when steering consumed the lookahead's inline Plan stamp
+  /// (planned_pool packed during Q_task emission) instead of re-packing.
+  bool plan_stamped = false;
 };
 
 class WireController final : public sim::ScalingPolicy {

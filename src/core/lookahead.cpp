@@ -8,7 +8,8 @@ LookaheadResult simulate_interval(const dag::Workflow& workflow,
                                   const sim::MonitorSnapshot& snapshot,
                                   const predict::Estimator& predictor,
                                   const sim::CloudConfig& config,
-                                  const RunState* state) {
+                                  const RunState* state,
+                                  PlanScratch* scratch) {
   using dag::TaskId;
   using sim::TaskPhase;
 
@@ -28,6 +29,8 @@ LookaheadResult simulate_interval(const dag::Workflow& workflow,
     }
   }
 
+  PlanScratch local_scratch;
+  PlanScratch& s = scratch != nullptr ? *scratch : local_scratch;
   LookaheadResult result;
   detail::simulate_interval_impl(
       workflow, snapshot, config, remaining_preds, /*undo_log=*/nullptr,
@@ -38,7 +41,8 @@ LookaheadResult simulate_interval(const dag::Workflow& workflow,
         return predictor.transfer_estimate() +
                predictor.estimate_exec(task, snapshot);
       },
-      detail::EmissionCap{}, detail::WavefrontCapture{}, result);
+      detail::EmissionCap{}, detail::WavefrontCapture{}, s,
+      /*plan_capture=*/false, result);
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dag/workflow.h"
+#include "core/plan_scratch.h"
 #include "core/run_state.h"
 #include "predict/estimator.h"
 #include "sim/config.h"
@@ -35,10 +36,34 @@ struct UpcomingTask {
   bool on_slot = false;
 };
 
+/// Per-entry Plan stamp for one Q_task entry, parallel to
+/// LookaheadResult::upcoming (stamps[i] annotates upcoming[i]). Emitted in
+/// steering-ready order: on-slot entries by projected completion, then the
+/// projected ready queue in dispatch order — exactly the order Algorithm 3
+/// consumes.
+struct WavefrontStamp {
+  /// Absolute projected completion time (deadline) of the slot's current
+  /// attempt; -1 for queued entries (no slot, no projected deadline).
+  /// Entries with deadline > horizon are projected still-busy at the next
+  /// interval start and are the ones charged restart cost.
+  double deadline = -1.0;
+  /// Absolute start time of the attempt occupying the slot; -1 for queued
+  /// entries.
+  double start = -1.0;
+  /// The occupancy Algorithm 3 packs for this entry: the steering clamp
+  /// (on-slot entries pinned at >= one charging unit) already applied.
+  double packed_occupancy = 0.0;
+  /// Hosting instance for on-slot entries; kInvalidInstance for queued ones.
+  sim::InstanceId instance = sim::kInvalidInstance;
+};
+
 struct LookaheadResult {
   /// Q_task in projected dispatch order (tasks already on slots first, by
   /// projected completion; then the projected ready queue).
   std::vector<UpcomingTask> upcoming;
+  /// Plan stamps parallel to `upcoming`, filled only when `plan_valid` is
+  /// set; empty otherwise.
+  std::vector<WavefrontStamp> stamps;
   /// Restart cost per instance: max sunk occupancy (seconds) among tasks
   /// projected to be running on it at the start of the next interval.
   /// Instances absent from the map have no running tasks (cost 0).
@@ -51,6 +76,16 @@ struct LookaheadResult {
   /// `upcoming` is a prefix whose Algorithm-3 pool size already saturates
   /// the binding instance ceiling, so the steering decision is unchanged.
   std::uint32_t truncated_tasks = 0;
+  /// Algorithm-3 planned pool size, packed inline during Q_task emission by
+  /// the same Alg3Packer steering would run from scratch. Meaningful only
+  /// when `plan_valid` is set.
+  std::uint32_t planned_pool = 0;
+  /// True when `stamps`/`planned_pool` were produced this tick under the
+  /// Plan-cache contract (incremental lookahead, quiet kIncremental tick);
+  /// steer() then consumes `planned_pool` directly. False from
+  /// simulate_interval, from every fallback classification, and whenever
+  /// plan stamping is disabled — steer() rebuilds from `upcoming`.
+  bool plan_valid = false;
 };
 
 /// Projects execution from snapshot.now to snapshot.now + lag with the
@@ -65,10 +100,16 @@ struct LookaheadResult {
 /// counts maintained incrementally across ticks (see RunState), replacing
 /// the O(V + E) per-call seeding scan with an O(V) copy. Null keeps the
 /// self-contained from-scratch derivation (tests, one-shot callers).
+///
+/// `scratch`, when non-null, lends the projection's transient buffers (busy
+/// heap, free-slot heap, ready queue, emission buffers) from a reusable
+/// arena instead of allocating them per call; null keeps self-contained
+/// local buffers. The result is bit-identical either way.
 LookaheadResult simulate_interval(const dag::Workflow& workflow,
                                   const sim::MonitorSnapshot& snapshot,
                                   const predict::Estimator& predictor,
                                   const sim::CloudConfig& config,
-                                  const RunState* state = nullptr);
+                                  const RunState* state = nullptr,
+                                  PlanScratch* scratch = nullptr);
 
 }  // namespace wire::core

@@ -29,7 +29,7 @@ const char* analyze_path_label(AnalyzePath path) {
 }
 
 IncrementalLookahead::IncrementalLookahead(const LookaheadCacheOptions& options)
-    : options_(options) {}
+    : options_(options), scratch_(std::make_shared<PlanScratch>()) {}
 
 void IncrementalLookahead::reset(const dag::Workflow& workflow) {
   const std::size_t n = workflow.task_count();
@@ -188,27 +188,29 @@ const LookaheadResult& IncrementalLookahead::tick(
   // Predecessor counters: borrow the RunState's vector with an undo log
   // (O(projected firings) restore) when it is current, else seed a local
   // copy exactly the way simulate_interval does.
-  undo_.clear();
+  PlanScratch& scratch = *scratch_;
+  scratch.undo.clear();
   std::vector<std::uint32_t>* preds = nullptr;
   std::vector<TaskId>* undo_log = nullptr;
   if (state != nullptr && state->ready()) {
     preds = &state->speculative_preds();
-    undo_log = &undo_;
+    undo_log = &scratch.undo;
   } else {
-    local_preds_.assign(workflow.task_count(), 0);
+    scratch.local_preds.assign(workflow.task_count(), 0);
     for (const dag::TaskSpec& t : workflow.tasks()) {
       for (TaskId pred : workflow.predecessors(t.id)) {
         if (snapshot.tasks[pred].phase != TaskPhase::Completed) {
-          ++local_preds_[t.id];
+          ++scratch.local_preds[t.id];
         }
       }
     }
-    preds = &local_preds_;
+    preds = &scratch.local_preds;
   }
 
-  complete_scratch_.clear();
-  running_scratch_.clear();
-  detail::WavefrontCapture capture{&complete_scratch_, &running_scratch_};
+  scratch.projected_complete.clear();
+  scratch.projected_running.clear();
+  detail::WavefrontCapture capture{&scratch.projected_complete,
+                                   &scratch.projected_running};
 
   detail::EmissionCap cap;
   if (options_.adaptive_horizon &&
@@ -216,6 +218,14 @@ const LookaheadResult& IncrementalLookahead::tick(
     cap.enabled = true;
     cap.target_pool = snapshot.pool_cap;
   }
+
+  // Plan stamping rides the SAME classification that just picked the
+  // Analyze path — one classify() per tick decides both caches (satellite
+  // of the same invalidation contract, and the reason the stamp can never
+  // lag the Analyze side by a revision).
+  const bool plan_capture = options_.plan_stamps &&
+                            last_path_ == AnalyzePath::kIncremental &&
+                            online != nullptr;
 
   if (last_path_ == AnalyzePath::kIncremental && online != nullptr) {
     detail::simulate_interval_impl(
@@ -227,7 +237,7 @@ const LookaheadResult& IncrementalLookahead::tick(
           return online->transfer_estimate() +
                  memo_exec(workflow, *online, task, snapshot);
         },
-        cap, capture, result_);
+        cap, capture, scratch, plan_capture, result_);
   } else {
     // Fallback (and the no-online-predictor fast path): the exact occupancy
     // lambdas simulate_interval uses.
@@ -240,21 +250,26 @@ const LookaheadResult& IncrementalLookahead::tick(
           return estimator.transfer_estimate() +
                  estimator.estimate_exec(task, snapshot);
         },
-        cap, capture, result_);
+        cap, capture, scratch, /*plan_capture=*/false, result_);
   }
 
   if (undo_log != nullptr) {
-    for (TaskId t : undo_) ++(*preds)[t];
+    for (TaskId t : scratch.undo) ++(*preds)[t];
   }
 
   ++epoch_;
-  for (TaskId t : complete_scratch_) projected_complete_stamp_[t] = epoch_;
-  for (TaskId t : running_scratch_) projected_running_stamp_[t] = epoch_;
+  for (TaskId t : scratch.projected_complete) {
+    projected_complete_stamp_[t] = epoch_;
+  }
+  for (TaskId t : scratch.projected_running) {
+    projected_running_stamp_[t] = epoch_;
+  }
   primed_ = true;
   last_revision_ = estimator.revision();
 
   stats_.truncated_tasks += result_.truncated_tasks;
   if (result_.truncated_tasks > 0) ++stats_.capped_ticks;
+  if (result_.plan_valid) ++stats_.stamped_plan_ticks;
   return result_;
 }
 
@@ -263,9 +278,7 @@ std::size_t IncrementalLookahead::state_bytes() const {
   std::size_t bytes = sizeof(*this);
   bytes += vec(memo_) + vec(occ_memo_) + vec(projected_complete_stamp_) +
            vec(projected_running_stamp_);
-  bytes += vec(complete_scratch_) + vec(running_scratch_) + vec(undo_) +
-           vec(local_preds_);
-  bytes += vec(result_.upcoming);
+  bytes += vec(result_.upcoming) + vec(result_.stamps);
   bytes += result_.restart_cost.size() *
            (sizeof(sim::InstanceId) + sizeof(double));
   return bytes;

@@ -42,9 +42,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/lookahead.h"
+#include "core/plan_scratch.h"
 #include "core/run_state.h"
 #include "predict/estimator.h"
 #include "predict/task_predictor.h"
@@ -88,6 +90,18 @@ struct LookaheadCacheOptions {
   /// being exact, so this defaults off and must stay off for multi-tenant
   /// runs whose arbiter consumes that signal.
   bool adaptive_horizon = false;
+  /// Plan-phase incrementality: on quiet (kIncremental) ticks, stamp the
+  /// projected wavefront with per-entry deadline/start annotations and pack
+  /// the Algorithm-3 pool size inline during Q_task emission, so steer()
+  /// consumes the stamp instead of rebuilding and re-packing the occupancy
+  /// vector. Shares the Analyze cache's classification verbatim — ONE
+  /// classify() per tick decides both caches, so the Plan stamp can never
+  /// lag the Analyze path by a revision. Fallback ticks (first-tick,
+  /// non-exact, pool-changed, refit, misprediction, disabled) leave
+  /// plan_valid unset and steering takes its from-scratch path; decisions
+  /// are bit-identical either way (same Alg3Packer, same clamped doubles,
+  /// same order).
+  bool plan_stamps = true;
 };
 
 struct LookaheadCacheStats {
@@ -105,6 +119,9 @@ struct LookaheadCacheStats {
   /// Adaptive-horizon activity.
   std::uint64_t truncated_tasks = 0;
   std::uint64_t capped_ticks = 0;
+  /// Ticks whose result carried a valid Plan stamp (steering consumed
+  /// planned_pool directly instead of re-packing Q_task).
+  std::uint64_t stamped_plan_ticks = 0;
 };
 
 /// The persistent projected-schedule object owned by WireController. One
@@ -133,7 +150,18 @@ class IncrementalLookahead {
   const LookaheadCacheStats& stats() const { return stats_; }
   const LookaheadCacheOptions& options() const { return options_; }
 
-  /// Resident footprint in bytes (§IV-F overhead accounting).
+  /// The Plan scratch arena the projection runs on. Owned (constructed
+  /// per-lookahead) by default; set_scratch() rebinds to a shared arena so
+  /// N tenant controllers stepped sequentially reuse ONE set of buffers
+  /// (see plan_scratch.h for the serialization contract). Never null.
+  const std::shared_ptr<PlanScratch>& scratch() const { return scratch_; }
+  void set_scratch(std::shared_ptr<PlanScratch> scratch) {
+    if (scratch != nullptr) scratch_ = std::move(scratch);
+  }
+
+  /// Resident footprint in bytes (§IV-F overhead accounting). Excludes the
+  /// scratch arena, which may be shared across controllers — charge
+  /// PlanScratch::state_bytes() once per arena, not per lookahead.
   std::size_t state_bytes() const;
 
  private:
@@ -206,11 +234,10 @@ class IncrementalLookahead {
   std::vector<std::uint64_t> projected_running_stamp_;
   std::uint64_t epoch_ = 0;
 
-  // Per-tick scratch, reused across ticks.
-  std::vector<dag::TaskId> complete_scratch_;
-  std::vector<dag::TaskId> running_scratch_;
-  std::vector<dag::TaskId> undo_;
-  std::vector<std::uint32_t> local_preds_;
+  /// Per-tick scratch arena (projection event loop, wavefront capture, undo
+  /// log), reused across ticks — and, when rebound via set_scratch(), shared
+  /// across tenant lookaheads. Never null.
+  std::shared_ptr<PlanScratch> scratch_;
 };
 
 }  // namespace wire::core

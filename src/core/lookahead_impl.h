@@ -11,30 +11,28 @@
 // occupancy sources are obliged to return bit-equal doubles, which the
 // differential suite (tests/test_core_lookahead_incremental.cpp) enforces at
 // every control tick under fault chaos.
+//
+// The transient containers (busy-slot heap, free-slot heap, ready queue,
+// emission buffers) live in a caller-provided PlanScratch arena — persistent
+// callers reuse one arena across ticks (and, via the ensemble driver, across
+// tenants) instead of reallocating per tick. The heaps are kept manually
+// with std::push_heap/pop_heap on the arena's vectors; the standard defines
+// std::priority_queue as exactly that, so replacing the queue objects the
+// earlier revision used cannot change the pop order.
 #pragma once
 
 #include <algorithm>
 #include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/lookahead.h"
+#include "core/plan_scratch.h"
+#include "core/steering.h"
 #include "util/check.h"
 
 namespace wire::core::detail {
-
-struct BusySlot {
-  sim::SimTime finish = 0.0;
-  sim::SimTime attempt_start = 0.0;
-  dag::TaskId task = dag::kInvalidTask;
-  sim::InstanceId instance = sim::kInvalidInstance;
-  /// True if the task was observed Running in the snapshot (as opposed to
-  /// dispatched speculatively inside this lookahead).
-  bool real = false;
-};
 
 struct LaterFinish {
   bool operator()(const BusySlot& a, const BusySlot& b) const {
@@ -55,63 +53,23 @@ struct WavefrontCapture {
 };
 
 /// Opt-in adaptive horizon cap: stop emitting queue-tail entries once the
-/// steering decision can no longer change. The stopping rule mirrors
-/// Algorithm 3's greedy packer online (same clamp, same retire/advance
-/// arithmetic): its main-loop instance count after consuming a prefix is a
-/// lower bound on the count after the full queue (the packer is an online
-/// algorithm — its state after i entries is independent of later ones, and
-/// the final leftover rule only ever adds one). Once that bound reaches the
-/// binding pool ceiling, the planned size saturates at >= the ceiling for
-/// prefix and full queue alike, so the clamped steering decision is
-/// identical; only the unclamped demand signal (PoolCommand::desired_pool)
-/// saturates instead of being exact, which is why the cap stays opt-in and
-/// off for multi-tenant runs whose arbiter consumes that signal.
+/// steering decision can no longer change. The stopping rule runs Algorithm
+/// 3's greedy packer online (same clamp, same retire/advance arithmetic):
+/// its main-loop instance count after consuming a prefix is a lower bound on
+/// the count after the full queue (the packer is an online algorithm — its
+/// state after i entries is independent of later ones, and the final
+/// leftover rule only ever adds one). Once that bound reaches the binding
+/// pool ceiling, the planned size saturates at >= the ceiling for prefix and
+/// full queue alike, so the clamped steering decision is identical; only the
+/// unclamped demand signal (PoolCommand::desired_pool) saturates instead of
+/// being exact, which is why the cap stays opt-in and off for multi-tenant
+/// runs whose arbiter consumes that signal.
 struct EmissionCap {
   bool enabled = false;
   /// The binding instance ceiling (snapshot.pool_cap, which already folds in
-  /// the site capacity). Truncation starts once the mirrored packer's
+  /// the site capacity). Truncation starts once the online packer's
   /// main-loop count reaches this.
   std::uint32_t target_pool = 0;
-};
-
-/// Online mirror of resize_pool's main loop (steering.cpp). Feeding it the
-/// same clamped occupancies in the same order reproduces the same `p`.
-class PackerMirror {
- public:
-  PackerMirror(double charging_unit, std::uint32_t slots_per_instance)
-      : charging_unit_(charging_unit), slots_(slots_per_instance) {
-    slot_used_.reserve(slots_);
-  }
-
-  std::uint32_t count() const { return p_; }
-
-  void add(double occupancy) {
-    slot_used_.push_back(occupancy);
-    while (slot_used_.size() == slots_) {
-      const double t_min =
-          *std::min_element(slot_used_.begin(), slot_used_.end());
-      t_used_ += t_min;
-      if (t_used_ >= charging_unit_) {
-        ++p_;
-        t_used_ = 0.0;
-        slot_used_.clear();
-      } else {
-        std::vector<double> next;
-        next.reserve(slot_used_.size());
-        for (double t_c : slot_used_) {
-          if (t_c != t_min) next.push_back(t_c - t_min);
-        }
-        slot_used_ = std::move(next);
-      }
-    }
-  }
-
- private:
-  double charging_unit_;
-  std::uint32_t slots_;
-  std::vector<double> slot_used_;
-  double t_used_ = 0.0;
-  std::uint32_t p_ = 0;
 };
 
 /// The §III-B2 projection loop. `remaining_occ(task)` estimates remaining
@@ -123,6 +81,15 @@ class PackerMirror {
 /// whole vector per tick. `result` is cleared and filled in place so a
 /// persistent caller (the incremental lookahead) reuses its buffer capacity
 /// across ticks instead of reallocating the Q_task vector every interval.
+///
+/// `plan_capture` turns on the Plan stamping pass: Q_task emission also
+/// fills result.stamps (deadline/start/packed-occupancy per entry, in the
+/// same steering-ready order) and runs the one Alg3Packer over the clamped
+/// occupancies to stamp result.planned_pool — the exact value resize_pool
+/// would recompute from result.upcoming, bit-equal because it is the same
+/// packer class fed the same doubles in the same order. The incremental
+/// lookahead enables it only on quiet (kIncremental) ticks; steer() then
+/// consumes the stamp instead of rebuilding Q_task's occupancy vector.
 template <typename RemainingOcc, typename FreshOcc>
 void simulate_interval_impl(const dag::Workflow& workflow,
                             const sim::MonitorSnapshot& snapshot,
@@ -132,11 +99,15 @@ void simulate_interval_impl(const dag::Workflow& workflow,
                             RemainingOcc&& remaining_occ, FreshOcc&& fresh_occ,
                             const EmissionCap& cap,
                             const WavefrontCapture& capture,
+                            PlanScratch& scratch, bool plan_capture,
                             LookaheadResult& result) {
   result.upcoming.clear();
+  result.stamps.clear();
   result.restart_cost.clear();
   result.projected_completions = 0;
   result.truncated_tasks = 0;
+  result.planned_pool = 0;
+  result.plan_valid = false;
   using dag::TaskId;
   using sim::InstanceId;
   using sim::SimTime;
@@ -147,23 +118,45 @@ void simulate_interval_impl(const dag::Workflow& workflow,
   const SimTime now = snapshot.now;
   const SimTime horizon = now + config.lag_seconds;
 
-  std::priority_queue<BusySlot, std::vector<BusySlot>, LaterFinish> busy;
+  // Busy slots as a max-age heap ordered by LaterFinish (top = front,
+  // earliest projected finish first).
+  std::vector<BusySlot>& busy = scratch.busy;
+  busy.clear();
+  const auto busy_push = [&](const BusySlot& slot) {
+    busy.push_back(slot);
+    std::push_heap(busy.begin(), busy.end(), LaterFinish{});
+  };
+  const auto busy_pop = [&] {
+    std::pop_heap(busy.begin(), busy.end(), LaterFinish{});
+    busy.pop_back();
+  };
   // Free slots as a min-heap of instance ids (duplicates = multiple free
   // slots): pops the lowest id exactly like the multiset this replaces, at a
   // fraction of the allocation cost.
-  std::priority_queue<InstanceId, std::vector<InstanceId>,
-                      std::greater<InstanceId>>
-      free_slots;
+  std::vector<InstanceId>& free_slots = scratch.free_slots;
+  free_slots.clear();
+  const auto free_push = [&](InstanceId inst) {
+    free_slots.push_back(inst);
+    std::push_heap(free_slots.begin(), free_slots.end(),
+                   std::greater<InstanceId>{});
+  };
+  const auto free_pop = [&] {
+    std::pop_heap(free_slots.begin(), free_slots.end(),
+                  std::greater<InstanceId>{});
+    free_slots.pop_back();
+  };
   // FIFO ready queue as vector + cursor (entries before `ready_head` are
   // consumed); the queue only grows, so indices stay stable.
-  std::vector<TaskId> ready(snapshot.ready_queue.begin(),
-                            snapshot.ready_queue.end());
+  std::vector<TaskId>& ready = scratch.ready;
+  ready.assign(snapshot.ready_queue.begin(), snapshot.ready_queue.end());
   std::size_t ready_head = 0;
   // Tasks whose occupancy must be re-estimated from scratch (requeued off a
   // draining instance: their sunk progress is lost on restart).
-  std::unordered_map<TaskId, double> occupancy_override;
+  auto& occupancy_override = scratch.occupancy_override;
+  occupancy_override.clear();
   // Instances booting within the interval: (boot time, id).
-  std::vector<std::pair<SimTime, InstanceId>> boots;
+  auto& boots = scratch.boots;
+  boots.clear();
 
   for (const sim::InstanceObservation& inst : snapshot.instances) {
     if (inst.draining || inst.revoking) {
@@ -197,13 +190,13 @@ void simulate_interval_impl(const dag::Workflow& workflow,
       slot.attempt_start = snapshot.tasks[task].occupancy_start;
       slot.finish = now + remaining_occ(task);
       slot.real = true;
-      busy.push(slot);
+      busy_push(slot);
       if (capture.projected_running != nullptr) {
         capture.projected_running->push_back(task);
       }
     }
     for (std::uint32_t s = 0; s < inst.free_slots; ++s) {
-      free_slots.push(inst.id);
+      free_push(inst.id);
     }
   }
   std::sort(boots.begin(), boots.end());
@@ -219,14 +212,14 @@ void simulate_interval_impl(const dag::Workflow& workflow,
   const auto dispatch_at = [&](SimTime t) {
     while (ready_head < ready.size() && !free_slots.empty()) {
       const TaskId task = ready[ready_head++];
-      const InstanceId inst = free_slots.top();
-      free_slots.pop();
+      const InstanceId inst = free_slots.front();
+      free_pop();
       BusySlot slot;
       slot.task = task;
       slot.instance = inst;
       slot.attempt_start = t;
       slot.finish = t + occupancy_of(task);
-      busy.push(slot);
+      busy_push(slot);
       if (capture.projected_running != nullptr) {
         capture.projected_running->push_back(task);
       }
@@ -240,13 +233,16 @@ void simulate_interval_impl(const dag::Workflow& workflow,
   // workflow simulator), but their slot is NOT released to the projected
   // ready queue and they stay in Q_task: the completion is speculative, the
   // predictions are conservative minimums, and handing the slot to queued
-  // work would hide real queue pressure from the pool sizing.
-  std::vector<TaskId> speculative_completions;
+  // work would hide real queue pressure from the pool sizing. The full slot
+  // record is kept (not just the task id) so the Plan stamps below can carry
+  // the projected deadline and attempt start.
+  std::vector<BusySlot>& speculative = scratch.speculative;
+  speculative.clear();
   std::size_t boot_cursor = 0;
   for (;;) {
-    const SimTime next_finish =
-        busy.empty() ? std::numeric_limits<SimTime>::infinity()
-                     : busy.top().finish;
+    const SimTime next_finish = busy.empty()
+                                    ? std::numeric_limits<SimTime>::infinity()
+                                    : busy.front().finish;
     const SimTime next_boot = boot_cursor < boots.size()
                                   ? boots[boot_cursor].first
                                   : std::numeric_limits<SimTime>::infinity();
@@ -256,14 +252,14 @@ void simulate_interval_impl(const dag::Workflow& workflow,
     if (next_boot <= next_finish) {
       const InstanceId inst = boots[boot_cursor++].second;
       for (std::uint32_t s = 0; s < config.slots_per_instance; ++s) {
-        free_slots.push(inst);
+        free_push(inst);
       }
       dispatch_at(next_boot);
       continue;
     }
 
-    const BusySlot done = busy.top();
-    busy.pop();
+    const BusySlot done = busy.front();
+    busy_pop();
     ++result.projected_completions;
     if (capture.projected_complete != nullptr) {
       capture.projected_complete->push_back(done.task);
@@ -276,37 +272,55 @@ void simulate_interval_impl(const dag::Workflow& workflow,
       }
     }
     if (done.real) {
-      speculative_completions.push_back(done.task);
+      speculative.push_back(done);
       continue;
     }
-    free_slots.push(done.instance);
+    free_push(done.instance);
     dispatch_at(done.finish);
   }
 
   // Q_task: tasks on slots at the horizon (by projected completion), then the
-  // projected ready queue in dispatch order.
-  PackerMirror packer(config.charging_unit_seconds, config.slots_per_instance);
-  result.upcoming.reserve(busy.size() + speculative_completions.size() +
+  // projected ready queue in dispatch order. One Alg3Packer serves both the
+  // adaptive cap's stopping rule and the Plan stamp; they are fed the same
+  // steering-clamped occupancies resize_pool would see.
+  const bool pack = cap.enabled || plan_capture;
+  Alg3Packer packer(config.charging_unit_seconds, config.slots_per_instance,
+                    config.restart_cost_fraction);
+  result.upcoming.reserve(busy.size() + speculative.size() +
                           (ready.size() - ready_head));
-  std::vector<BusySlot> still_busy;
-  still_busy.reserve(busy.size());
+  if (plan_capture) result.stamps.reserve(result.upcoming.capacity());
+  std::vector<BusySlot>& still_busy = scratch.still_busy;
+  still_busy.clear();
   while (!busy.empty()) {
-    still_busy.push_back(busy.top());
-    busy.pop();
+    still_busy.push_back(busy.front());
+    busy_pop();
   }
   for (const BusySlot& slot : still_busy) {
     const double occ = std::max(0.0, slot.finish - horizon);
     result.upcoming.push_back(UpcomingTask{occ, slot.task, /*on_slot=*/true});
-    if (cap.enabled) {
+    if (pack) {
       packer.add(std::max(occ, config.charging_unit_seconds));
     }
-    auto [it, inserted] =
-        result.restart_cost.try_emplace(slot.instance, 0.0);
+    if (plan_capture) {
+      result.stamps.push_back(
+          WavefrontStamp{slot.finish, slot.attempt_start,
+                         std::max(occ, config.charging_unit_seconds),
+                         slot.instance});
+    }
+    auto [it, inserted] = result.restart_cost.try_emplace(slot.instance, 0.0);
     it->second = std::max(it->second, horizon - slot.attempt_start);
   }
-  for (TaskId task : speculative_completions) {
-    result.upcoming.push_back(UpcomingTask{0.0, task, /*on_slot=*/true});
-    if (cap.enabled) packer.add(config.charging_unit_seconds);
+  for (const BusySlot& done : speculative) {
+    result.upcoming.push_back(UpcomingTask{0.0, done.task, /*on_slot=*/true});
+    if (pack) packer.add(config.charging_unit_seconds);
+    if (plan_capture) {
+      // deadline <= horizon distinguishes a speculatively completed slot
+      // from a still-busy one (whose finish is strictly past the horizon):
+      // only the latter carry restart cost.
+      result.stamps.push_back(WavefrontStamp{done.finish, done.attempt_start,
+                                             config.charging_unit_seconds,
+                                             done.instance});
+    }
   }
   // On-slot entries are never truncated (their restart costs are charged
   // above regardless); only the queue tail is.
@@ -320,8 +334,16 @@ void simulate_interval_impl(const dag::Workflow& workflow,
     const TaskId task = ready[q];
     const double occ = occupancy_of(task);
     result.upcoming.push_back(UpcomingTask{occ, task, /*on_slot=*/false});
-    if (cap.enabled) packer.add(occ);
+    if (pack) packer.add(occ);
+    if (plan_capture) {
+      result.stamps.push_back(
+          WavefrontStamp{-1.0, -1.0, occ, sim::kInvalidInstance});
+    }
     --remaining_ready;
+  }
+  if (plan_capture) {
+    result.plan_valid = true;
+    if (!result.upcoming.empty()) result.planned_pool = packer.finish();
   }
 }
 

@@ -1,7 +1,6 @@
 #include "core/steering.h"
 
 #include <algorithm>
-#include <deque>
 
 #include "util/check.h"
 
@@ -14,81 +13,56 @@ std::uint32_t resize_pool(const std::vector<double>& upcoming,
   WIRE_REQUIRE(charging_unit > 0.0, "charging unit must be positive");
   WIRE_REQUIRE(slots_per_instance > 0, "need at least one slot");
   if (upcoming.empty()) return 0;
-
-  // Faithful port of Algorithm 3. `slot_used` holds the remaining occupancy
-  // of the tasks packed onto the current (virtual) instance's slots.
-  std::deque<double> queue(upcoming.begin(), upcoming.end());
-  std::vector<double> slot_used;
-  slot_used.reserve(slots_per_instance);
-  std::uint32_t p = 0;
-  double t_used = 0.0;
-
-  while (!queue.empty()) {
-    while (slot_used.size() < slots_per_instance && !queue.empty()) {
-      slot_used.push_back(queue.front());
-      queue.pop_front();
-    }
-    if (slot_used.size() == slots_per_instance) {
-      const double t_min =
-          *std::min_element(slot_used.begin(), slot_used.end());
-      t_used += t_min;
-      if (t_used >= charging_unit) {
-        ++p;
-        t_used = 0.0;
-        slot_used.clear();
-      } else {
-        // Retire the slots that finish at t_min; advance the others.
-        std::vector<double> next;
-        next.reserve(slot_used.size());
-        for (double t_c : slot_used) {
-          if (t_c != t_min) next.push_back(t_c - t_min);
-        }
-        slot_used = std::move(next);
-      }
-    }
-  }
-
-  const double leftover_max =
-      slot_used.empty() ? 0.0
-                        : *std::max_element(slot_used.begin(), slot_used.end());
-  if (p == 0 || leftover_max > leftover_fraction * charging_unit) {
-    ++p;
-  }
-  return p;
+  Alg3Packer packer(charging_unit, slots_per_instance, leftover_fraction);
+  for (double occupancy : upcoming) packer.add(occupancy);
+  return packer.finish();
 }
 
 sim::PoolCommand steer(const LookaheadResult& lookahead,
                        const sim::MonitorSnapshot& snapshot,
                        const sim::CloudConfig& config,
                        std::uint32_t* planned_size,
-                       bool reclaim_draining) {
+                       bool reclaim_draining,
+                       PlanScratch* scratch) {
   sim::PoolCommand cmd;
 
-  std::vector<double> occupancy;
-  occupancy.reserve(lookahead.upcoming.size());
-  for (const UpcomingTask& t : lookahead.upcoming) {
-    // A task projected to be on a slot at the interval start physically owns
-    // that slot: Algorithm 3's greedy packing must not time-multiplex it
-    // with other work below one charging unit, or the conservative minimum
-    // predictions ("about to complete") would let the packer compress the
-    // currently running set onto fewer instances than are actually occupied
-    // — a stable under-provisioning fixpoint. Pinning on-slot tasks at a
-    // full unit reproduces the §III-E growth behaviour (the pool reaches N
-    // within one charging unit for the linear workflows of Figs. 2-3).
-    occupancy.push_back(t.on_slot
-                            ? std::max(t.remaining_occupancy,
-                                       config.charging_unit_seconds)
-                            : t.remaining_occupancy);
-  }
   // §III-D: Algorithm 3 assumes Q_task is non-empty; with an empty upcoming
   // load it retains a minimal pool until the next control iteration (or the
   // workflow terminates).
-  const std::uint32_t planned =
-      lookahead.upcoming.empty()
-          ? (snapshot.incomplete_tasks > 0 ? 1u : 0u)
-          : resize_pool(occupancy, config.charging_unit_seconds,
-                        config.slots_per_instance,
-                        config.restart_cost_fraction);
+  std::uint32_t planned = 0;
+  if (lookahead.upcoming.empty()) {
+    planned = snapshot.incomplete_tasks > 0 ? 1u : 0u;
+  } else if (lookahead.plan_valid) {
+    // Stamped wavefront (quiet tick): the Algorithm-3 size was packed inline
+    // during Q_task emission by the same Alg3Packer this function would run,
+    // fed the identically clamped occupancies in the identical order —
+    // consuming it skips the rebuild below without a bit of drift.
+    planned = lookahead.planned_pool;
+  } else {
+    PlanScratch local_scratch;
+    PlanScratch& s = scratch != nullptr ? *scratch : local_scratch;
+    std::vector<double>& occupancy = s.occupancy;
+    occupancy.clear();
+    occupancy.reserve(lookahead.upcoming.size());
+    for (const UpcomingTask& t : lookahead.upcoming) {
+      // A task projected to be on a slot at the interval start physically
+      // owns that slot: Algorithm 3's greedy packing must not time-multiplex
+      // it with other work below one charging unit, or the conservative
+      // minimum predictions ("about to complete") would let the packer
+      // compress the currently running set onto fewer instances than are
+      // actually occupied — a stable under-provisioning fixpoint. Pinning
+      // on-slot tasks at a full unit reproduces the §III-E growth behaviour
+      // (the pool reaches N within one charging unit for the linear
+      // workflows of Figs. 2-3).
+      occupancy.push_back(t.on_slot
+                              ? std::max(t.remaining_occupancy,
+                                         config.charging_unit_seconds)
+                              : t.remaining_occupancy);
+    }
+    planned = resize_pool(occupancy, config.charging_unit_seconds,
+                          config.slots_per_instance,
+                          config.restart_cost_fraction);
+  }
 
   if (planned_size != nullptr) *planned_size = planned;
 
@@ -141,11 +115,10 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
 
   // Shrink: candidates are ready instances whose unit expires before the
   // next interval and whose restart cost is under the threshold.
-  struct Candidate {
-    sim::InstanceId id;
-    double restart_cost;
-  };
-  std::vector<Candidate> candidates;
+  std::vector<VictimCandidate> local_candidates;
+  std::vector<VictimCandidate>& candidates =
+      scratch != nullptr ? scratch->candidates : local_candidates;
+  candidates.clear();
   for (const sim::InstanceObservation& inst : snapshot.instances) {
     // Revoking instances are excluded from `m`, so releasing one would
     // double-count the capacity loss; the provider reclaims it anyway.
@@ -170,17 +143,21 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
     if (cost > config.restart_cost_fraction * config.charging_unit_seconds) {
       continue;
     }
-    candidates.push_back(Candidate{inst.id, cost});
+    candidates.push_back(VictimCandidate{inst.id, cost});
   }
+  // The comparator is a total order (instance ids are unique), so the victim
+  // sequence is deterministic regardless of the standard library's sort
+  // internals — a bare key comparison would leave equal-cost ties in an
+  // implementation-defined order and silently break byte-identical replay.
   std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
+            [](const VictimCandidate& a, const VictimCandidate& b) {
               if (a.restart_cost != b.restart_cost) {
                 return a.restart_cost < b.restart_cost;
               }
               return a.id < b.id;
             });
   std::uint32_t remaining = m;
-  for (const Candidate& c : candidates) {
+  for (const VictimCandidate& c : candidates) {
     if (remaining == p) break;
     cmd.releases.push_back(sim::Release{c.id, /*at_charge_boundary=*/true});
     --remaining;

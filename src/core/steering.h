@@ -9,15 +9,89 @@
 // configurable threshold (0.2u by default).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "core/lookahead.h"
+#include "core/plan_scratch.h"
 #include "sim/config.h"
 #include "sim/monitor.h"
 #include "sim/scaling_policy.h"
 
 namespace wire::core {
+
+/// The one implementation of Algorithm 3's greedy packer, consumed one
+/// occupancy at a time. `resize_pool` drives it over a whole vector; the
+/// lookahead skeleton drives the identical object online — both for the
+/// adaptive horizon cap's stopping rule and to stamp the projected wavefront
+/// with a steering-ready planned pool size during Q_task emission. One
+/// implementation is what makes the stamped and from-scratch plan paths
+/// bit-equal by construction: the packing arithmetic cannot drift between
+/// two hand-synchronized copies.
+class Alg3Packer {
+ public:
+  Alg3Packer(double charging_unit, std::uint32_t slots_per_instance,
+             double leftover_fraction = 0.2)
+      : charging_unit_(charging_unit),
+        slots_(slots_per_instance),
+        leftover_fraction_(leftover_fraction) {
+    slot_used_.reserve(slots_);
+  }
+
+  /// Main-loop instance count after the occupancies consumed so far. A lower
+  /// bound on the final count (the packer is online: its state after i
+  /// entries is independent of later ones, and the leftover rule only ever
+  /// adds one) — the adaptive horizon cap's stopping rule.
+  std::uint32_t count() const { return p_; }
+
+  void add(double occupancy) {
+    slot_used_.push_back(occupancy);
+    while (slot_used_.size() == slots_) {
+      const double t_min =
+          *std::min_element(slot_used_.begin(), slot_used_.end());
+      t_used_ += t_min;
+      if (t_used_ >= charging_unit_) {
+        ++p_;
+        t_used_ = 0.0;
+        slot_used_.clear();
+      } else {
+        // Retire the slots that finish at t_min; advance the others in
+        // place (stable compaction — same values, same order, no per-step
+        // allocation).
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < slot_used_.size(); ++r) {
+          if (slot_used_[r] != t_min) slot_used_[w++] = slot_used_[r] - t_min;
+        }
+        slot_used_.resize(w);
+      }
+    }
+  }
+
+  /// Algorithm 3's line-28 epilogue: an extra instance for a residual load
+  /// exceeding `leftover_fraction` of the charging unit (or when none was
+  /// planned at all). Returns the final planned pool size; the packer state
+  /// is not consumed (finish() is pure).
+  std::uint32_t finish() const {
+    const double leftover_max =
+        slot_used_.empty()
+            ? 0.0
+            : *std::max_element(slot_used_.begin(), slot_used_.end());
+    std::uint32_t p = p_;
+    if (p == 0 || leftover_max > leftover_fraction_ * charging_unit_) {
+      ++p;
+    }
+    return p;
+  }
+
+ private:
+  double charging_unit_;
+  std::size_t slots_;
+  double leftover_fraction_;
+  std::vector<double> slot_used_;
+  double t_used_ = 0.0;
+  std::uint32_t p_ = 0;
+};
 
 /// Algorithm 3: resizing the worker pool. `upcoming` is Q_task's predicted
 /// minimum remaining occupancy times in poll order; `charging_unit` is u;
@@ -39,10 +113,25 @@ std::uint32_t resize_pool(const std::vector<double>& upcoming,
 /// c_j <= leftover_fraction * u; victims are taken in ascending restart-cost
 /// order ("selects the instances to terminate to minimize task restart
 /// costs") and drained at their charge boundary.
+///
+/// Plan-phase incrementality: when `lookahead.plan_valid` is set (the
+/// incremental lookahead stamped the wavefront on a quiet tick), the
+/// Algorithm-3 size is consumed directly from `lookahead.planned_pool` —
+/// packed inline during Q_task emission by the same Alg3Packer — instead of
+/// rebuilding the clamped occupancy vector and re-packing it here. Unstamped
+/// results (the from-scratch reference, every fallback classification,
+/// hand-built fixtures) take the full rebuild path. Both paths are
+/// bit-identical by construction; the differential chaos suite asserts it
+/// at every control tick.
+///
+/// `scratch`, when non-null, lends reusable buffers for the occupancy
+/// rebuild and the victim-candidate list (persistent controllers); null
+/// keeps self-contained local buffers (tests, one-shot callers).
 sim::PoolCommand steer(const LookaheadResult& lookahead,
                        const sim::MonitorSnapshot& snapshot,
                        const sim::CloudConfig& config,
                        std::uint32_t* planned_size = nullptr,
-                       bool reclaim_draining = false);
+                       bool reclaim_draining = false,
+                       PlanScratch* scratch = nullptr);
 
 }  // namespace wire::core

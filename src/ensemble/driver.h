@@ -19,6 +19,16 @@
 // blocked), no longer conflated with the unlimited sentinel; arbiters floor
 // a tenant's share at its live instance count, so 0 can only reach a tenant
 // that currently holds no instances.
+//
+// Serialization guarantee the Plan scratch sharing relies on: run() pops ONE
+// site event at a time and advances ONE tenant engine (or admits/retires one
+// job) before touching the next — tenant policies never plan concurrently.
+// exp::policy_factory exploits this by minting every WIRE controller of an
+// ensemble with one shared core::PlanScratch arena (the projection's
+// transient buffers), so per-tenant lookahead cost stops scaling with
+// allocation churn. Any custom PolicyFactory that shares state across the
+// policies it mints inherits the same contract: safe under this driver,
+// not safe under a hypothetical concurrent stepper.
 #pragma once
 
 #include <cstdint>

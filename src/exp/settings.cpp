@@ -56,6 +56,18 @@ std::unique_ptr<sim::ScalingPolicy> make_policy(
 
 std::function<std::unique_ptr<sim::ScalingPolicy>()> policy_factory(
     PolicyKind kind, const core::WireOptions& wire_options) {
+  if (kind == PolicyKind::Wire) {
+    // All WIRE controllers minted by this factory share ONE Plan scratch
+    // arena: the ensemble driver steps its tenants strictly sequentially
+    // (one site event at a time), so the arena is free whenever the next
+    // tenant plans, and N tenants stop paying N sets of projection-buffer
+    // allocation churn. A caller-supplied arena is respected as-is.
+    core::WireOptions shared = wire_options;
+    if (!shared.plan_scratch) {
+      shared.plan_scratch = std::make_shared<core::PlanScratch>();
+    }
+    return [kind, shared]() { return make_policy(kind, shared); };
+  }
   return [kind, wire_options]() { return make_policy(kind, wire_options); };
 }
 

@@ -39,7 +39,10 @@ std::unique_ptr<sim::ScalingPolicy> make_policy(
 
 /// A reusable factory for `kind`: each call yields a fresh policy instance.
 /// This is the shape the multi-tenant ensemble driver consumes (one
-/// controller per concurrent job).
+/// controller per concurrent job). For PolicyKind::Wire, every controller
+/// from one factory shares a single Plan scratch arena (safe because the
+/// ensemble driver serializes tenant stepping; see core/plan_scratch.h) —
+/// pass WireOptions::plan_scratch to override.
 std::function<std::unique_ptr<sim::ScalingPolicy>()> policy_factory(
     PolicyKind kind, const core::WireOptions& wire_options = {});
 

@@ -183,9 +183,79 @@ void expect_lookahead_invariants(const MonitorSnapshot& snap,
   }
 }
 
+void expect_pool_command_eq(const sim::PoolCommand& got,
+                            const sim::PoolCommand& want) {
+  EXPECT_EQ(got.desired_pool, want.desired_pool);
+  EXPECT_EQ(got.grow, want.grow);
+  EXPECT_EQ(got.cancel_drains, want.cancel_drains);
+  ASSERT_EQ(got.releases.size(), want.releases.size());
+  for (std::size_t i = 0; i < got.releases.size(); ++i) {
+    EXPECT_EQ(got.releases[i].instance, want.releases[i].instance);
+    EXPECT_EQ(got.releases[i].at_charge_boundary,
+              want.releases[i].at_charge_boundary);
+  }
+}
+
+/// Plan-stamp consistency: a stamped result must be self-describing — the
+/// stamps alone reproduce the clamped Algorithm-3 inputs, the packed pool
+/// size, and the restart-cost map, all bitwise.
+void expect_plan_stamps_consistent(const MonitorSnapshot& snap,
+                                   const LookaheadResult& result,
+                                   const CloudConfig& config) {
+  ASSERT_EQ(result.stamps.size(), result.upcoming.size());
+  const double horizon = snap.now + config.lag_seconds;
+  std::vector<double> packed;
+  packed.reserve(result.stamps.size());
+  std::map<sim::InstanceId, double> rebuilt_cost;
+  for (std::size_t i = 0; i < result.stamps.size(); ++i) {
+    SCOPED_TRACE("stamp " + std::to_string(i));
+    const UpcomingTask& u = result.upcoming[i];
+    const WavefrontStamp& s = result.stamps[i];
+    // The stamp carries the steering clamp already applied (bitwise).
+    const double want_packed =
+        u.on_slot
+            ? std::max(u.remaining_occupancy, config.charging_unit_seconds)
+            : u.remaining_occupancy;
+    EXPECT_EQ(s.packed_occupancy, want_packed);
+    packed.push_back(s.packed_occupancy);
+    if (!u.on_slot) {
+      EXPECT_EQ(s.instance, sim::kInvalidInstance);
+      EXPECT_EQ(s.deadline, -1.0);
+      EXPECT_EQ(s.start, -1.0);
+      continue;
+    }
+    EXPECT_NE(s.instance, sim::kInvalidInstance);
+    if (s.deadline > horizon) {
+      // Still busy at the interval start: charged restart cost from its
+      // attempt start.
+      auto [it, inserted] = rebuilt_cost.emplace(s.instance, 0.0);
+      it->second = std::max(it->second, horizon - s.start);
+    } else {
+      // Speculative completion: projected to finish inside the interval,
+      // pinned at zero remaining occupancy, never restart-charged.
+      EXPECT_EQ(u.remaining_occupancy, 0.0);
+    }
+  }
+  // The stamped pool size is exactly what Algorithm 3 computes from the
+  // stamped occupancies.
+  EXPECT_EQ(resize_pool(packed, config.charging_unit_seconds,
+                        config.slots_per_instance,
+                        config.restart_cost_fraction),
+            result.planned_pool);
+  // The restart-cost map is exactly reconstructible from the stamps.
+  ASSERT_EQ(rebuilt_cost.size(), result.restart_cost.size());
+  for (const auto& [inst, cost] : rebuilt_cost) {
+    const auto it = result.restart_cost.find(inst);
+    ASSERT_NE(it, result.restart_cost.end()) << "missing instance " << inst;
+    EXPECT_EQ(it->second, cost);
+  }
+}
+
 /// The WIRE MAPE loop with both Analyze paths run side by side: at every
 /// control tick the incremental cache's result is compared (bitwise) against
-/// the from-scratch reference, the output invariants are checked, and —
+/// the from-scratch reference, the output invariants are checked, the
+/// steering command computed from the (possibly Plan-stamped) cache result
+/// is compared against the command from the unstamped reference, and —
 /// optionally — a second cache with the adaptive horizon cap verifies that
 /// truncation never changes the steering command.
 class DifferentialWirePolicy final : public sim::ScalingPolicy {
@@ -242,6 +312,28 @@ class DifferentialWirePolicy final : public sim::ScalingPolicy {
     sim::PoolCommand cmd =
         steer(incremental, snapshot, config_, &planned, false);
 
+    // Plan differential: the command steered from the cache's result (which
+    // carries an inline Plan stamp on quiet ticks) must equal the command
+    // rebuilt from scratch off the unstamped reference — bitwise, at every
+    // tick, under chaos.
+    {
+      SCOPED_TRACE("plan differential at t=" + std::to_string(snapshot.now) +
+                   (incremental.plan_valid ? " (stamped)" : " (unstamped)"));
+      EXPECT_FALSE(reference.plan_valid)
+          << "simulate_interval must never stamp";
+      std::uint32_t ref_planned = 0;
+      const sim::PoolCommand ref_cmd =
+          steer(reference, snapshot, config_, &ref_planned, false);
+      EXPECT_EQ(planned, ref_planned);
+      expect_pool_command_eq(cmd, ref_cmd);
+      if (incremental.plan_valid) {
+        ++stamped_ticks_;
+        expect_plan_stamps_consistent(snapshot, incremental, config_);
+      } else {
+        EXPECT_TRUE(incremental.stamps.empty());
+      }
+    }
+
     if (check_adaptive_) {
       const LookaheadResult& capped = capped_cache_.tick(
           *workflow_, snapshot, *estimator_, online_, config_, &run_state_);
@@ -271,6 +363,7 @@ class DifferentialWirePolicy final : public sim::ScalingPolicy {
   const LookaheadCacheStats& capped_stats() const {
     return capped_cache_.stats();
   }
+  std::uint64_t stamped_ticks() const { return stamped_ticks_; }
 
  private:
   bool use_oracle_;
@@ -283,6 +376,7 @@ class DifferentialWirePolicy final : public sim::ScalingPolicy {
   RunState run_state_;
   IncrementalLookahead cache_;
   IncrementalLookahead capped_cache_;
+  std::uint64_t stamped_ticks_ = 0;
 };
 
 /// The chaos suite's fault scenarios (mirrors test_sim_faults.cpp).
@@ -419,6 +513,12 @@ TEST(LookaheadDifferential, SteadyStateExercisesTheIncrementalPath) {
       << "steady-state run never hit the incremental path";
   EXPECT_GT(stats.memo_hits, 0u);
   EXPECT_GT(stats.matched_completions, 0u);
+  // The Plan stamp rides every incremental tick — the stamped-steering
+  // assertions above would be vacuous if no tick ever stamped.
+  EXPECT_EQ(stats.stamped_plan_ticks,
+            stats.by_path[static_cast<std::size_t>(AnalyzePath::kIncremental)]);
+  EXPECT_GT(policy.stamped_ticks(), 0u)
+      << "steady-state run never exercised stamped steering";
 }
 
 TEST(LookaheadDifferential, EnvironmentSeedRuns) {

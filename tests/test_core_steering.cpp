@@ -183,6 +183,70 @@ TEST(Steer, VictimsOrderedByRestartCost) {
   EXPECT_EQ(cmd.releases[1].instance, 2u);
 }
 
+TEST(Steer, EqualRestartCostsBreakTiesByInstanceIdDeterministically) {
+  // Two victims with bit-identical restart costs: the ordering must not
+  // depend on the standard library's sort internals (introsort is not
+  // stable), or byte-identical replay breaks on a toolchain change. The
+  // comparator's explicit id tie-break pins ascending-id order — under both
+  // snapshot orderings.
+  for (bool reversed : {false, true}) {
+    SCOPED_TRACE(reversed ? "snapshot lists 2 before 1"
+                          : "snapshot lists 1 before 2");
+    LookaheadResult lookahead;
+    lookahead.restart_cost[1] = 30.0;
+    lookahead.restart_cost[2] = 30.0;  // identical victim key
+    lookahead.upcoming.push_back(UpcomingTask{10.0, 0});  // p = 1
+    sim::MonitorSnapshot snap;
+    snap.incomplete_tasks = 3;
+    snap.instances.push_back(instance(0, 800.0));  // not expiring: survivor
+    if (reversed) {
+      snap.instances.push_back(instance(2, 50.0));
+      snap.instances.push_back(instance(1, 50.0));
+    } else {
+      snap.instances.push_back(instance(1, 50.0));
+      snap.instances.push_back(instance(2, 50.0));
+    }
+    const sim::PoolCommand cmd = steer(lookahead, snap, test_config());
+    ASSERT_EQ(cmd.releases.size(), 2u);
+    EXPECT_EQ(cmd.releases[0].instance, 1u);
+    EXPECT_EQ(cmd.releases[1].instance, 2u);
+  }
+}
+
+TEST(Steer, StampedPlanIsConsumedDirectly) {
+  // A plan-stamped lookahead must steer from planned_pool without rebuilding
+  // Q_task — and give the same command the from-scratch path computes from
+  // the identical upcoming load.
+  LookaheadResult from_scratch;
+  for (int i = 0; i < 8; ++i) {
+    from_scratch.upcoming.push_back(
+        UpcomingTask{1800.0, static_cast<dag::TaskId>(i), /*on_slot=*/false});
+  }
+  sim::MonitorSnapshot snap;
+  snap.incomplete_tasks = 8;
+  snap.instances.push_back(instance(0, 500.0));
+  std::uint32_t planned_scratch = 0;
+  const sim::PoolCommand ref =
+      steer(from_scratch, snap, test_config(), &planned_scratch);
+
+  LookaheadResult stamped = from_scratch;
+  stamped.plan_valid = true;
+  stamped.planned_pool = planned_scratch;
+  std::uint32_t planned_stamped = 0;
+  const sim::PoolCommand got =
+      steer(stamped, snap, test_config(), &planned_stamped);
+  EXPECT_EQ(planned_stamped, planned_scratch);
+  EXPECT_EQ(got.desired_pool, ref.desired_pool);
+  EXPECT_EQ(got.grow, ref.grow);
+  ASSERT_EQ(got.releases.size(), ref.releases.size());
+
+  // A deliberately wrong stamp is consumed verbatim — proof steering did not
+  // silently fall back to the rebuild path.
+  stamped.planned_pool = planned_scratch + 3;
+  const sim::PoolCommand inflated = steer(stamped, snap, test_config());
+  EXPECT_EQ(inflated.desired_pool, planned_scratch + 3);
+}
+
 TEST(Steer, DrainingAndProvisioningAreNotVictims) {
   LookaheadResult lookahead;
   lookahead.upcoming.push_back(UpcomingTask{10.0, 0});  // p = 1
