@@ -33,6 +33,13 @@ void WireController::on_run_start(const dag::Workflow& workflow,
     online_ = online.get();
     estimator_ = std::move(online);
   }
+  // The memory predictor exists only when the run models memory at all; a
+  // memory-off run keeps the pointer null so plan() pays nothing for the
+  // second resource dimension (and stays byte-identical to pre-memory).
+  memory_ = config.memory.enabled()
+                ? std::make_unique<predict::MemoryPredictor>(
+                      workflow, config.memory, config.slots_per_instance)
+                : nullptr;
   run_state_.reset();
   lookahead_.reset(workflow);
 }
@@ -53,18 +60,23 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
 
   // Monitor + Analyze: harvest the interval's data, refresh the models.
   estimator_->observe(snapshot);
+  if (memory_) memory_->observe(snapshot);
 
   // Plan: project the upcoming load.
   LookaheadResult ablation_scratch;
   const LookaheadResult* lookahead = &ablation_scratch;
   AnalyzePath analyze_path = AnalyzePath::kFirstTick;
   if (options_.disable_lookahead) {
-    // Ablation: no DAG projection — only the tasks active right now.
+    // Ablation: no DAG projection — only the tasks active right now. With
+    // the memory dimension on, entries still carry their reservations so
+    // the memory-aware Algorithm 3 packs the same constraint the
+    // dispatcher enforces.
     for (const sim::InstanceObservation& inst : snapshot.instances) {
       for (dag::TaskId task : inst.running_tasks) {
         ablation_scratch.upcoming.push_back(UpcomingTask{
             estimator_->predict_remaining_occupancy(task, snapshot), task,
-            /*on_slot=*/true});
+            /*on_slot=*/true,
+            memory_ ? memory_->predict_reservation(task, snapshot) : 0.0});
         auto [it, inserted] =
             ablation_scratch.restart_cost.try_emplace(inst.id, 0.0);
         it->second = std::max(it->second, snapshot.tasks[task].elapsed);
@@ -73,12 +85,13 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
     for (dag::TaskId task : snapshot.ready_queue) {
       ablation_scratch.upcoming.push_back(UpcomingTask{
           estimator_->predict_remaining_occupancy(task, snapshot), task,
-          /*on_slot=*/false});
+          /*on_slot=*/false,
+          memory_ ? memory_->predict_reservation(task, snapshot) : 0.0});
     }
   } else {
     run_state_.update(*workflow_, snapshot);
     lookahead = &lookahead_.tick(*workflow_, snapshot, *estimator_, online_,
-                                 config_, &run_state_);
+                                 config_, &run_state_, memory_.get());
     analyze_path = lookahead_.last_path();
   }
 
@@ -109,6 +122,7 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
 std::size_t WireController::state_bytes() const {
   std::size_t bytes = sizeof(*this);
   if (estimator_) bytes += estimator_->state_bytes();
+  if (memory_) bytes += memory_->state_bytes();
   // RunState: one counter plus one completion flag per task.
   bytes += run_state_.remaining_preds().capacity() *
            (sizeof(std::uint32_t) + sizeof(char));

@@ -17,6 +17,7 @@
 #include "core/run_state.h"
 #include "predict/estimator.h"
 #include "predict/history.h"
+#include "predict/memory_predictor.h"
 #include "predict/task_predictor.h"
 #include "sim/scaling_policy.h"
 
@@ -104,6 +105,12 @@ class WireController final : public sim::ScalingPolicy {
     return lookahead_.stats();
   }
 
+  /// The live memory predictor, or null when the run's memory dimension is
+  /// off (valid between on_run_start and run end).
+  const predict::MemoryPredictor* memory_predictor() const {
+    return memory_.get();
+  }
+
   /// Controller state footprint in bytes (§IV-F overhead accounting).
   std::size_t state_bytes() const;
 
@@ -114,6 +121,10 @@ class WireController final : public sim::ScalingPolicy {
   std::unique_ptr<predict::Estimator> estimator_;
   /// Non-null iff the estimator is the online TaskPredictor.
   predict::TaskPredictor* online_ = nullptr;
+  /// Online memory-reservation predictor; constructed iff the run's
+  /// MemoryConfig is enabled (null otherwise — the memory dimension then
+  /// costs the controller nothing, not even a branch per task).
+  std::unique_ptr<predict::MemoryPredictor> memory_;
   /// Incomplete-predecessor counts for the lookahead, kept current in
   /// O(changes) per tick from the snapshot's delta journal.
   RunState run_state_;

@@ -1,6 +1,7 @@
 #include "core/lookahead.h"
 
 #include "core/lookahead_impl.h"
+#include "predict/memory_predictor.h"
 
 namespace wire::core {
 
@@ -9,7 +10,8 @@ LookaheadResult simulate_interval(const dag::Workflow& workflow,
                                   const predict::Estimator& predictor,
                                   const sim::CloudConfig& config,
                                   const RunState* state,
-                                  PlanScratch* scratch) {
+                                  PlanScratch* scratch,
+                                  const predict::MemoryPredictor* memory) {
   using dag::TaskId;
   using sim::TaskPhase;
 
@@ -40,6 +42,14 @@ LookaheadResult simulate_interval(const dag::Workflow& workflow,
       [&](TaskId task) {
         return predictor.transfer_estimate() +
                predictor.estimate_exec(task, snapshot);
+      },
+      // Memory reservations are predicted live (never memoized) so the
+      // incremental lookahead's memo contract is untouched by the memory
+      // dimension; with no predictor the lambda is dead code (the impl only
+      // calls it when config.memory is on).
+      [&](TaskId task) {
+        return memory != nullptr ? memory->predict_reservation(task, snapshot)
+                                 : 0.0;
       },
       detail::EmissionCap{}, detail::WavefrontCapture{}, s,
       /*plan_capture=*/false, result);

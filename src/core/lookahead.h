@@ -19,11 +19,16 @@
 #include "sim/config.h"
 #include "sim/monitor.h"
 
+namespace wire::predict {
+class MemoryPredictor;
+}
+
 namespace wire::core {
 
 /// One entry of the upcoming load Q_task. Field order packs the struct into
-/// 16 bytes; Q_task runs to thousands of entries per control tick and the
-/// emission loop is store-bandwidth-bound, so the layout is measurable.
+/// 24 bytes (16 before the memory dimension); Q_task runs to thousands of
+/// entries per control tick and the emission loop is store-bandwidth-bound,
+/// so the layout is measurable.
 struct UpcomingTask {
   /// Predicted minimum remaining slot occupancy at the start of the next
   /// interval (seconds).
@@ -34,6 +39,12 @@ struct UpcomingTask {
   /// tasks cannot be time-multiplexed by the pool-sizing bin-packer: their
   /// instance is pinned for at least the next charging unit.
   bool on_slot = false;
+  /// Projected memory reservation (MB) the entry will hold; 0 in memory-off
+  /// runs. On-slot entries carry the booked reservation the projection saw,
+  /// queued entries the predictor's sizing — the SAME stored value both the
+  /// inline Plan-stamp packer and steer()'s from-scratch rebuild consume, so
+  /// the two paths cannot drift on memory grounds.
+  double mem_mb = 0.0;
 };
 
 /// Per-entry Plan stamp for one Q_task entry, parallel to
@@ -105,11 +116,21 @@ struct LookaheadResult {
 /// heap, free-slot heap, ready queue, emission buffers) from a reusable
 /// arena instead of allocating them per call; null keeps self-contained
 /// local buffers. The result is bit-identical either way.
+///
+/// `memory`, when non-null (and config.memory.enabled()), makes the
+/// projection memory-aware: dispatch admits a task only onto an instance
+/// with enough projected free memory for its predicted reservation,
+/// mirroring the engine's head-of-line admission, and Q_task entries carry
+/// that reservation for the memory-aware Algorithm 3. Null (or memory off)
+/// keeps the memory-unaware projection byte-identical to the pre-memory
+/// code path.
 LookaheadResult simulate_interval(const dag::Workflow& workflow,
                                   const sim::MonitorSnapshot& snapshot,
                                   const predict::Estimator& predictor,
                                   const sim::CloudConfig& config,
                                   const RunState* state = nullptr,
-                                  PlanScratch* scratch = nullptr);
+                                  PlanScratch* scratch = nullptr,
+                                  const predict::MemoryPredictor* memory =
+                                      nullptr);
 
 }  // namespace wire::core

@@ -1,6 +1,7 @@
 #include "core/lookahead_cache.h"
 
 #include "core/lookahead_impl.h"
+#include "predict/memory_predictor.h"
 #include "util/check.h"
 
 namespace wire::core {
@@ -142,14 +143,21 @@ double IncrementalLookahead::memo_occupancy(
 const LookaheadResult& IncrementalLookahead::tick(
     const dag::Workflow& workflow, const sim::MonitorSnapshot& snapshot,
     const predict::Estimator& estimator, const predict::TaskPredictor* online,
-    const sim::CloudConfig& config, RunState* state) {
+    const sim::CloudConfig& config, RunState* state,
+    const predict::MemoryPredictor* memory) {
   ++stats_.ticks;
   last_path_ = classify(snapshot, estimator, online);
   stats_.by_path[static_cast<std::size_t>(last_path_)] += 1;
 
+  // Wavefront stamps exist solely for the misprediction fallback and its
+  // accuracy stats; with that lever off, skip their whole lifecycle —
+  // capture push_backs inside the projection, the delta scans here, and the
+  // stamp writes below (see LookaheadCacheStats for the stats contract).
+  const bool track_wavefront = options_.fallback_on_misprediction;
+
   // Projection-accuracy accounting against the previous wavefront (stats
   // only; classification already ran).
-  if (primed_ && snapshot.delta.exact) {
+  if (track_wavefront && primed_ && snapshot.delta.exact) {
     for (TaskId t : snapshot.delta.completed) {
       if (projected_complete_stamp_[t] == epoch_) {
         ++stats_.matched_completions;
@@ -209,8 +217,11 @@ const LookaheadResult& IncrementalLookahead::tick(
 
   scratch.projected_complete.clear();
   scratch.projected_running.clear();
-  detail::WavefrontCapture capture{&scratch.projected_complete,
-                                   &scratch.projected_running};
+  detail::WavefrontCapture capture;
+  if (track_wavefront) {
+    capture.projected_complete = &scratch.projected_complete;
+    capture.projected_running = &scratch.projected_running;
+  }
 
   detail::EmissionCap cap;
   if (options_.adaptive_horizon &&
@@ -227,6 +238,15 @@ const LookaheadResult& IncrementalLookahead::tick(
                             last_path_ == AnalyzePath::kIncremental &&
                             online != nullptr;
 
+  // Memory reservations are predicted live on BOTH paths (never memoized):
+  // the sizing is O(1) per call, and sharing the one lambda is what makes
+  // the incremental projection trivially bit-equal to the memory-aware
+  // from-scratch reference on the memory axis.
+  const auto mem_of = [&](TaskId task) {
+    return memory != nullptr ? memory->predict_reservation(task, snapshot)
+                             : 0.0;
+  };
+
   if (last_path_ == AnalyzePath::kIncremental && online != nullptr) {
     detail::simulate_interval_impl(
         workflow, snapshot, config, *preds, undo_log,
@@ -237,7 +257,7 @@ const LookaheadResult& IncrementalLookahead::tick(
           return online->transfer_estimate() +
                  memo_exec(workflow, *online, task, snapshot);
         },
-        cap, capture, scratch, plan_capture, result_);
+        mem_of, cap, capture, scratch, plan_capture, result_);
   } else {
     // Fallback (and the no-online-predictor fast path): the exact occupancy
     // lambdas simulate_interval uses.
@@ -250,7 +270,7 @@ const LookaheadResult& IncrementalLookahead::tick(
           return estimator.transfer_estimate() +
                  estimator.estimate_exec(task, snapshot);
         },
-        cap, capture, scratch, /*plan_capture=*/false, result_);
+        mem_of, cap, capture, scratch, /*plan_capture=*/false, result_);
   }
 
   if (undo_log != nullptr) {
@@ -258,11 +278,13 @@ const LookaheadResult& IncrementalLookahead::tick(
   }
 
   ++epoch_;
-  for (TaskId t : scratch.projected_complete) {
-    projected_complete_stamp_[t] = epoch_;
-  }
-  for (TaskId t : scratch.projected_running) {
-    projected_running_stamp_[t] = epoch_;
+  if (track_wavefront) {
+    for (TaskId t : scratch.projected_complete) {
+      projected_complete_stamp_[t] = epoch_;
+    }
+    for (TaskId t : scratch.projected_running) {
+      projected_running_stamp_[t] = epoch_;
+    }
   }
   primed_ = true;
   last_revision_ = estimator.revision();

@@ -53,6 +53,10 @@
 #include "sim/config.h"
 #include "sim/monitor.h"
 
+namespace wire::predict {
+class MemoryPredictor;
+}
+
 namespace wire::core {
 
 /// Which path produced this tick's lookahead (see taxonomy above).
@@ -80,7 +84,10 @@ struct LookaheadCacheOptions {
   /// Fall back when a completion beat the previous projection (see
   /// kMisprediction). Conservative-minimum predictions make the projected
   /// completion set a superset of the actual one in the common case, so this
-  /// stays cheap to leave on.
+  /// stays cheap to leave on. Off also disables wavefront-stamp maintenance
+  /// entirely — capture, delta scans and stamp writes — since nothing reads
+  /// the stamps then; the projection-accuracy stats counters stay 0 (see
+  /// LookaheadCacheStats).
   bool fallback_on_misprediction = true;
   /// Second, independently ablatable lever: adaptive horizon capping. Stops
   /// emitting queue-tail entries once Algorithm 3's pool size provably
@@ -111,10 +118,15 @@ struct LookaheadCacheStats {
   /// Exec-estimate memo traffic on fast-path ticks.
   std::uint64_t memo_hits = 0;
   std::uint64_t memo_misses = 0;
-  /// Delta completions that matched / beat the previous projection.
+  /// Delta completions that matched / beat the previous projection, and
+  /// newly Running tasks the previous projection never put on a slot.
+  /// Maintained only while `fallback_on_misprediction` is on: with it off
+  /// the wavefront stamps these compare against are not captured at all
+  /// (the per-tick capture push_backs, the delta scans and the stamp writes
+  /// are skipped wholesale — the classification never reads them), so all
+  /// three counters stay 0.
   std::uint64_t matched_completions = 0;
   std::uint64_t mispredicted_completions = 0;
-  /// Newly Running tasks the previous projection never put on a slot.
   std::uint64_t drifted_dispatches = 0;
   /// Adaptive-horizon activity.
   std::uint64_t truncated_tasks = 0;
@@ -138,13 +150,20 @@ class IncrementalLookahead {
   /// null otherwise (oracle/history: direct calls either way — their
   /// estimates are already O(1)). `state`, when ready, lends its
   /// incomplete-predecessor counters for the projection (undo-logged, never
-  /// left modified). The returned reference is valid until the next tick().
+  /// left modified). `memory`, when non-null with config.memory enabled,
+  /// makes the projection memory-aware; its reservations are predicted LIVE
+  /// on both the incremental and the fallback path (never memoized — O(1)
+  /// per call), so the memo/classification contract is untouched and the
+  /// incremental result stays bit-equal to the memory-aware from-scratch
+  /// reference. The returned reference is valid until the next tick().
   const LookaheadResult& tick(const dag::Workflow& workflow,
                               const sim::MonitorSnapshot& snapshot,
                               const predict::Estimator& estimator,
                               const predict::TaskPredictor* online,
                               const sim::CloudConfig& config,
-                              RunState* state);
+                              RunState* state,
+                              const predict::MemoryPredictor* memory =
+                                  nullptr);
 
   AnalyzePath last_path() const { return last_path_; }
   const LookaheadCacheStats& stats() const { return stats_; }

@@ -90,14 +90,19 @@ struct EmissionCap {
 /// packer class fed the same doubles in the same order. The incremental
 /// lookahead enables it only on quiet (kIncremental) ticks; steer() then
 /// consumes the stamp instead of rebuilding Q_task's occupancy vector.
-template <typename RemainingOcc, typename FreshOcc>
+/// `mem_of(task)` predicts the memory reservation (MB) a projected dispatch
+/// of `task` would book — consulted only when config.memory is enabled, and
+/// always live (never memoized): the memory predictor's percentile sizing is
+/// O(1) per call, so memoizing it would buy nothing and would entangle the
+/// memory dimension with the occupancy memo's revision contract.
+template <typename RemainingOcc, typename FreshOcc, typename MemOf>
 void simulate_interval_impl(const dag::Workflow& workflow,
                             const sim::MonitorSnapshot& snapshot,
                             const sim::CloudConfig& config,
                             std::vector<std::uint32_t>& remaining_preds,
                             std::vector<dag::TaskId>* undo_log,
                             RemainingOcc&& remaining_occ, FreshOcc&& fresh_occ,
-                            const EmissionCap& cap,
+                            MemOf&& mem_of, const EmissionCap& cap,
                             const WavefrontCapture& capture,
                             PlanScratch& scratch, bool plan_capture,
                             LookaheadResult& result) {
@@ -117,6 +122,21 @@ void simulate_interval_impl(const dag::Workflow& workflow,
                "snapshot does not match the workflow");
   const SimTime now = snapshot.now;
   const SimTime horizon = now + config.lag_seconds;
+  // Memory-on projections replace the free-slot heap with a per-instance
+  // (slots, free memory) table mirroring the engine's ascending-id
+  // first-fit admission scan; memory-off keeps the heap path untouched
+  // (byte-identical to the pre-memory projection).
+  const bool mem_on = config.memory.enabled();
+  std::vector<ProjInstance>& mem_instances = scratch.mem_instances;
+  mem_instances.clear();
+  const auto mem_inst_of = [&](InstanceId id) -> ProjInstance& {
+    const auto it = std::lower_bound(
+        mem_instances.begin(), mem_instances.end(), id,
+        [](const ProjInstance& p, InstanceId v) { return p.id < v; });
+    WIRE_CHECK(it != mem_instances.end() && it->id == id,
+               "projected instance vanished");
+    return *it;
+  };
 
   // Busy slots as a max-age heap ordered by LaterFinish (top = front,
   // earliest projected finish first).
@@ -183,6 +203,7 @@ void simulate_interval_impl(const dag::Workflow& workflow,
       if (inst.ready_at <= horizon) boots.emplace_back(inst.ready_at, inst.id);
       continue;
     }
+    double booked_mem = 0.0;
     for (TaskId task : inst.running_tasks) {
       BusySlot slot;
       slot.task = task;
@@ -190,16 +211,34 @@ void simulate_interval_impl(const dag::Workflow& workflow,
       slot.attempt_start = snapshot.tasks[task].occupancy_start;
       slot.finish = now + remaining_occ(task);
       slot.real = true;
+      if (mem_on) {
+        // An in-flight attempt's reservation is observable, not a
+        // projection: the monitor reports what the dispatcher booked.
+        slot.mem_mb = std::max(0.0, snapshot.tasks[task].mem_reservation_mb);
+        booked_mem += slot.mem_mb;
+      }
       busy_push(slot);
       if (capture.projected_running != nullptr) {
         capture.projected_running->push_back(task);
       }
     }
-    for (std::uint32_t s = 0; s < inst.free_slots; ++s) {
-      free_push(inst.id);
+    if (mem_on) {
+      mem_instances.push_back(
+          ProjInstance{inst.id, inst.free_slots,
+                       config.memory.instance_mem_mb - booked_mem});
+    } else {
+      for (std::uint32_t s = 0; s < inst.free_slots; ++s) {
+        free_push(inst.id);
+      }
     }
   }
   std::sort(boots.begin(), boots.end());
+  if (mem_on) {
+    std::sort(mem_instances.begin(), mem_instances.end(),
+              [](const ProjInstance& a, const ProjInstance& b) {
+                return a.id < b.id;
+              });
+  }
 
   const auto occupancy_of = [&](TaskId task) {
     if (!occupancy_override.empty()) {
@@ -210,6 +249,39 @@ void simulate_interval_impl(const dag::Workflow& workflow,
   };
 
   const auto dispatch_at = [&](SimTime t) {
+    if (mem_on) {
+      // Mirror of JobEngine's memory-aware admission: head-of-line FIFO —
+      // the ascending-id scan takes the first instance with both a free
+      // slot and enough free memory for the head task's reservation, and a
+      // head that fits nowhere blocks the whole queue (no backfilling, in
+      // the engine and here alike).
+      while (ready_head < ready.size()) {
+        const TaskId task = ready[ready_head];
+        const double mem = mem_of(task);
+        ProjInstance* target = nullptr;
+        for (ProjInstance& pi : mem_instances) {
+          if (pi.free_slots > 0 && pi.free_mem + 1e-9 >= mem) {
+            target = &pi;
+            break;
+          }
+        }
+        if (target == nullptr) return;
+        ++ready_head;
+        --target->free_slots;
+        target->free_mem -= mem;
+        BusySlot slot;
+        slot.task = task;
+        slot.instance = target->id;
+        slot.attempt_start = t;
+        slot.finish = t + occupancy_of(task);
+        slot.mem_mb = mem;
+        busy_push(slot);
+        if (capture.projected_running != nullptr) {
+          capture.projected_running->push_back(task);
+        }
+      }
+      return;
+    }
     while (ready_head < ready.size() && !free_slots.empty()) {
       const TaskId task = ready[ready_head++];
       const InstanceId inst = free_slots.front();
@@ -251,8 +323,17 @@ void simulate_interval_impl(const dag::Workflow& workflow,
 
     if (next_boot <= next_finish) {
       const InstanceId inst = boots[boot_cursor++].second;
-      for (std::uint32_t s = 0; s < config.slots_per_instance; ++s) {
-        free_push(inst);
+      if (mem_on) {
+        mem_instances.insert(
+            std::lower_bound(
+                mem_instances.begin(), mem_instances.end(), inst,
+                [](const ProjInstance& p, InstanceId v) { return p.id < v; }),
+            ProjInstance{inst, config.slots_per_instance,
+                         config.memory.instance_mem_mb});
+      } else {
+        for (std::uint32_t s = 0; s < config.slots_per_instance; ++s) {
+          free_push(inst);
+        }
       }
       dispatch_at(next_boot);
       continue;
@@ -275,7 +356,13 @@ void simulate_interval_impl(const dag::Workflow& workflow,
       speculative.push_back(done);
       continue;
     }
-    free_push(done.instance);
+    if (mem_on) {
+      ProjInstance& pi = mem_inst_of(done.instance);
+      ++pi.free_slots;
+      pi.free_mem += done.mem_mb;
+    } else {
+      free_push(done.instance);
+    }
     dispatch_at(done.finish);
   }
 
@@ -285,7 +372,8 @@ void simulate_interval_impl(const dag::Workflow& workflow,
   // steering-clamped occupancies resize_pool would see.
   const bool pack = cap.enabled || plan_capture;
   Alg3Packer packer(config.charging_unit_seconds, config.slots_per_instance,
-                    config.restart_cost_fraction);
+                    config.restart_cost_fraction,
+                    mem_on ? config.memory.instance_mem_mb : 0.0);
   result.upcoming.reserve(busy.size() + speculative.size() +
                           (ready.size() - ready_head));
   if (plan_capture) result.stamps.reserve(result.upcoming.capacity());
@@ -297,9 +385,10 @@ void simulate_interval_impl(const dag::Workflow& workflow,
   }
   for (const BusySlot& slot : still_busy) {
     const double occ = std::max(0.0, slot.finish - horizon);
-    result.upcoming.push_back(UpcomingTask{occ, slot.task, /*on_slot=*/true});
+    result.upcoming.push_back(
+        UpcomingTask{occ, slot.task, /*on_slot=*/true, slot.mem_mb});
     if (pack) {
-      packer.add(std::max(occ, config.charging_unit_seconds));
+      packer.add(std::max(occ, config.charging_unit_seconds), slot.mem_mb);
     }
     if (plan_capture) {
       result.stamps.push_back(
@@ -311,8 +400,9 @@ void simulate_interval_impl(const dag::Workflow& workflow,
     it->second = std::max(it->second, horizon - slot.attempt_start);
   }
   for (const BusySlot& done : speculative) {
-    result.upcoming.push_back(UpcomingTask{0.0, done.task, /*on_slot=*/true});
-    if (pack) packer.add(config.charging_unit_seconds);
+    result.upcoming.push_back(
+        UpcomingTask{0.0, done.task, /*on_slot=*/true, done.mem_mb});
+    if (pack) packer.add(config.charging_unit_seconds, done.mem_mb);
     if (plan_capture) {
       // deadline <= horizon distinguishes a speculatively completed slot
       // from a still-busy one (whose finish is strictly past the horizon):
@@ -333,8 +423,9 @@ void simulate_interval_impl(const dag::Workflow& workflow,
     }
     const TaskId task = ready[q];
     const double occ = occupancy_of(task);
-    result.upcoming.push_back(UpcomingTask{occ, task, /*on_slot=*/false});
-    if (pack) packer.add(occ);
+    const double mem = mem_on ? mem_of(task) : 0.0;
+    result.upcoming.push_back(UpcomingTask{occ, task, /*on_slot=*/false, mem});
+    if (pack) packer.add(occ, mem);
     if (plan_capture) {
       result.stamps.push_back(
           WavefrontStamp{-1.0, -1.0, occ, sim::kInvalidInstance});

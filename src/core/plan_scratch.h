@@ -30,11 +30,25 @@ namespace wire::core {
 struct BusySlot {
   sim::SimTime finish = 0.0;
   sim::SimTime attempt_start = 0.0;
+  /// Memory reservation the slot's attempt holds (MB); 0 in memory-off
+  /// projections. Released back to the hosting instance when a speculative
+  /// (non-real) attempt completes.
+  double mem_mb = 0.0;
   dag::TaskId task = dag::kInvalidTask;
   sim::InstanceId instance = sim::kInvalidInstance;
   /// True if the task was observed Running in the snapshot (as opposed to
   /// dispatched speculatively inside this lookahead).
   bool real = false;
+};
+
+/// Per-instance projected capacity for the memory-aware dispatch scan
+/// (memory-on projections only). Kept sorted ascending by id: the engine's
+/// memory-aware dispatch scans dispatchable instances in ascending-id order
+/// for the first fit, and the projection mirrors that scan exactly.
+struct ProjInstance {
+  sim::InstanceId id = sim::kInvalidInstance;
+  std::uint32_t free_slots = 0;
+  double free_mem = 0.0;
 };
 
 /// Shrink-path victim candidate (Algorithm 2's release selection).
@@ -69,9 +83,16 @@ struct PlanScratch {
   /// Locally seeded predecessor counters when no RunState is available.
   std::vector<std::uint32_t> local_preds;
 
+  /// Memory-on projections: per-instance free slots + free memory, sorted
+  /// ascending by id (empty and untouched in memory-off projections, which
+  /// keep the cheaper free-slot heap).
+  std::vector<ProjInstance> mem_instances;
+
   // --- steering (Algorithm 3 + victim selection, steering.cpp) ---
   /// Clamped Q_task occupancies for the from-scratch resize_pool path.
   std::vector<double> occupancy;
+  /// Parallel projected reservations (memory-on steering only).
+  std::vector<double> occupancy_mem;
   std::vector<VictimCandidate> candidates;
 
   /// Resident footprint in bytes (§IV-F overhead accounting). When the arena
@@ -81,8 +102,9 @@ struct PlanScratch {
     const auto vec = [](const auto& v) { return v.capacity() * sizeof(v[0]); };
     return sizeof(*this) + vec(busy) + vec(free_slots) + vec(ready) +
            vec(boots) + vec(speculative) + vec(still_busy) +
-           vec(projected_complete) + vec(projected_running) + vec(undo) +
-           vec(local_preds) + vec(occupancy) + vec(candidates) +
+           vec(mem_instances) + vec(projected_complete) +
+           vec(projected_running) + vec(undo) + vec(local_preds) +
+           vec(occupancy) + vec(occupancy_mem) + vec(candidates) +
            occupancy_override.size() * (sizeof(dag::TaskId) + sizeof(double));
   }
 };

@@ -18,6 +18,24 @@ std::uint32_t resize_pool(const std::vector<double>& upcoming,
   return packer.finish();
 }
 
+std::uint32_t resize_pool(const std::vector<double>& upcoming,
+                          const std::vector<double>& mem_mb,
+                          double charging_unit,
+                          std::uint32_t slots_per_instance,
+                          double leftover_fraction, double instance_mem_mb) {
+  WIRE_REQUIRE(charging_unit > 0.0, "charging unit must be positive");
+  WIRE_REQUIRE(slots_per_instance > 0, "need at least one slot");
+  WIRE_REQUIRE(mem_mb.size() == upcoming.size(),
+               "reservation vector must parallel the occupancies");
+  if (upcoming.empty()) return 0;
+  Alg3Packer packer(charging_unit, slots_per_instance, leftover_fraction,
+                    instance_mem_mb);
+  for (std::size_t i = 0; i < upcoming.size(); ++i) {
+    packer.add(upcoming[i], mem_mb[i]);
+  }
+  return packer.finish();
+}
+
 sim::PoolCommand steer(const LookaheadResult& lookahead,
                        const sim::MonitorSnapshot& snapshot,
                        const sim::CloudConfig& config,
@@ -44,6 +62,10 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
     std::vector<double>& occupancy = s.occupancy;
     occupancy.clear();
     occupancy.reserve(lookahead.upcoming.size());
+    const bool mem_on = config.memory.enabled();
+    std::vector<double>& mem = s.occupancy_mem;
+    mem.clear();
+    if (mem_on) mem.reserve(lookahead.upcoming.size());
     for (const UpcomingTask& t : lookahead.upcoming) {
       // A task projected to be on a slot at the interval start physically
       // owns that slot: Algorithm 3's greedy packing must not time-multiplex
@@ -58,10 +80,16 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
                               ? std::max(t.remaining_occupancy,
                                          config.charging_unit_seconds)
                               : t.remaining_occupancy);
+      if (mem_on) mem.push_back(t.mem_mb);
     }
-    planned = resize_pool(occupancy, config.charging_unit_seconds,
-                          config.slots_per_instance,
-                          config.restart_cost_fraction);
+    planned = mem_on
+                  ? resize_pool(occupancy, mem, config.charging_unit_seconds,
+                                config.slots_per_instance,
+                                config.restart_cost_fraction,
+                                config.memory.instance_mem_mb)
+                  : resize_pool(occupancy, config.charging_unit_seconds,
+                                config.slots_per_instance,
+                                config.restart_cost_fraction);
   }
 
   if (planned_size != nullptr) *planned_size = planned;

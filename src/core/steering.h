@@ -31,12 +31,21 @@ namespace wire::core {
 /// two hand-synchronized copies.
 class Alg3Packer {
  public:
+  /// `instance_mem_mb` > 0 turns on memory-aware packing: the open virtual
+  /// instance additionally fills up when its booked reservations exceed the
+  /// capacity, forcing the same retire/advance step a full slot set does —
+  /// the packer waits for earlier occupancies to retire before the
+  /// over-capacity entry can co-reside, exactly as the dispatcher's
+  /// admission would. 0 (the default) is bit-identical to the pre-memory
+  /// packer for every add().
   Alg3Packer(double charging_unit, std::uint32_t slots_per_instance,
-             double leftover_fraction = 0.2)
+             double leftover_fraction = 0.2, double instance_mem_mb = 0.0)
       : charging_unit_(charging_unit),
         slots_(slots_per_instance),
-        leftover_fraction_(leftover_fraction) {
+        leftover_fraction_(leftover_fraction),
+        mem_cap_(instance_mem_mb) {
     slot_used_.reserve(slots_);
+    if (mem_cap_ > 0.0) slot_mem_.reserve(slots_);
   }
 
   /// Main-loop instance count after the occupancies consumed so far. A lower
@@ -45,9 +54,18 @@ class Alg3Packer {
   /// adds one) — the adaptive horizon cap's stopping rule.
   std::uint32_t count() const { return p_; }
 
-  void add(double occupancy) {
+  void add(double occupancy, double mem_mb = 0.0) {
     slot_used_.push_back(occupancy);
-    while (slot_used_.size() == slots_) {
+    if (mem_cap_ > 0.0) {
+      slot_mem_.push_back(mem_mb);
+      mem_used_ += mem_mb;
+    }
+    // The `> 1` guard keeps a single over-capacity entry (possible only if
+    // the caller's reservations are not capacity-clamped) from spinning the
+    // retire loop: alone on the instance is the best packing available.
+    while (slot_used_.size() == slots_ ||
+           (mem_cap_ > 0.0 && slot_used_.size() > 1 &&
+            mem_used_ > mem_cap_ + 1e-9)) {
       const double t_min =
           *std::min_element(slot_used_.begin(), slot_used_.end());
       t_used_ += t_min;
@@ -55,15 +73,26 @@ class Alg3Packer {
         ++p_;
         t_used_ = 0.0;
         slot_used_.clear();
+        if (mem_cap_ > 0.0) {
+          slot_mem_.clear();
+          mem_used_ = 0.0;
+        }
       } else {
         // Retire the slots that finish at t_min; advance the others in
         // place (stable compaction — same values, same order, no per-step
-        // allocation).
+        // allocation). Retired slots release their reservations.
         std::size_t w = 0;
         for (std::size_t r = 0; r < slot_used_.size(); ++r) {
-          if (slot_used_[r] != t_min) slot_used_[w++] = slot_used_[r] - t_min;
+          if (slot_used_[r] != t_min) {
+            slot_used_[w] = slot_used_[r] - t_min;
+            if (mem_cap_ > 0.0) slot_mem_[w] = slot_mem_[r];
+            ++w;
+          } else if (mem_cap_ > 0.0) {
+            mem_used_ -= slot_mem_[r];
+          }
         }
         slot_used_.resize(w);
+        if (mem_cap_ > 0.0) slot_mem_.resize(w);
       }
     }
   }
@@ -88,7 +117,12 @@ class Alg3Packer {
   double charging_unit_;
   std::size_t slots_;
   double leftover_fraction_;
+  /// Instance memory capacity, MB; 0 = memory-unaware packing.
+  double mem_cap_;
   std::vector<double> slot_used_;
+  /// Parallel reservations of the open slots (memory-aware only).
+  std::vector<double> slot_mem_;
+  double mem_used_ = 0.0;
   double t_used_ = 0.0;
   std::uint32_t p_ = 0;
 };
@@ -103,6 +137,15 @@ std::uint32_t resize_pool(const std::vector<double>& upcoming,
                           double charging_unit,
                           std::uint32_t slots_per_instance,
                           double leftover_fraction = 0.2);
+
+/// Memory-aware Algorithm 3: `mem_mb` carries the projected reservation of
+/// each entry, parallel to `upcoming`, and `instance_mem_mb` the per-instance
+/// capacity. With capacity 0 this is exactly the memory-unaware overload.
+std::uint32_t resize_pool(const std::vector<double>& upcoming,
+                          const std::vector<double>& mem_mb,
+                          double charging_unit,
+                          std::uint32_t slots_per_instance,
+                          double leftover_fraction, double instance_mem_mb);
 
 /// Algorithm 2: forms the grow/release command toward the planned size,
 /// clamped to MonitorSnapshot::pool_cap when an external ceiling is imposed

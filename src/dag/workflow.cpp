@@ -56,11 +56,13 @@ StageId WorkflowBuilder::add_stage(std::string name, std::string executable) {
 TaskId WorkflowBuilder::add_task(StageId stage, std::string name,
                                  double input_mb, double output_mb,
                                  double ref_exec_seconds,
-                                 std::vector<TaskId> predecessors) {
+                                 std::vector<TaskId> predecessors,
+                                 double ref_peak_mem_mb) {
   WIRE_REQUIRE(stage < stages_.size(), "unknown stage id");
   WIRE_REQUIRE(input_mb >= 0.0, "negative input size");
   WIRE_REQUIRE(output_mb >= 0.0, "negative output size");
   WIRE_REQUIRE(ref_exec_seconds >= 0.0, "negative execution time");
+  WIRE_REQUIRE(ref_peak_mem_mb >= 0.0, "negative peak memory");
   const TaskId id = static_cast<TaskId>(tasks_.size());
   for (TaskId pred : predecessors) {
     WIRE_REQUIRE(pred < id, "predecessor must be added before its successor");
@@ -77,6 +79,7 @@ TaskId WorkflowBuilder::add_task(StageId stage, std::string name,
   spec.input_mb = input_mb;
   spec.output_mb = output_mb;
   spec.ref_exec_seconds = ref_exec_seconds;
+  spec.ref_peak_mem_mb = ref_peak_mem_mb;
   tasks_.push_back(std::move(spec));
   preds_.push_back(std::move(predecessors));
   return id;

@@ -35,6 +35,10 @@ struct TaskSpec {
   /// Reference execution time (seconds) on a nominal instance. The simulator
   /// perturbs this with skew/interference; the controller never sees it.
   double ref_exec_seconds = 0.0;
+  /// Reference peak memory (MB) on a nominal instance. The simulator perturbs
+  /// this with per-task noise (MemoryConfig::noise_sigma); the controller
+  /// never sees it. 0 = the workload declares no memory profile.
+  double ref_peak_mem_mb = 0.0;
 };
 
 /// Declared description of one stage (a group of peer tasks).
@@ -112,7 +116,8 @@ class WorkflowBuilder {
   /// permit cycles). Returns the new task id.
   TaskId add_task(StageId stage, std::string name, double input_mb,
                   double output_mb, double ref_exec_seconds,
-                  std::vector<TaskId> predecessors);
+                  std::vector<TaskId> predecessors,
+                  double ref_peak_mem_mb = 0.0);
 
   std::size_t task_count() const { return tasks_.size(); }
   std::size_t stage_count() const { return stages_.size(); }

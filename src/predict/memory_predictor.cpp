@@ -1,0 +1,87 @@
+#include "predict/memory_predictor.h"
+
+#include "util/check.h"
+
+namespace wire::predict {
+
+using dag::StageId;
+using dag::TaskId;
+using sim::TaskPhase;
+
+MemoryPredictor::MemoryPredictor(const dag::Workflow& workflow,
+                                 const sim::MemoryConfig& config,
+                                 std::uint32_t slots_per_instance)
+    : workflow_(&workflow),
+      config_(config),
+      sizer_(config, slots_per_instance, workflow.stage_count()),
+      stage_counts_(workflow.stage_count(), 0),
+      stage_revisions_(workflow.stage_count(), 0),
+      harvested_(workflow.task_count(), false) {
+  WIRE_REQUIRE(config.enabled(),
+               "memory predictor constructed with the memory dimension off");
+}
+
+void MemoryPredictor::record_peak(TaskId task,
+                                  const sim::TaskObservation& obs) {
+  if (harvested_[task]) return;
+  if (obs.peak_mem_mb < 0.0) return;  // completed before memory was modeled
+  harvested_[task] = true;
+  const StageId stage = workflow_->task(task).stage;
+  sizer_.observe_peak(stage, obs.peak_mem_mb);
+  ++stage_counts_[stage];
+  ++stage_revisions_[stage];
+  observe_changed_ = true;
+}
+
+void MemoryPredictor::observe(const sim::MonitorSnapshot& snapshot) {
+  WIRE_REQUIRE(snapshot.tasks.size() == workflow_->task_count(),
+               "snapshot does not match the workflow");
+  observe_changed_ = false;
+  if (snapshot.delta.exact) {
+    for (TaskId t : snapshot.delta.completed) {
+      record_peak(t, snapshot.tasks[t]);
+    }
+  } else {
+    for (TaskId t = 0; t < static_cast<TaskId>(snapshot.tasks.size()); ++t) {
+      if (snapshot.tasks[t].phase != TaskPhase::Completed) continue;
+      record_peak(t, snapshot.tasks[t]);
+    }
+  }
+  if (observe_changed_) ++revision_;
+}
+
+double MemoryPredictor::predict_reservation(
+    TaskId task, const sim::MonitorSnapshot& snapshot) const {
+  WIRE_REQUIRE(task < workflow_->task_count(), "unknown task id");
+  const sim::TaskObservation& obs = snapshot.tasks[task];
+  if (obs.phase == TaskPhase::Running && obs.mem_reservation_mb >= 0.0) {
+    // In flight: the booked reservation is observable, not a projection.
+    return obs.mem_reservation_mb;
+  }
+  return sizer_.reservation_mb(workflow_->task(task).stage,
+                               workflow_->task(task).ref_peak_mem_mb,
+                               obs.oom_attempts);
+}
+
+std::uint64_t MemoryPredictor::stage_revision(StageId stage) const {
+  WIRE_REQUIRE(stage < stage_revisions_.size(), "unknown stage id");
+  return stage_revisions_[stage];
+}
+
+std::size_t MemoryPredictor::stage_samples(StageId stage) const {
+  WIRE_REQUIRE(stage < stage_counts_.size(), "unknown stage id");
+  return stage_counts_[stage];
+}
+
+std::size_t MemoryPredictor::state_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += stage_counts_.capacity() * sizeof(std::size_t);
+  bytes += stage_revisions_.capacity() * sizeof(std::uint64_t);
+  bytes += harvested_.capacity() / 8;
+  for (StageId s = 0; s < stage_counts_.size(); ++s) {
+    bytes += stage_counts_[s] * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace wire::predict

@@ -1,0 +1,82 @@
+// Online peak-memory prediction — the controller-side mirror of the engine's
+// TaskMemorySizer (sim/memory.h).
+//
+// Harvests completed tasks' revealed true peaks (TaskObservation::peak_mem_mb,
+// the kickstart record) from monitoring snapshots and sizes reservations with
+// the exact statistical core the engine sizes with (sim::sized_from_history +
+// sim::clamp_reservation). At any control tick both sides have ingested the
+// same completion set in the same sorted order, so the lookahead's projected
+// reservations match what the engine would book if it dispatched at that
+// instant; later completions can shift the engine's actual sizing, which is
+// ordinary prediction error, not a monitoring-boundary leak.
+//
+// Running tasks report their actual booked reservation in the snapshot, so
+// the projection seeds in-flight attempts exactly.
+//
+// Revision discipline follows TaskPredictor: `revision()` advances at most
+// once per observe(), `stage_revision(s)` exactly when stage `s` ingested new
+// peaks — the same monotone-counter scheme core::IncrementalLookahead keys
+// its memos on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/workflow.h"
+#include "sim/config.h"
+#include "sim/memory.h"
+#include "sim/monitor.h"
+
+namespace wire::predict {
+
+class MemoryPredictor {
+ public:
+  /// Binds to a workflow (kept by reference; must outlive the predictor).
+  /// `config` and `slots_per_instance` must match the engine's CloudConfig
+  /// for the projection to mirror the engine's sizing.
+  MemoryPredictor(const dag::Workflow& workflow,
+                  const sim::MemoryConfig& config,
+                  std::uint32_t slots_per_instance);
+
+  /// Harvests one MAPE iteration's revealed peaks. Exact deltas visit only
+  /// `delta.completed` (O(changes)); otherwise falls back to the full
+  /// O(tasks) phase scan. Idempotent on replayed snapshots.
+  void observe(const sim::MonitorSnapshot& snapshot);
+
+  /// Projected reservation (MB) the engine would book for `task` if it
+  /// dispatched now: a running task's actual booked reservation when the
+  /// snapshot carries one, else the sized-and-clamped estimate for the
+  /// task's stage after its observed OOM count.
+  double predict_reservation(dag::TaskId task,
+                             const sim::MonitorSnapshot& snapshot) const;
+
+  /// Monotone revision of `stage`'s peak history: advances exactly when a
+  /// harvest ingested new peaks for the stage.
+  std::uint64_t stage_revision(dag::StageId stage) const;
+
+  /// Predictor revision: advances (once) per observe() that changed any
+  /// stage history.
+  std::uint64_t revision() const { return revision_; }
+
+  /// Completed peaks ingested for `stage` so far.
+  std::size_t stage_samples(dag::StageId stage) const;
+
+  /// Approximate resident state size in bytes (§IV-F overhead accounting).
+  std::size_t state_bytes() const;
+
+ private:
+  void record_peak(dag::TaskId task, const sim::TaskObservation& obs);
+
+  const dag::Workflow* workflow_;
+  sim::MemoryConfig config_;
+  /// The shared sizing core; holds the per-stage sorted peak histories.
+  sim::TaskMemorySizer sizer_;
+  std::vector<std::size_t> stage_counts_;
+  std::vector<std::uint64_t> stage_revisions_;
+  /// Tasks whose completion peak was already ingested (idempotence guard).
+  std::vector<bool> harvested_;
+  std::uint64_t revision_ = 0;
+  bool observe_changed_ = false;
+};
+
+}  // namespace wire::predict

@@ -38,9 +38,23 @@ long TaskPredictor::bucket_key(double input_mb) const {
 }
 
 void TaskPredictor::add_sample(SampleSet& set, double value) const {
-  set.sorted.insert(
-      std::upper_bound(set.sorted.begin(), set.sorted.end(), value), value);
+  set.pending.push_back(value);
   set.sum += value;
+}
+
+void TaskPredictor::flush_samples(SampleSet& set) const {
+  if (!set.pending.empty()) {
+    const std::size_t tail = set.sorted.size();
+    set.sorted.insert(set.sorted.end(), set.pending.begin(),
+                      set.pending.end());
+    set.pending.clear();
+    std::sort(set.sorted.begin() + static_cast<std::ptrdiff_t>(tail),
+              set.sorted.end());
+    std::inplace_merge(set.sorted.begin(),
+                       set.sorted.begin() + static_cast<std::ptrdiff_t>(tail),
+                       set.sorted.end());
+  }
+  if (set.sorted.empty()) return;
   if (config_.use_mean) {
     set.center = set.sum / static_cast<double>(set.sorted.size());
     return;
@@ -126,10 +140,11 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
 
   // t̃_data: median transfer of the tasks completed in this interval; the
   // previous estimate persists through empty intervals.
+  bool changed = false;
   if (!interval_transfers.empty()) {
     transfer_estimate_ = center(std::move(interval_transfers));
     has_transfer_estimate_ = true;
-    ++revision_;
+    changed = true;
   }
 
   // One Algorithm-1 epoch per stage with new completions. The training set is
@@ -141,10 +156,15 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
     stage.dirty = false;
     // All learned-state mutations (record_completion, observe_failure
     // ingestion, the model.update below) mark the stage dirty and land
-    // before any predict call, so one bump per refit is exact.
+    // before any predict call, so one bump per refit is exact. The pending
+    // sample batches merge here, once per dirty stage per harvest.
+    flush_samples(stage.completed_exec);
+    for (auto& [key, group] : stage.groups) {
+      flush_samples(group.exec);
+    }
     ++stage.revision;
-    ++revision_;
     ++last_refit_stages_;
+    changed = true;
     std::vector<TrainingPoint> training;
     training.reserve(stage.groups.size());
     for (const auto& [key, group] : stage.groups) {
@@ -156,6 +176,12 @@ void TaskPredictor::observe(const sim::MonitorSnapshot& snapshot) {
     }
     stage.model.update(training);
   }
+  // One estimator-revision bump per harvest, however bursty the delta:
+  // consumers compare revisions for (in)equality, so collapsing the
+  // per-stage/per-field bumps into one keeps every memo key semantically
+  // identical while making a 200-completion tick cost the same invalidation
+  // as a single completion.
+  if (changed) ++revision_;
 }
 
 Prediction TaskPredictor::predict_exec(
@@ -257,10 +283,12 @@ std::size_t TaskPredictor::state_bytes() const {
   bytes += seen_failed_.capacity() * sizeof(std::uint32_t);
   for (const StageState& s : stages_) {
     bytes += sizeof(StageState);
-    bytes += s.completed_exec.sorted.capacity() * sizeof(double);
+    bytes += (s.completed_exec.sorted.capacity() +
+              s.completed_exec.pending.capacity()) * sizeof(double);
     for (const auto& [key, group] : s.groups) {
       bytes += sizeof(key) + sizeof(Group) +
-               group.exec.sorted.capacity() * sizeof(double);
+               (group.exec.sorted.capacity() +
+                group.exec.pending.capacity()) * sizeof(double);
     }
   }
   return bytes;

@@ -148,21 +148,30 @@ class TaskPredictor : public Estimator {
   double center(std::vector<double> values) const;
 
   /// A completion sample set kept ready for O(1) centre queries: the values
-  /// stay sorted (insertion via upper_bound) and a running sum accumulates in
-  /// arrival order, so the cached centre reproduces util::median /
-  /// util::mean bit-for-bit without copying the history on every query —
-  /// previously `center(group.exec_times)` deep-copied each group's full
-  /// history on every Algorithm-1 epoch of a dirty stage.
+  /// stay sorted and a running sum accumulates in arrival order, so the
+  /// cached centre reproduces util::median / util::mean bit-for-bit without
+  /// copying the history on every query. Arrivals within one observe() are
+  /// batched: add_sample appends to `pending` (O(1)), and flush_samples
+  /// sorts the batch and merges it in one inplace_merge pass — on a bursty
+  /// delta that is one O(n + k log k) coalesce instead of k O(n) insertions.
+  /// The merged array is the same sorted multiset either way, and the sum
+  /// folds in arrival order, so the recomputed centre is bit-identical to
+  /// the former insert-one-at-a-time path.
   struct SampleSet {
     std::vector<double> sorted;
+    std::vector<double> pending;  // this interval's arrivals, pre-merge
     double sum = 0.0;     // accumulated in arrival order (== util::mean fold)
-    double center = 0.0;  // cached centre; valid once !sorted.empty()
-    std::size_t size() const { return sorted.size(); }
-    bool empty() const { return sorted.empty(); }
+    double center = 0.0;  // cached centre; valid once flushed && !empty()
+    std::size_t size() const { return sorted.size() + pending.size(); }
+    bool empty() const { return sorted.empty() && pending.empty(); }
   };
 
-  /// Inserts a sample and refreshes the cached centre.
+  /// Stages a sample for the next flush (sum folds immediately, in arrival
+  /// order).
   void add_sample(SampleSet& set, double value) const;
+  /// Merges the pending batch into the sorted history and refreshes the
+  /// cached centre.
+  void flush_samples(SampleSet& set) const;
 
   struct Group {
     SampleSet exec;

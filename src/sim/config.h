@@ -91,6 +91,53 @@ struct FaultConfig {
   }
 };
 
+/// Memory as a second resource dimension (extension beyond the paper: the
+/// Ponder / Sizey line of memory-prediction work). Disabled by default
+/// (instance_mem_mb == 0 = unlimited memory): the engine never draws from the
+/// memory RNG stream, never books reservations against capacity and never
+/// schedules OOM events, so memory-off runs stay byte-identical to the
+/// memory-less implementation — the same zero-rate discipline FaultConfig
+/// established.
+struct MemoryConfig {
+  /// Physical memory per worker instance, MB. 0 = unlimited (the memory
+  /// dimension is off end to end).
+  double instance_mem_mb = 0.0;
+  /// Lognormal sigma of the per-task noise around the reference peak memory
+  /// (the true peak an attempt actually reaches; drawn once per task).
+  double noise_sigma = 0.0;
+
+  /// Reservation sizing policy: how the framework master (and the
+  /// controller's MemoryPredictor) turn peak history into a reservation.
+  enum class Sizing : std::uint8_t {
+    /// Mean of the observed peaks for the task's stage.
+    Mean,
+    /// Percentile of the observed peaks (Sizey-style), `percentile` below.
+    Percentile,
+    /// Ground-truth reference peak times safety_factor (no learning; the
+    /// wastage floor for a noise-free run).
+    Oracle,
+  };
+  Sizing sizing = Sizing::Percentile;
+  /// Percentile used by Sizing::Percentile, in (0, 1].
+  double percentile = 0.95;
+  /// Headroom multiplier applied on top of the sized estimate.
+  double safety_factor = 1.1;
+  /// Cold-start reservation when a stage has no completed peak yet, MB.
+  /// 0 = fair share (instance_mem_mb / slots_per_instance).
+  double default_mb = 0.0;
+  /// Floor for any reservation, MB.
+  double min_reservation_mb = 64.0;
+  /// Reservation growth factor per OOM retry (retry-with-upsizing): attempt
+  /// k after k OOM kills books `upsize_factor^k` times the sized estimate
+  /// (clamped to instance capacity).
+  double upsize_factor = 2.0;
+  /// OOM kills tolerated per task before it is quarantined like a poison
+  /// task (reuses the transient-failure quarantine machinery).
+  std::uint32_t max_oom_attempts = 3;
+
+  bool enabled() const { return instance_mem_mb > 0.0; }
+};
+
 /// Bounded retry policy for transient task failures (only exercised when
 /// FaultConfig::task_failure_prob > 0).
 struct RetryConfig {
@@ -144,6 +191,8 @@ struct CloudConfig {
   FaultConfig faults;
   /// Retry/backoff discipline for transient task failures.
   RetryConfig retry;
+  /// Memory dimension (instance_mem_mb == 0 = unlimited, off).
+  MemoryConfig memory;
 };
 
 }  // namespace wire::sim

@@ -67,8 +67,21 @@ struct RunResult {
   std::uint32_t straggler_boots = 0;
   /// Control ticks whose monitoring delta was withheld.
   std::uint32_t monitor_dropouts = 0;
-  /// Poison tasks: exhausted RetryConfig::max_attempts (or descend from one
-  /// that did) and were excluded from the run, ascending TaskId order. The
+
+  // --- Memory dimension (all zero when MemoryConfig is off) ---
+  /// Attempts OOM-killed because their true peak exceeded the reservation
+  /// (each spawns an upsized retry, or quarantine past max_oom_attempts).
+  std::uint32_t oom_kills = 0;
+  /// MB-seconds of reserved memory integrated over slot occupancy (every
+  /// attempt holds its reservation from dispatch to slot release) — the
+  /// over-provisioning wastage numerator.
+  double mem_reserved_mb_seconds = 0.0;
+  /// MB-seconds a clairvoyant sizer would have booked: true peak times the
+  /// occupancy of successful attempts only.
+  double mem_used_mb_seconds = 0.0;
+  /// Poison tasks: exhausted RetryConfig::max_attempts or
+  /// MemoryConfig::max_oom_attempts (or descend from a task that did) and
+  /// were excluded from the run, ascending TaskId order. The
   /// run "completes" without them; makespan covers the surviving tasks.
   std::vector<dag::TaskId> quarantined_tasks;
   /// Per-event fault journal, in injection order (replayable byte-for-byte

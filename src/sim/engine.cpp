@@ -21,7 +21,9 @@ JobEngine::JobEngine(const dag::Workflow& workflow, ScalingPolicy& policy,
                  config.checkpoint_fraction),
       store_(workflow),
       variability_(config.variability, options.seed),
-      faults_(config.faults, options.seed) {
+      faults_(config.faults, options.seed, config.memory),
+      sizer_(config.memory, config.slots_per_instance,
+             workflow.stage_count()) {
   WIRE_REQUIRE(config.lag_seconds > 0.0, "lag must be positive");
   WIRE_REQUIRE(config.charging_unit_seconds > 0.0,
                "charging unit must be positive");
@@ -55,7 +57,9 @@ void JobEngine::start() {
     maybe_arm_crash(id, 0.0);
   }
   requested_pool_ = initial;
+  store_.begin_step();
   dispatch_all(0.0);
+  store_.end_step();
   queue_.schedule(0.0, EventKind::ControlTick, 0);
 }
 
@@ -76,6 +80,10 @@ void JobEngine::step() {
         "simulation exceeded max_sim_seconds — policy appears stuck on '" +
         workflow_.name() + "'");
   }
+  // One journal coalesce per engine step: a dispatch storm (an instance boot
+  // binding dozens of tasks) appends raw ids and dedups once at end_step
+  // instead of stamp-probing per event.
+  store_.begin_step();
   switch (e.kind) {
     case EventKind::InstanceReady: handle_instance_ready(e); break;
     case EventKind::TransferInDone: handle_transfer_in_done(e); break;
@@ -88,24 +96,53 @@ void JobEngine::step() {
     case EventKind::InstanceCrash: handle_instance_crash(e); break;
     case EventKind::TaskFaulted: handle_task_faulted(e); break;
     case EventKind::TaskRetry: handle_task_retry(e); break;
+    case EventKind::TaskOom: handle_task_oom(e); break;
   }
+  store_.end_step();
 }
 
 void JobEngine::dispatch_all(SimTime now) {
+  if (!config_.memory.enabled()) {
+    while (framework_.has_ready()) {
+      InstanceId target = kInvalidInstance;
+      for (InstanceId id : cloud_.dispatchable(now)) {
+        if (framework_.free_slots(id) > 0) {
+          target = id;
+          break;
+        }
+      }
+      if (target == kInvalidInstance) return;
+      const TaskId task = framework_.pop_ready();
+      const std::uint32_t slot = framework_.take_free_slot(target);
+      framework_.on_dispatch(task, target, slot, now);
+      begin_transfer(task, /*inbound=*/true, workflow_.task(task).input_mb,
+                     now);
+    }
+    return;
+  }
+  // Memory-aware admission: the head ready task needs a free slot AND enough
+  // free memory for its sized reservation. FIFO order is preserved strictly —
+  // a head task that fits nowhere blocks the queue (no backfilling), which is
+  // exactly the projection the lookahead replays.
   while (framework_.has_ready()) {
+    const TaskId task = *framework_.peek_ready();
+    const dag::TaskSpec& spec = workflow_.task(task);
+    const double reservation = sizer_.reservation_mb(
+        spec.stage, spec.ref_peak_mem_mb, framework_.runtime(task).oom_attempts);
     InstanceId target = kInvalidInstance;
     for (InstanceId id : cloud_.dispatchable(now)) {
-      if (framework_.free_slots(id) > 0) {
+      if (framework_.free_slots(id) > 0 &&
+          framework_.mem_used(id) + reservation <=
+              config_.memory.instance_mem_mb + 1e-9) {
         target = id;
         break;
       }
     }
     if (target == kInvalidInstance) return;
-    const TaskId task = framework_.pop_ready();
+    framework_.pop_ready();
     const std::uint32_t slot = framework_.take_free_slot(target);
-    framework_.on_dispatch(task, target, slot, now);
-    begin_transfer(task, /*inbound=*/true, workflow_.task(task).input_mb,
-                   now);
+    framework_.on_dispatch(task, target, slot, now, reservation);
+    begin_transfer(task, /*inbound=*/true, spec.input_mb, now);
   }
 }
 
@@ -204,11 +241,39 @@ void JobEngine::finish_transfer_in(TaskId task, SimTime now) {
       return;
     }
   }
+  if (config_.memory.enabled()) {
+    // Ground truth is drawn lazily, once per task, at first execution start
+    // — retries re-run against the SAME peak, so upsizing converges instead
+    // of chasing a moving target. (The exec-fault draw above stays first: a
+    // transient death preempts the OOM entirely, keeping the fault stream's
+    // draw order byte-identical to memory-off runs.)
+    if (framework_.runtime(task).true_peak_mem_mb < 0.0) {
+      framework_.set_true_peak_mem(
+          task, faults_.sample_peak_mem(workflow_.task(task).ref_peak_mem_mb));
+    }
+    const TaskRuntime& rt = framework_.runtime(task);
+    if (rt.mem_reservation_mb >= 0.0 &&
+        rt.true_peak_mem_mb > rt.mem_reservation_mb && exec > 0.0) {
+      // Footprint ramps linearly over the attempt, so it hits the
+      // reservation ceiling at the reservation/peak fraction of exec.
+      const double fraction = rt.mem_reservation_mb / rt.true_peak_mem_mb;
+      queue_.schedule(now + fraction * exec, EventKind::TaskOom, task,
+                      rt.attempts);
+      return;
+    }
+  }
   queue_.schedule(now + exec, EventKind::ExecDone, task,
                   framework_.runtime(task).attempts);
 }
 
 void JobEngine::finish_transfer_out(TaskId task, SimTime now) {
+  if (config_.memory.enabled() &&
+      framework_.runtime(task).true_peak_mem_mb >= 0.0) {
+    // Completion reveals the true peak (the kickstart record); the sizer's
+    // per-stage history drives every later reservation.
+    sizer_.observe_peak(workflow_.task(task).stage,
+                        framework_.runtime(task).true_peak_mem_mb);
+  }
   framework_.on_complete(task, now);
   if (framework_.all_complete()) {
     end_time_ = now;
@@ -323,9 +388,36 @@ void JobEngine::handle_task_faulted(const Event& e) {
         config_.retry.backoff_base_seconds *
         std::pow(config_.retry.backoff_factor,
                  static_cast<double>(failures - 1));
-    queue_.schedule(e.time + backoff, EventKind::TaskRetry, task, failures);
+    queue_.schedule(e.time + backoff, EventKind::TaskRetry, task,
+                    failures + framework_.runtime(task).oom_attempts);
   }
   dispatch_all(e.time);  // the fault freed a slot
+}
+
+void JobEngine::handle_task_oom(const Event& e) {
+  const TaskId task = e.payload;
+  if (!attempt_is_current(task, e.aux)) return;
+  const double true_peak = framework_.runtime(task).true_peak_mem_mb;
+  const std::uint32_t ooms = framework_.on_task_oom(task, e.time);
+  faults_.record(e.time, FaultKind::OomKill, task, ooms, true_peak);
+  if (ooms >= config_.memory.max_oom_attempts) {
+    for (TaskId poisoned : framework_.quarantine(task)) {
+      faults_.record(e.time, FaultKind::TaskQuarantine, poisoned, 0, 0.0);
+    }
+    if (framework_.all_complete()) {
+      end_time_ = e.time;
+      return;
+    }
+  } else {
+    // Same backoff ladder as transient faults; the retry re-dispatches with
+    // an upsized reservation (clamp_reservation grows it per OOM attempt).
+    const double backoff =
+        config_.retry.backoff_base_seconds *
+        std::pow(config_.retry.backoff_factor, static_cast<double>(ooms - 1));
+    queue_.schedule(e.time + backoff, EventKind::TaskRetry, task,
+                    framework_.runtime(task).failed_attempts + ooms);
+  }
+  dispatch_all(e.time);  // the kill freed a slot (and its reservation)
 }
 
 void JobEngine::handle_task_retry(const Event& e) {
@@ -333,8 +425,10 @@ void JobEngine::handle_task_retry(const Event& e) {
   const TaskRuntime& rt = framework_.runtime(task);
   // Stale if the task moved on (quarantined by an ancestor's exhaustion, or
   // failed again through some other path since this retry was scheduled).
+  // The guard counts transient failures and OOM kills together, so either
+  // kind of later death invalidates an in-flight retry.
   if (rt.phase != TaskPhase::Pending || rt.quarantined ||
-      rt.failed_attempts != e.aux) {
+      rt.failed_attempts + rt.oom_attempts != e.aux) {
     return;
   }
   framework_.requeue_failed(task, e.time);
@@ -556,6 +650,9 @@ RunResult JobEngine::result() {
   result.provision_failures = faults_.count(FaultKind::ProvisionFailure);
   result.straggler_boots = faults_.count(FaultKind::StragglerBoot);
   result.monitor_dropouts = faults_.count(FaultKind::MonitorDropout);
+  result.oom_kills = framework_.total_oom_kills();
+  result.mem_reserved_mb_seconds = framework_.mem_reserved_mb_seconds();
+  result.mem_used_mb_seconds = framework_.mem_used_mb_seconds();
   result.fault_trace = faults_.trace();
   result.task_records.reserve(workflow_.task_count());
   for (TaskId t = 0; t < workflow_.task_count(); ++t) {

@@ -29,6 +29,7 @@
 #include "sim/event_queue.h"
 #include "sim/faults.h"
 #include "sim/framework.h"
+#include "sim/memory.h"
 #include "sim/monitor_store.h"
 #include "sim/scaling_policy.h"
 #include "sim/variability.h"
@@ -125,6 +126,7 @@ class JobEngine {
   void handle_instance_crash(const Event& e);
   void handle_task_faulted(const Event& e);
   void handle_task_retry(const Event& e);
+  void handle_task_oom(const Event& e);
 
   /// Draws and schedules the crash/revocation of an instance that just
   /// became Ready (no-op with fault injection disabled).
@@ -176,6 +178,9 @@ class JobEngine {
   /// Fault sampler + journal on its own RNG stream; never drawn from when
   /// CloudConfig::faults is all-zero (fault-free runs stay byte-identical).
   FaultModel faults_;
+  /// Engine-side reservation sizing from observed true peaks (the framework's
+  /// own memory request policy). Inert when MemoryConfig is off.
+  TaskMemorySizer sizer_;
   EventQueue queue_;
   struct ActiveTransfer {
     dag::TaskId task = dag::kInvalidTask;

@@ -41,8 +41,13 @@ enum class EventKind : std::uint8_t {
   /// aux = attempt (stale guards are ignored, as for ExecDone).
   TaskFaulted,
   /// A failed task's retry backoff elapsed; it re-enters the ready queue.
-  /// payload = task id, aux = the failure count the retry was scheduled for.
+  /// payload = task id, aux = the combined failure count (transient failures
+  /// + OOM kills) the retry was scheduled for.
   TaskRetry,
+  /// Memory dimension: a running attempt's footprint hit its reservation and
+  /// the attempt is OOM-killed. payload = task id, aux = attempt (stale
+  /// guards are ignored, as for ExecDone).
+  TaskOom,
 };
 
 struct Event {

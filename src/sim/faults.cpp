@@ -13,8 +13,12 @@ namespace {
 /// from every other derive_seed stream used with the run seed.
 constexpr std::uint64_t kFaultStream = 0xFA171u;
 
+/// Separate stream for true-peak-memory noise, so memory draws never perturb
+/// the fault schedule (crash delays, exec faults, ...) and vice versa.
+constexpr std::uint64_t kMemoryStream = 0x3E30A7u;
+
 constexpr std::size_t kFaultKindCount =
-    static_cast<std::size_t>(FaultKind::MonitorDropout) + 1;
+    static_cast<std::size_t>(FaultKind::OomKill) + 1;
 
 }  // namespace
 
@@ -32,6 +36,8 @@ const char* fault_kind_name(FaultKind kind) {
       return "task_quarantine";
     case FaultKind::MonitorDropout:
       return "monitor_dropout";
+    case FaultKind::OomKill:
+      return "oom_kill";
   }
   return "unknown";
 }
@@ -48,11 +54,21 @@ std::string render_fault_trace(const FaultTrace& trace) {
   return out;
 }
 
-FaultModel::FaultModel(const FaultConfig& config, std::uint64_t run_seed)
+FaultModel::FaultModel(const FaultConfig& config, std::uint64_t run_seed,
+                       const MemoryConfig& memory)
     : config_(config),
+      memory_(memory),
       enabled_(config.enabled()),
+      mem_enabled_(memory.enabled()),
       rng_(util::derive_seed(run_seed, kFaultStream)),
+      mem_rng_(util::derive_seed(run_seed, kMemoryStream)),
       counts_(kFaultKindCount, 0) {
+  WIRE_REQUIRE(memory.instance_mem_mb >= 0.0 && memory.noise_sigma >= 0.0 &&
+                   memory.percentile > 0.0 && memory.percentile <= 1.0 &&
+                   memory.safety_factor > 0.0 && memory.default_mb >= 0.0 &&
+                   memory.min_reservation_mb >= 0.0 &&
+                   memory.upsize_factor >= 1.0,
+               "MemoryConfig knobs out of range");
   WIRE_REQUIRE(config.crash_rate_per_hour >= 0.0 &&
                    config.crash_notice_seconds >= 0.0 &&
                    config.provision_failure_prob >= 0.0 &&
@@ -91,6 +107,12 @@ ExecFaultPlan FaultModel::plan_exec() {
   plan.fails = rng_.bernoulli(config_.task_failure_prob);
   if (plan.fails) plan.fraction = rng_.uniform(0.0, 1.0);
   return plan;
+}
+
+double FaultModel::sample_peak_mem(double ref_peak_mb) {
+  WIRE_CHECK(mem_enabled_, "memory draw on a memory-disabled FaultModel");
+  if (memory_.noise_sigma <= 0.0) return ref_peak_mb;
+  return mem_rng_.lognormal_median(ref_peak_mb, memory_.noise_sigma);
 }
 
 bool FaultModel::drop_monitor_tick() {

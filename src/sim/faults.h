@@ -40,6 +40,10 @@ enum class FaultKind : std::uint8_t {
   /// A control tick whose monitoring delta was withheld (coalesced into the
   /// next tick).
   MonitorDropout,
+  /// A task attempt exceeded its memory reservation and was OOM-killed.
+  /// subject = task id; attempt = the task's OOM count after this kill;
+  /// detail = the true peak in MB.
+  OomKill,
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -82,11 +86,21 @@ struct ExecFaultPlan {
 class FaultModel {
  public:
   /// `run_seed` is the RunOptions seed; the model derives a private stream
-  /// from it so fault draws never perturb the variability stream.
-  FaultModel(const FaultConfig& config, std::uint64_t run_seed);
+  /// from it so fault draws never perturb the variability stream. The memory
+  /// config gates a second private stream for true-peak noise, so enabling
+  /// memory never perturbs the fault schedule (and vice versa).
+  FaultModel(const FaultConfig& config, std::uint64_t run_seed,
+             const MemoryConfig& memory = {});
 
   bool enabled() const { return enabled_; }
   const FaultConfig& config() const { return config_; }
+
+  bool memory_enabled() const { return mem_enabled_; }
+
+  /// Draws the true peak memory of one task around its reference peak
+  /// (lognormal noise, unit median). Requires memory_enabled(). Called once
+  /// per task (the peak is a property of the task, not the attempt).
+  double sample_peak_mem(double ref_peak_mb);
 
   /// Draws the boot-time faults for a new provisioning request.
   BootPlan plan_boot();
@@ -118,8 +132,11 @@ class FaultModel {
 
  private:
   FaultConfig config_;
+  MemoryConfig memory_;
   bool enabled_ = false;
+  bool mem_enabled_ = false;
   util::Rng rng_;
+  util::Rng mem_rng_;
   FaultTrace trace_;
   std::unordered_set<InstanceId> failed_boots_;
   std::vector<std::uint32_t> counts_;

@@ -110,7 +110,8 @@ std::vector<TaskId> FrameworkMaster::tasks_on(InstanceId instance) const {
 }
 
 void FrameworkMaster::on_dispatch(TaskId task, InstanceId instance,
-                                  std::uint32_t slot, SimTime now) {
+                                  std::uint32_t slot, SimTime now,
+                                  double mem_reservation_mb) {
   TaskRuntime& rt = mutable_runtime(task);
   WIRE_REQUIRE(rt.phase == TaskPhase::Ready, "dispatch of non-ready task");
   auto it = slots_.find(instance);
@@ -126,9 +127,33 @@ void FrameworkMaster::on_dispatch(TaskId task, InstanceId instance,
   rt.instance = instance;
   rt.slot = slot;
   ++rt.attempts;
-  if (store_ != nullptr) {
-    store_->on_task_dispatched(task, instance, now, rt.attempts);
+  rt.mem_reservation_mb = mem_reservation_mb;
+  if (mem_reservation_mb >= 0.0) {
+    mem_used_[instance] += mem_reservation_mb;
   }
+  if (store_ != nullptr) {
+    store_->on_task_dispatched(task, instance, now, rt.attempts,
+                               mem_reservation_mb);
+  }
+}
+
+void FrameworkMaster::release_memory(TaskRuntime& rt, SimTime now) {
+  if (rt.mem_reservation_mb < 0.0) return;
+  mem_reserved_mb_seconds_ +=
+      rt.mem_reservation_mb * (now - rt.occupancy_start);
+  auto it = mem_used_.find(rt.instance);
+  WIRE_CHECK(it != mem_used_.end(), "reservation on unknown instance");
+  it->second -= rt.mem_reservation_mb;
+  if (it->second < 1e-9) it->second = 0.0;  // absorb FP residue
+}
+
+double FrameworkMaster::mem_used(InstanceId instance) const {
+  const auto it = mem_used_.find(instance);
+  return it == mem_used_.end() ? 0.0 : it->second;
+}
+
+void FrameworkMaster::set_true_peak_mem(TaskId task, double peak_mb) {
+  mutable_runtime(task).true_peak_mem_mb = peak_mb;
 }
 
 void FrameworkMaster::on_transfer_in_done(TaskId task, SimTime now) {
@@ -157,6 +182,10 @@ std::vector<TaskId> FrameworkMaster::on_complete(TaskId task, SimTime now) {
   rt.completed_at = now;
   busy_slot_seconds_ += now - rt.occupancy_start;
   ++completed_;
+  release_memory(rt, now);
+  if (rt.true_peak_mem_mb >= 0.0) {
+    mem_used_mb_seconds_ += rt.true_peak_mem_mb * (now - rt.occupancy_start);
+  }
 
   auto it = slots_.find(rt.instance);
   WIRE_CHECK(it != slots_.end(), "completed task on unknown instance");
@@ -165,7 +194,8 @@ std::vector<TaskId> FrameworkMaster::on_complete(TaskId task, SimTime now) {
   if (store_ != nullptr) {
     store_->on_task_completed(task, rt.exec_time,
                               std::max(0.0, rt.transfer_in_time) +
-                                  std::max(0.0, rt.transfer_out_time));
+                                  std::max(0.0, rt.transfer_out_time),
+                              rt.true_peak_mem_mb);
   }
 
   std::vector<TaskId> newly_ready;
@@ -191,6 +221,7 @@ std::vector<TaskId> FrameworkMaster::resubmit_tasks_on(InstanceId instance,
     TaskRuntime& rt = mutable_runtime(task);
     WIRE_CHECK(rt.phase == TaskPhase::Running, "killed task was not running");
     wasted_slot_seconds_ += now - rt.occupancy_start;
+    release_memory(rt, now);
     ++restarts_;
     if (checkpoint_fraction_ > 0.0 && rt.exec_start >= 0.0) {
       rt.salvaged_exec = std::max(
@@ -212,6 +243,7 @@ std::uint32_t FrameworkMaster::on_task_failed(TaskId task, SimTime now) {
 
   const double elapsed = now - rt.occupancy_start;
   wasted_slot_seconds_ += elapsed;
+  release_memory(rt, now);
   ++task_faults_;
   ++rt.failed_attempts;
   rt.last_failed_elapsed = elapsed;
@@ -231,9 +263,39 @@ std::uint32_t FrameworkMaster::on_task_failed(TaskId task, SimTime now) {
   return rt.failed_attempts;
 }
 
+std::uint32_t FrameworkMaster::on_task_oom(TaskId task, SimTime now) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_REQUIRE(rt.phase == TaskPhase::Running, "OOM on non-running task");
+  auto it = slots_.find(rt.instance);
+  WIRE_CHECK(it != slots_.end(), "OOM task on unknown instance");
+  WIRE_CHECK(it->second[rt.slot] == task, "OOM task not in its slot");
+  it->second[rt.slot] = dag::kInvalidTask;
+
+  const double elapsed = now - rt.occupancy_start;
+  wasted_slot_seconds_ += elapsed;
+  release_memory(rt, now);
+  ++oom_kills_;
+  ++rt.oom_attempts;
+  // Unlike a transient fault, failed_attempts/last_failed_elapsed stay
+  // untouched: an OOM kill is a sizing error, and the exec-time failure
+  // harvest must not see it as a runtime observation.
+  rt.phase = TaskPhase::Pending;
+  rt.ready_at = -1.0;
+  rt.occupancy_start = -1.0;
+  rt.exec_start = -1.0;
+  rt.transfer_in_time = -1.0;
+  rt.exec_time = -1.0;
+  rt.instance = kInvalidInstance;
+  if (store_ != nullptr) {
+    store_->on_task_oom(task, rt.attempts, rt.oom_attempts);
+  }
+  return rt.oom_attempts;
+}
+
 void FrameworkMaster::requeue_failed(TaskId task, SimTime now) {
   TaskRuntime& rt = mutable_runtime(task);
-  WIRE_REQUIRE(rt.phase == TaskPhase::Pending && rt.failed_attempts > 0 &&
+  WIRE_REQUIRE(rt.phase == TaskPhase::Pending &&
+                   (rt.failed_attempts > 0 || rt.oom_attempts > 0) &&
                    !rt.quarantined,
                "requeue_failed on a task that is not awaiting retry");
   WIRE_CHECK(rt.remaining_preds == 0, "retrying task has open predecessors");
@@ -269,6 +331,7 @@ void FrameworkMaster::fill_observations(
     obs.attempts = rt.attempts;
     obs.failed_attempts = rt.failed_attempts;
     obs.last_failed_elapsed = rt.last_failed_elapsed;
+    obs.oom_attempts = rt.oom_attempts;
     switch (rt.phase) {
       case TaskPhase::Pending:
         break;
@@ -282,12 +345,14 @@ void FrameworkMaster::fill_observations(
         obs.elapsed_exec = rt.exec_start >= 0.0 ? now - rt.exec_start : 0.0;
         obs.transfer_in_time = rt.transfer_in_time;
         obs.instance = rt.instance;
+        obs.mem_reservation_mb = rt.mem_reservation_mb;
         break;
       case TaskPhase::Completed:
         obs.exec_time = rt.exec_time;
         obs.transfer_time =
             std::max(0.0, rt.transfer_in_time) +
             std::max(0.0, rt.transfer_out_time);
+        obs.peak_mem_mb = rt.true_peak_mem_mb;
         break;
     }
   }

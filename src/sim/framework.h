@@ -52,6 +52,18 @@ struct TaskRuntime {
   /// Poison task: exhausted its retries (or descends from a task that did).
   /// Stays Pending forever; counts as resolved for run completion.
   bool quarantined = false;
+
+  // --- Memory dimension (inert when MemoryConfig is off) ---
+  /// Memory booked against the hosting instance for the current/last
+  /// attempt, MB; < 0 if never dispatched with a reservation.
+  double mem_reservation_mb = -1.0;
+  /// Ground-truth peak of this task, MB; drawn once by the engine at first
+  /// execution start and cached (< 0 until drawn). The controller never
+  /// sees it before completion.
+  double true_peak_mem_mb = -1.0;
+  /// OOM kills of this task (separate from failed_attempts: OOM retries are
+  /// sizing errors, not transient faults).
+  std::uint32_t oom_attempts = 0;
 };
 
 class FrameworkMaster {
@@ -76,8 +88,10 @@ class FrameworkMaster {
 
   // --- Lifecycle transitions (driven by the simulator) ---
   /// Binds a ready task to (instance, slot); begins occupancy at `now`.
+  /// `mem_reservation_mb` >= 0 books that much memory against the instance
+  /// (memory dimension on); < 0 books nothing (memory off).
   void on_dispatch(dag::TaskId task, InstanceId instance, std::uint32_t slot,
-                   SimTime now);
+                   SimTime now, double mem_reservation_mb = -1.0);
   /// Input transfer finished; execution begins.
   void on_transfer_in_done(dag::TaskId task, SimTime now);
   /// Execution finished; output transfer begins.
@@ -98,6 +112,18 @@ class FrameworkMaster {
   /// Re-enqueues a previously failed task whose retry backoff elapsed.
   /// Requires it to be Pending, unquarantined, with no open predecessors.
   void requeue_failed(dag::TaskId task, SimTime now);
+  // --- Memory dimension ---
+  /// A running attempt exceeded its reservation and was OOM-killed: frees
+  /// the slot and the reservation, charges the occupancy as wasted, returns
+  /// the task to Pending. Bumps oom_attempts (NOT failed_attempts — the
+  /// exec-time failure harvest stays uncontaminated). Returns the task's new
+  /// OOM count.
+  std::uint32_t on_task_oom(dag::TaskId task, SimTime now);
+  /// Caches the ground-truth peak the engine drew for this task.
+  void set_true_peak_mem(dag::TaskId task, double peak_mb);
+  /// Memory currently booked on `instance`, MB (0 if none/unknown).
+  double mem_used(InstanceId instance) const;
+
   /// Quarantines a poison task together with every (transitively) dependent
   /// descendant — all necessarily Pending, since an incomplete ancestor
   /// blocks them. Returns the newly quarantined tasks. Quarantined tasks
@@ -126,6 +152,15 @@ class FrameworkMaster {
   double busy_slot_seconds() const { return busy_slot_seconds_; }
   /// Slot-seconds consumed by attempts that were killed (sunk cost paid).
   double wasted_slot_seconds() const { return wasted_slot_seconds_; }
+  /// Total OOM kills across all tasks.
+  std::uint32_t total_oom_kills() const { return oom_kills_; }
+  /// MB-seconds of reserved memory over all occupancy (every attempt holds
+  /// its reservation from dispatch to slot release) — the wastage numerator.
+  double mem_reserved_mb_seconds() const { return mem_reserved_mb_seconds_; }
+  /// MB-seconds actually needed: true peak times the occupancy of successful
+  /// attempts — the wastage denominator (what a clairvoyant sizer would
+  /// book).
+  double mem_used_mb_seconds() const { return mem_used_mb_seconds_; }
 
   const TaskRuntime& runtime(dag::TaskId task) const;
   const dag::Workflow& workflow() const { return *workflow_; }
@@ -146,6 +181,9 @@ class FrameworkMaster {
  private:
   void enqueue_ready(dag::TaskId task, SimTime now);
   TaskRuntime& mutable_runtime(dag::TaskId task);
+  /// Releases a runtime's booked reservation (slot is being freed) and
+  /// accumulates the reserved-MB-seconds wastage numerator.
+  void release_memory(TaskRuntime& rt, SimTime now);
 
   const dag::Workflow* workflow_;
   std::uint32_t first_fire_priority_;
@@ -162,6 +200,10 @@ class FrameworkMaster {
   std::uint32_t task_faults_ = 0;
   double busy_slot_seconds_ = 0.0;
   double wasted_slot_seconds_ = 0.0;
+  std::uint32_t oom_kills_ = 0;
+  std::unordered_map<InstanceId, double> mem_used_;
+  double mem_reserved_mb_seconds_ = 0.0;
+  double mem_used_mb_seconds_ = 0.0;
 };
 
 }  // namespace wire::sim

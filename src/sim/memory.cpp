@@ -1,0 +1,69 @@
+#include "sim/memory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wire::sim {
+
+double sized_from_history(const std::vector<double>& sorted_peaks,
+                          const MemoryConfig& config, double fair_share_mb,
+                          double ref_peak_mb) {
+  if (config.sizing == MemoryConfig::Sizing::Oracle) {
+    return ref_peak_mb * config.safety_factor;
+  }
+  if (sorted_peaks.empty()) {
+    return config.default_mb > 0.0 ? config.default_mb : fair_share_mb;
+  }
+  double base = 0.0;
+  if (config.sizing == MemoryConfig::Sizing::Mean) {
+    // Arrival order is lost after sorting, but summation over the sorted
+    // history is itself deterministic — both sides fold identically.
+    for (double p : sorted_peaks) base += p;
+    base /= static_cast<double>(sorted_peaks.size());
+  } else {
+    // Percentile q over n samples picks index ceil(q*n) - 1 (the smallest
+    // sample covering at least a q-fraction of the history).
+    const std::size_t n = sorted_peaks.size();
+    const double exact = config.percentile * static_cast<double>(n);
+    std::size_t idx = static_cast<std::size_t>(std::ceil(exact));
+    if (idx > 0) --idx;
+    if (idx >= n) idx = n - 1;
+    base = sorted_peaks[idx];
+  }
+  return base * config.safety_factor;
+}
+
+double clamp_reservation(double base_mb, const MemoryConfig& config,
+                         std::uint32_t oom_attempts) {
+  double res = base_mb;
+  for (std::uint32_t k = 0; k < oom_attempts; ++k) res *= config.upsize_factor;
+  res = std::max(res, config.min_reservation_mb);
+  return std::min(res, config.instance_mem_mb);
+}
+
+TaskMemorySizer::TaskMemorySizer(const MemoryConfig& config,
+                                 std::uint32_t slots_per_instance,
+                                 std::size_t stage_count)
+    : config_(config), stage_peaks_(stage_count) {
+  WIRE_REQUIRE(slots_per_instance > 0, "instance without slots");
+  fair_share_mb_ =
+      config.instance_mem_mb / static_cast<double>(slots_per_instance);
+}
+
+void TaskMemorySizer::observe_peak(dag::StageId stage, double peak_mb) {
+  WIRE_CHECK(stage < stage_peaks_.size(), "peak for unknown stage");
+  std::vector<double>& peaks = stage_peaks_[stage];
+  peaks.insert(std::upper_bound(peaks.begin(), peaks.end(), peak_mb), peak_mb);
+}
+
+double TaskMemorySizer::reservation_mb(dag::StageId stage, double ref_peak_mb,
+                                       std::uint32_t oom_attempts) const {
+  WIRE_CHECK(stage < stage_peaks_.size(), "reservation for unknown stage");
+  const double base = sized_from_history(stage_peaks_[stage], config_,
+                                         fair_share_mb_, ref_peak_mb);
+  return clamp_reservation(base, config_, oom_attempts);
+}
+
+}  // namespace wire::sim

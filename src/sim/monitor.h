@@ -82,6 +82,20 @@ struct TaskObservation {
   /// predictor harvest excludes it (PredictorConfig::harvest_failed_attempts
   /// is the contamination ablation).
   SimTime last_failed_elapsed = -1.0;
+
+  // --- Memory dimension (all zero/negative when memory is off) ---
+  /// Memory the current/last attempt has booked against its instance, MB;
+  /// < 0 if the task is not occupying a slot. What the real resource manager
+  /// reports for its own allocation.
+  double mem_reservation_mb = -1.0;
+  /// Measured peak memory of the completed task (kickstart record), MB;
+  /// < 0 until completed. OOM-killed attempts do NOT reveal the true peak —
+  /// only that it exceeded the reservation.
+  double peak_mem_mb = -1.0;
+  /// OOM kills of this task so far (distinct from failed_attempts: OOM is a
+  /// sizing error, not a transient fault, and must not contaminate the
+  /// execution-time failure harvest).
+  std::uint32_t oom_attempts = 0;
 };
 
 /// Controller-visible state of one worker instance.
@@ -130,10 +144,12 @@ struct MonitorDelta {
   std::vector<InstanceId> instances_added;
   /// Instances terminated since the last snapshot, in termination order.
   std::vector<InstanceId> instances_removed;
-  /// Tasks that had an attempt fail transiently since the last snapshot,
-  /// deduplicated, ascending TaskId order (a task failing twice within one
-  /// interval appears once; `failed_attempts` in its observation carries the
-  /// count). Subset of `phase_changed`. Empty on a reliable cloud.
+  /// Tasks that had an attempt die abnormally since the last snapshot —
+  /// transient execution faults AND OOM kills alike — deduplicated,
+  /// ascending TaskId order (a task failing twice within one interval
+  /// appears once; `failed_attempts` / `oom_attempts` in its observation
+  /// carry the counts and distinguish the two causes). Subset of
+  /// `phase_changed`. Empty on a reliable, memory-unconstrained cloud.
   std::vector<dag::TaskId> failed;
   /// Instances whose *lifecycle* changed since the last snapshot: requested,
   /// terminated, boot completed (provisioning -> ready), drain ordered, a

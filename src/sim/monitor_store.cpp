@@ -31,10 +31,33 @@ MonitorStore::MonitorStore(const dag::Workflow& workflow)
 }
 
 void MonitorStore::journal_phase_change(TaskId task) {
+  if (in_step_) {
+    // Raw append; end_step (or a mid-step refresh) runs the stamp-dedup
+    // coalesce once for the whole step.
+    step_phase_.push_back(task);
+    return;
+  }
   if (phase_stamp_[task] != journal_epoch_) {
     phase_stamp_[task] = journal_epoch_;
     pending_.phase_changed.push_back(task);
   }
+}
+
+void MonitorStore::flush_step() {
+  for (TaskId task : step_phase_) {
+    if (phase_stamp_[task] != journal_epoch_) {
+      phase_stamp_[task] = journal_epoch_;
+      pending_.phase_changed.push_back(task);
+    }
+  }
+  step_phase_.clear();
+}
+
+void MonitorStore::begin_step() { in_step_ = true; }
+
+void MonitorStore::end_step() {
+  flush_step();
+  in_step_ = false;
 }
 
 void MonitorStore::running_insert(TaskId task) {
@@ -59,10 +82,12 @@ void MonitorStore::on_task_ready(TaskId task, SimTime now,
   const double input_mb = obs.input_mb;
   const std::uint32_t failed_attempts = obs.failed_attempts;
   const SimTime last_failed_elapsed = obs.last_failed_elapsed;
+  const std::uint32_t oom_attempts = obs.oom_attempts;
   obs = TaskObservation{};
   obs.input_mb = input_mb;
   obs.failed_attempts = failed_attempts;
   obs.last_failed_elapsed = last_failed_elapsed;
+  obs.oom_attempts = oom_attempts;
   obs.phase = TaskPhase::Ready;
   obs.ready_since = now;
   obs.attempts = attempts;
@@ -72,7 +97,8 @@ void MonitorStore::on_task_ready(TaskId task, SimTime now,
 }
 
 void MonitorStore::on_task_dispatched(TaskId task, InstanceId instance,
-                                      SimTime now, std::uint32_t attempts) {
+                                      SimTime now, std::uint32_t attempts,
+                                      double mem_reservation_mb) {
   TaskObservation& obs = snap_.tasks[task];
   obs.phase = TaskPhase::Running;
   obs.occupancy_start = now;
@@ -81,6 +107,7 @@ void MonitorStore::on_task_dispatched(TaskId task, InstanceId instance,
   obs.transfer_in_time = -1.0;
   obs.instance = instance;
   obs.attempts = attempts;
+  obs.mem_reservation_mb = mem_reservation_mb;
   exec_start_[task] = -1.0;
   running_insert(task);
   journal_phase_change(task);
@@ -99,11 +126,33 @@ void MonitorStore::on_task_failed(TaskId task, std::uint32_t attempts,
   TaskObservation& obs = snap_.tasks[task];
   WIRE_CHECK(obs.phase == TaskPhase::Running, "fault on non-running task");
   const double input_mb = obs.input_mb;
+  const std::uint32_t oom_attempts = obs.oom_attempts;
   obs = TaskObservation{};
   obs.input_mb = input_mb;
   obs.attempts = attempts;
   obs.failed_attempts = failed_attempts;
   obs.last_failed_elapsed = elapsed;
+  obs.oom_attempts = oom_attempts;
+  obs.phase = TaskPhase::Pending;
+  exec_start_[task] = -1.0;
+  running_erase(task);
+  journal_phase_change(task);
+  pending_.failed.push_back(task);
+}
+
+void MonitorStore::on_task_oom(TaskId task, std::uint32_t attempts,
+                               std::uint32_t oom_attempts) {
+  TaskObservation& obs = snap_.tasks[task];
+  WIRE_CHECK(obs.phase == TaskPhase::Running, "OOM on non-running task");
+  const double input_mb = obs.input_mb;
+  const std::uint32_t failed_attempts = obs.failed_attempts;
+  const SimTime last_failed_elapsed = obs.last_failed_elapsed;
+  obs = TaskObservation{};
+  obs.input_mb = input_mb;
+  obs.attempts = attempts;
+  obs.failed_attempts = failed_attempts;
+  obs.last_failed_elapsed = last_failed_elapsed;
+  obs.oom_attempts = oom_attempts;
   obs.phase = TaskPhase::Pending;
   exec_start_[task] = -1.0;
   running_erase(task);
@@ -112,21 +161,25 @@ void MonitorStore::on_task_failed(TaskId task, std::uint32_t attempts,
 }
 
 void MonitorStore::on_task_completed(TaskId task, double exec_time,
-                                     double transfer_time) {
+                                     double transfer_time,
+                                     double peak_mem_mb) {
   TaskObservation& obs = snap_.tasks[task];
   WIRE_CHECK(obs.phase != TaskPhase::Completed, "task completed twice");
   const double input_mb = obs.input_mb;
   const std::uint32_t attempts = obs.attempts;
   const std::uint32_t failed_attempts = obs.failed_attempts;
   const SimTime last_failed_elapsed = obs.last_failed_elapsed;
+  const std::uint32_t oom_attempts = obs.oom_attempts;
   obs = TaskObservation{};
   obs.input_mb = input_mb;
   obs.attempts = attempts;
   obs.failed_attempts = failed_attempts;
   obs.last_failed_elapsed = last_failed_elapsed;
+  obs.oom_attempts = oom_attempts;
   obs.phase = TaskPhase::Completed;
   obs.exec_time = exec_time;
   obs.transfer_time = transfer_time;
+  obs.peak_mem_mb = peak_mem_mb;
   exec_start_[task] = -1.0;
   running_erase(task);
   WIRE_CHECK(snap_.incomplete_tasks > 0, "incomplete count underflow");
@@ -182,6 +235,10 @@ const MonitorSnapshot& MonitorStore::refresh(SimTime now,
                                              const CloudPool& cloud,
                                              const FrameworkMaster& framework,
                                              const CloudConfig& config) {
+  // Control ticks fire mid-step: coalesce the step buffer before publishing
+  // so this delta covers everything up to `now`. Later events of the same
+  // step journal against the fresh epoch and land in the next delta.
+  if (in_step_) flush_step();
   refresh_fields(now, pool_cap, cloud, framework, config);
   // Publish the journal: swap it into the snapshot (reusing the previous
   // delta's capacity as the next accumulation buffer) and canonicalize the
@@ -273,7 +330,7 @@ std::size_t MonitorStore::state_bytes() const {
     bytes += vec(inst.running_tasks);
   }
   bytes += vec(exec_start_) + vec(running_) + vec(running_pos_) +
-           vec(phase_stamp_);
+           vec(phase_stamp_) + vec(step_phase_);
   bytes += vec(pending_.completed) + vec(pending_.phase_changed) +
            vec(pending_.instances_added) + vec(pending_.instances_removed) +
            vec(pending_.failed) + vec(pending_.instances_changed);

@@ -47,22 +47,43 @@ class MonitorStore {
   /// released. Resets every attempt-scoped field.
   void on_task_ready(dag::TaskId task, SimTime now, std::uint32_t attempts);
   /// Task bound to (instance, slot); occupancy starts at `now`.
+  /// `mem_reservation_mb` < 0 = no reservation (memory dimension off).
   void on_task_dispatched(dag::TaskId task, InstanceId instance, SimTime now,
-                          std::uint32_t attempts);
+                          std::uint32_t attempts,
+                          double mem_reservation_mb = -1.0);
   /// Input transfer finished; execution starts at `now`.
   void on_transfer_in_done(dag::TaskId task, double transfer_in_time,
                            SimTime now);
-  /// Task completed with its kickstart record.
+  /// Task completed with its kickstart record. `peak_mem_mb` < 0 = no
+  /// memory measurement (memory dimension off).
   void on_task_completed(dag::TaskId task, double exec_time,
-                         double transfer_time);
+                         double transfer_time, double peak_mem_mb = -1.0);
   /// A running attempt died transiently (fault injection): the task drops
   /// back to Pending awaiting its retry backoff (or quarantine).
   void on_task_failed(dag::TaskId task, std::uint32_t attempts,
                       std::uint32_t failed_attempts, double elapsed);
+  /// A running attempt was OOM-killed: back to Pending awaiting its upsized
+  /// retry (or quarantine). Listed in MonitorDelta::failed like a transient
+  /// failure, but failed_attempts is untouched — consumers discriminate via
+  /// TaskObservation::oom_attempts.
+  void on_task_oom(dag::TaskId task, std::uint32_t attempts,
+                   std::uint32_t oom_attempts);
 
   // --- Instance hooks (driven by JobEngine) ---
   void on_instance_added(InstanceId instance);
   void on_instance_removed(InstanceId instance);
+
+  // --- Step batching (driven by JobEngine) ---
+  /// Brackets one engine step: between begin_step and end_step,
+  /// journal_phase_change appends raw task ids to a step buffer (branchless)
+  /// instead of running the stamp-dedup per event; end_step coalesces the
+  /// buffer into the pending journal in one pass. During a dispatch storm
+  /// (an instance boot binding dozens of tasks in one event) that is one
+  /// coalesce per step instead of one dedup probe per transition. A refresh
+  /// mid-step (control ticks fire inside a step) flushes the buffer first,
+  /// so published deltas are identical to the per-event path.
+  void begin_step();
+  void end_step();
 
   /// Finalizes the per-tick view: refreshes the time-dependent fields of the
   /// running set, rebuilds the instance rows (O(live)) and the ready queue
@@ -99,6 +120,8 @@ class MonitorStore {
                       const CloudPool& cloud, const FrameworkMaster& framework,
                       const CloudConfig& config);
   void journal_phase_change(dag::TaskId task);
+  /// Stamp-dedup coalesce of the step buffer into the pending journal.
+  void flush_step();
   void running_insert(dag::TaskId task);
   void running_erase(dag::TaskId task);
 
@@ -129,6 +152,9 @@ class MonitorStore {
   /// journaled this interval).
   std::vector<std::uint64_t> phase_stamp_;
   std::uint64_t journal_epoch_ = 1;
+  /// Raw (possibly duplicated) phase changes of the current engine step.
+  std::vector<dag::TaskId> step_phase_;
+  bool in_step_ = false;
   /// Sorted-by-id lifecycle rows of the last published snapshot (and a
   /// scratch buffer reused across refreshes).
   std::vector<InstanceLifecycle> prev_lifecycle_;

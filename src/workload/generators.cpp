@@ -21,6 +21,11 @@ double unit_mean_lognormal(util::Rng& rng, double sigma) {
   return rng.lognormal_median(1.0, sigma) / std::exp(0.5 * sigma * sigma);
 }
 
+/// Stream index separating the peak-memory draws from the exec/skew stream,
+/// so a workflow's execution times and input sizes are byte-identical whether
+/// or not its profile declares memory footprints.
+constexpr std::uint64_t kMemoryStream = 0x3E35EEDu;
+
 /// Predecessors of task `index` (0-based within its stage) given the link
 /// pattern and the previous stage's task ids.
 std::vector<TaskId> link_predecessors(StageLink link,
@@ -47,6 +52,7 @@ dag::Workflow make_workflow(const WorkflowProfile& profile,
                             std::uint64_t seed) {
   WIRE_REQUIRE(!profile.stages.empty(), "profile has no stages");
   util::Rng rng(seed);
+  util::Rng mem_rng(util::derive_seed(seed, kMemoryStream));
   WorkflowBuilder builder(profile.name);
 
   std::vector<TaskId> prev_stage_tasks;
@@ -114,9 +120,18 @@ dag::Workflow make_workflow(const WorkflowProfile& profile,
           0.3, sp.mean_exec_seconds * rel *
                    unit_mean_lognormal(rng, profile.exec_residual_sigma));
       const double output_mb = input_mb * 0.5;
+      // Peak memory spreads lognormally around the stage mean (per-stage
+      // spread like exec times, Observation 3 applied to the memory
+      // dimension) from a decoupled stream.
+      const double peak_mem =
+          sp.mean_peak_mem_mb > 0.0
+              ? std::max(16.0, sp.mean_peak_mem_mb *
+                                   unit_mean_lognormal(
+                                       mem_rng, profile.mem_residual_sigma))
+              : 0.0;
       current.push_back(builder.add_task(
           stage, sp.name + "_" + std::to_string(i), input_mb, output_mb, exec,
-          link_predecessors(sp.link, i, prev_stage_tasks)));
+          link_predecessors(sp.link, i, prev_stage_tasks), peak_mem));
     }
     prev_stage_tasks = std::move(current);
   }
@@ -152,6 +167,7 @@ dag::Workflow random_layered(const RandomDagOptions& options,
   WIRE_REQUIRE(options.min_width >= 1, "need width >= 1");
   WIRE_REQUIRE(options.min_width <= options.max_width, "width range inverted");
   util::Rng rng(seed);
+  util::Rng mem_rng(util::derive_seed(seed, kMemoryStream));
   WorkflowBuilder builder("random_layered_" + std::to_string(seed));
 
   const std::uint32_t layers = static_cast<std::uint32_t>(
@@ -180,9 +196,14 @@ dag::Workflow random_layered(const RandomDagOptions& options,
           std::max(0.3, rng.lognormal_median(options.mean_exec_seconds, 0.4));
       const double input =
           std::max(0.01, rng.lognormal_median(options.mean_input_mb, 0.4));
+      const double peak_mem =
+          options.mean_peak_mem_mb > 0.0
+              ? std::max(16.0, mem_rng.lognormal_median(
+                                   options.mean_peak_mem_mb, 0.4))
+              : 0.0;
       current.push_back(builder.add_task(
           stage, "r" + std::to_string(layer) + "_" + std::to_string(i), input,
-          input * 0.5, exec, std::move(preds)));
+          input * 0.5, exec, std::move(preds), peak_mem));
     }
     prev = std::move(current);
   }

@@ -43,6 +43,10 @@ struct RandomDagOptions {
   double edge_density = 0.3;
   double mean_exec_seconds = 8.0;
   double mean_input_mb = 16.0;
+  /// Mean peak memory per task, MB (0 = no memory profile). Drawn from a
+  /// separate RNG stream, so setting this never perturbs the exec/input
+  /// draws of an existing (options, seed) pair.
+  double mean_peak_mem_mb = 0.0;
 };
 
 /// Generates a random layered DAG: one stage per layer, every task wired to

@@ -38,6 +38,11 @@ struct StageProfile {
   /// Aggregate input bytes processed by the stage, MB.
   double stage_input_mb = 0.0;
   StageLink link = StageLink::AllToAll;
+  /// Mean peak memory per task of the stage, MB (0 = no memory profile; the
+  /// memory dimension stays inert for such stages). The published traces do
+  /// not report per-stage memory, so these are plausible footprints chosen to
+  /// exercise the memory-aware packing without dominating it.
+  double mean_peak_mem_mb = 0.0;
 };
 
 /// One Table I run: a named list of stage profiles plus skew parameters.
@@ -60,6 +65,10 @@ struct WorkflowProfile {
   /// Probability that a task processes a non-standard block (heavier skew
   /// classes become more likely as this grows).
   double skew_class_probability = 0.35;
+  /// Lognormal sigma of the per-task peak-memory spread around the stage
+  /// mean (drawn from a separate RNG stream so enabling memory never changes
+  /// the execution-time/skew draws).
+  double mem_residual_sigma = 0.2;
 };
 
 /// Small/Large dataset selector (the two columns per workflow in Table I).
