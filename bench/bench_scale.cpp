@@ -1,0 +1,228 @@
+// Ensemble scale trajectory: sequential-reference vs sharded windowed
+// execution of the multi-tenant driver, swept over tenant count x shard
+// count on one site.
+//
+// Each cell runs the identical job stream (same arrivals, same seeds, same
+// arbitration) under a different execution configuration and records the
+// wall-clock of the whole run plus the serial-event count. The sharded
+// engine's contract is that the EnsembleReport is byte-identical to the
+// shards == 0 reference for every configuration, so the sweep doubles as a
+// large-scale differential check: any cell whose report diverges from its
+// reference fails the bench.
+//
+// `--smoke` runs one reduced tenant-count column (sequential + one sharded
+// configuration) as the CI tripwire: asserts byte-identical reports and
+// emits the JSON series. Exits nonzero on violation.
+//
+// Both modes emit machine-readable BENCH_scale.json (the recorded scale
+// trajectory) in bench_results/, in the same perf-trajectory idiom as
+// BENCH_memory.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ensemble/arbiter.h"
+#include "ensemble/arrival.h"
+#include "ensemble/driver.h"
+#include "ensemble/report.h"
+#include "exp/settings.h"
+#include "sim/config.h"
+#include "workload/profiles.h"
+
+namespace {
+
+using namespace wire;
+
+constexpr std::uint64_t kSeedRoot = 4111;
+
+/// Deterministic quiet site (no stochastic variability) so every cell of the
+/// sweep simulates the identical event sequence and wall-clock differences
+/// measure the execution engine, nothing else.
+sim::CloudConfig scale_site() {
+  sim::CloudConfig config;
+  config.lag_seconds = 180.0;
+  config.charging_unit_seconds = 900.0;
+  config.slots_per_instance = 4;
+  config.variability.instance_speed_sigma = 0.0;
+  config.variability.interference_sigma = 0.0;
+  config.variability.transfer_noise_sigma = 0.0;
+  config.variability.transfer_latency_seconds = 0.0;
+  config.variability.bandwidth_mb_per_s = 1e12;
+  return config;
+}
+
+/// A dense arrival front: `jobs` tenants land 50 ms apart, so the whole
+/// stream arrives well inside the 180 s provisioning lag — before the first
+/// tenant can possibly finish. The live tenant population (and with it the
+/// arbitration fan-in per serial event) therefore reaches the full stream.
+ensemble::ArrivalProcess dense_stream(std::uint32_t jobs) {
+  std::vector<ensemble::JobArrival> trace(jobs);
+  for (std::uint32_t i = 0; i < jobs; ++i) {
+    trace[i].arrival_seconds = 0.05 * i;
+    trace[i].profile_index = i % 2;
+  }
+  return ensemble::ArrivalProcess::fixed_trace(std::move(trace), kSeedRoot);
+}
+
+struct CellResult {
+  std::uint32_t tenants = 0;
+  std::uint32_t shards = 0;  // 0 = sequential reference loop
+  double wall_ms = 0.0;
+  /// Site-listener samples (serial events in windowed mode; every event in
+  /// the reference loop — the cadences differ by design, so latency is
+  /// compared through wall_ms, not per-sample time).
+  std::uint64_t samples = 0;
+  /// Largest concurrently live tenant population seen at any sample — the
+  /// arbitration fan-in the cell actually sustained.
+  std::uint32_t peak_live_tenants = 0;
+  double speedup_vs_sequential = 0.0;
+  ensemble::EnsembleReport report;
+};
+
+CellResult run_cell(std::uint32_t tenants, std::uint32_t shards) {
+  ensemble::EnsembleOptions options;
+  options.strategy = ensemble::ArbiterStrategy::DemandWeighted;
+  // A quarter of the stream can hold instances at once: enough contention
+  // that tenants queue at zero share (the population climbs), enough
+  // capacity that the stream drains in bounded sim time.
+  options.site_cap = std::max(8u, tenants / 4);
+  options.dedicated_baseline = false;
+  options.shards = shards;
+  CellResult result;
+  result.tenants = tenants;
+  result.shards = shards;
+  ensemble::EnsembleDriver driver(
+      {workload::tpch6_profile(workload::Scale::Small),
+       workload::pagerank_profile(workload::Scale::Small)},
+      dense_stream(tenants),
+      exp::policy_factory(exp::PolicyKind::PureReactive), scale_site(),
+      options);
+  driver.set_site_listener([&result](const ensemble::SiteSample& sample) {
+    ++result.samples;
+    result.peak_live_tenants =
+        std::max(result.peak_live_tenants,
+                 static_cast<std::uint32_t>(sample.jobs.size()));
+  });
+  const auto start = std::chrono::steady_clock::now();
+  result.report = driver.run();
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  return result;
+}
+
+/// The recorded scale trajectory: one JSON object per cell, written to
+/// bench_results/ so CI can archive and diff it across commits.
+void write_json(const std::vector<CellResult>& cells, bool smoke) {
+  const std::string path = bench::results_dir() + "/BENCH_scale.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("WARNING: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"scale\",\n  \"schema\": 1,\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"seed_root\": %llu,\n  \"cells\": [\n",
+               static_cast<unsigned long long>(kSeedRoot));
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"tenants\": %u, \"shards\": %u, \"wall_ms\": %.17g, "
+        "\"samples\": %llu, \"peak_live_tenants\": %u, "
+        "\"speedup_vs_sequential\": %.17g, \"horizon_s\": %.17g, "
+        "\"site_utilization\": %.17g}%s\n",
+        c.tenants, c.shards, c.wall_ms,
+        static_cast<unsigned long long>(c.samples), c.peak_live_tenants,
+        c.speedup_vs_sequential, c.report.horizon_seconds,
+        c.report.site_utilization, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("(scale trajectory written to %s)\n", path.c_str());
+}
+
+/// Runs one tenant-count column: the sequential reference first, then every
+/// sharded configuration, differentially checked against the reference.
+/// Returns nonzero if any report diverged.
+int run_column(std::uint32_t tenants, const std::vector<std::uint32_t>& shards,
+               std::vector<CellResult>* cells) {
+  int rc = 0;
+  CellResult reference = run_cell(tenants, 0);
+  std::printf(
+      "  tenants=%-5u shards=seq  wall=%9.1f ms  samples=%llu  "
+      "peak-live=%u\n",
+      tenants, reference.wall_ms,
+      static_cast<unsigned long long>(reference.samples),
+      reference.peak_live_tenants);
+  for (std::uint32_t s : shards) {
+    CellResult cell = run_cell(tenants, s);
+    const bool identical = cell.report == reference.report &&
+                           cell.report.render() == reference.report.render();
+    cell.speedup_vs_sequential =
+        cell.wall_ms > 0.0 ? reference.wall_ms / cell.wall_ms : 0.0;
+    std::printf(
+        "  tenants=%-5u shards=%-4u wall=%9.1f ms  samples=%llu  "
+        "peak-live=%u  speedup=%.2fx%s\n",
+        tenants, s, cell.wall_ms,
+        static_cast<unsigned long long>(cell.samples), cell.peak_live_tenants,
+        cell.speedup_vs_sequential,
+        identical ? "" : "  REPORT-DIVERGENCE");
+    if (!identical) {
+      std::printf(
+          "    FAIL: shards=%u report differs from the sequential "
+          "reference\n",
+          s);
+      rc = 1;
+    }
+    cells->push_back(std::move(cell));
+  }
+  cells->push_back(std::move(reference));
+  return rc;
+}
+
+int run_smoke() {
+  std::printf("bench_scale --smoke: sharding tripwire (seed root %llu)\n",
+              static_cast<unsigned long long>(kSeedRoot));
+  std::vector<CellResult> cells;
+  int rc = run_column(192, {4}, &cells);
+  write_json(cells, /*smoke=*/true);
+  if (rc != 0) std::printf("bench_scale --smoke FAILED\n");
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+
+  std::printf(
+      "Ensemble scale sweep: tenant count x shard count (seed root %llu)\n\n",
+      static_cast<unsigned long long>(kSeedRoot));
+  int rc = 0;
+  std::vector<CellResult> cells;
+  for (std::uint32_t tenants : {256u, 1024u}) {
+    rc |= run_column(tenants, {1, 2, 4, 8}, &cells);
+    std::printf("\n");
+  }
+  // The headline claim of the sweep: the big column really sustains a
+  // four-digit arbitration fan-in (>= 1000 live tenants at one site event).
+  std::uint32_t peak = 0;
+  for (const CellResult& c : cells) {
+    if (c.tenants >= 1024) peak = std::max(peak, c.peak_live_tenants);
+  }
+  if (peak < 1000) {
+    std::printf("FAIL: peak live tenants %u < 1000 — the scale claim does "
+                "not hold\n",
+                peak);
+    rc = 1;
+  }
+  write_json(cells, /*smoke=*/false);
+  return rc;
+}

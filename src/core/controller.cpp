@@ -102,6 +102,16 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
                                options_.reclaim_draining,
                                lookahead_.scratch().get());
 
+  if (memory_ && options_.report_memory_demand) {
+    // The projected footprint of the upcoming load — what the job would
+    // reserve if every Q_task entry ran concurrently. Purely advisory (the
+    // engine never acts on it); the ensemble arbiter converts it to an
+    // instance-count bid.
+    double mem = 0.0;
+    for (const UpcomingTask& t : lookahead->upcoming) mem += t.mem_mb;
+    cmd.desired_mem_mb = mem;
+  }
+
   if (trace_listener_) {
     MapeTrace trace;
     trace.now = snapshot.now;

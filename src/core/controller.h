@@ -55,6 +55,12 @@ struct WireOptions {
   /// sequentially; see plan_scratch.h for the contract). Null keeps a
   /// per-controller arena. Bit-identical either way.
   std::shared_ptr<PlanScratch> plan_scratch;
+  /// Report the projected memory footprint of the upcoming load (sum of
+  /// Q_task reservations) as PoolCommand::desired_mem_mb — the second axis
+  /// of the multi-tenant demand signal (ensemble memory-aware arbitration).
+  /// Off by default: the field stays 0 and every baseline is byte-identical.
+  /// No effect when the run's memory dimension is off.
+  bool report_memory_demand = false;
 };
 
 /// Per-iteration trace record (consumed by the overhead bench and tests).

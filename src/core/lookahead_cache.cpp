@@ -51,7 +51,7 @@ void IncrementalLookahead::reset(const dag::Workflow& workflow) {
 
 AnalyzePath IncrementalLookahead::classify(
     const sim::MonitorSnapshot& snapshot, const predict::Estimator& estimator,
-    const predict::TaskPredictor* online) const {
+    const predict::TaskPredictor* online, bool saw_misprediction) const {
   if (!options_.enabled) return AnalyzePath::kDisabled;
   if (!primed_) return AnalyzePath::kFirstTick;
   const sim::MonitorDelta& delta = snapshot.delta;
@@ -66,12 +66,10 @@ AnalyzePath IncrementalLookahead::classify(
                  ? options_.refit_fallback_stages + 1
                  : 0);
   if (refits > options_.refit_fallback_stages) return AnalyzePath::kRefitDrift;
-  if (options_.fallback_on_misprediction) {
-    for (TaskId t : delta.completed) {
-      if (projected_complete_stamp_[t] != epoch_) {
-        return AnalyzePath::kMisprediction;
-      }
-    }
+  // `saw_misprediction` is the single wavefront-vs-delta pass in tick() —
+  // classification no longer re-scans delta.completed on every quiet tick.
+  if (options_.fallback_on_misprediction && saw_misprediction) {
+    return AnalyzePath::kMisprediction;
   }
   return AnalyzePath::kIncremental;
 }
@@ -146,23 +144,24 @@ const LookaheadResult& IncrementalLookahead::tick(
     const sim::CloudConfig& config, RunState* state,
     const predict::MemoryPredictor* memory) {
   ++stats_.ticks;
-  last_path_ = classify(snapshot, estimator, online);
-  stats_.by_path[static_cast<std::size_t>(last_path_)] += 1;
 
   // Wavefront stamps exist solely for the misprediction fallback and its
   // accuracy stats; with that lever off, skip their whole lifecycle —
-  // capture push_backs inside the projection, the delta scans here, and the
+  // capture push_backs inside the projection, the delta scan here, and the
   // stamp writes below (see LookaheadCacheStats for the stats contract).
   const bool track_wavefront = options_.fallback_on_misprediction;
 
-  // Projection-accuracy accounting against the previous wavefront (stats
-  // only; classification already ran).
+  // The single wavefront-vs-delta pass: projection-accuracy accounting and
+  // the misprediction signal classification consumes (the classifier used to
+  // re-scan delta.completed itself — one pass now serves both).
+  bool saw_misprediction = false;
   if (track_wavefront && primed_ && snapshot.delta.exact) {
     for (TaskId t : snapshot.delta.completed) {
       if (projected_complete_stamp_[t] == epoch_) {
         ++stats_.matched_completions;
       } else {
         ++stats_.mispredicted_completions;
+        saw_misprediction = true;
       }
     }
     for (TaskId t : snapshot.delta.phase_changed) {
@@ -172,6 +171,9 @@ const LookaheadResult& IncrementalLookahead::tick(
       }
     }
   }
+
+  last_path_ = classify(snapshot, estimator, online, saw_misprediction);
+  stats_.by_path[static_cast<std::size_t>(last_path_)] += 1;
 
   // Occupancy-memo invalidation (see OccupancyMemo): exact deltas name every
   // task whose lifecycle phase moved — clearing just those entries keeps the

@@ -212,7 +212,8 @@ class IncrementalLookahead {
 
   AnalyzePath classify(const sim::MonitorSnapshot& snapshot,
                        const predict::Estimator& estimator,
-                       const predict::TaskPredictor* online) const;
+                       const predict::TaskPredictor* online,
+                       bool saw_misprediction) const;
 
   /// Revision-validated execution estimate: bit-equal to
   /// predict_exec(task).exec_seconds by construction (the stored double is

@@ -1,6 +1,7 @@
 #include "ensemble/arbiter.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "util/check.h"
@@ -80,17 +81,29 @@ void static_fair_share(std::uint32_t site_cap, std::uint32_t spare,
   }
 }
 
-void demand_weighted(std::uint32_t site_cap, std::uint32_t spare,
+void demand_weighted(std::uint32_t site_cap, double instance_mem_mb,
+                     std::uint32_t spare,
                      const std::vector<TenantDemand>& tenants,
                      const std::vector<std::size_t>& order,
                      std::vector<std::uint32_t>& shares) {
   // Unmet demand: how far each tenant's requested pool sits above its floor.
+  // With a per-instance memory capacity configured, a tenant's projected
+  // footprint lifts its bid to the instance count needed to hold it.
   std::vector<std::uint32_t> extra(tenants.size(), 0);
   std::uint64_t total_extra = 0;
   for (std::size_t i = 0; i < tenants.size(); ++i) {
-    const std::uint32_t want =
-        std::max(tenants[i].live_instances,
-                 std::min(tenants[i].requested_pool, site_cap));
+    std::uint32_t requested = tenants[i].requested_pool;
+    if (instance_mem_mb > 0.0 && tenants[i].requested_mem_mb > 0.0) {
+      const double needed =
+          std::ceil(tenants[i].requested_mem_mb / instance_mem_mb);
+      if (needed > static_cast<double>(requested)) {
+        requested = needed >= static_cast<double>(site_cap)
+                        ? site_cap
+                        : static_cast<std::uint32_t>(needed);
+      }
+    }
+    const std::uint32_t want = std::max(tenants[i].live_instances,
+                                        std::min(requested, site_cap));
     extra[i] = want - tenants[i].live_instances;
     total_extra += extra[i];
   }
@@ -130,6 +143,15 @@ void demand_weighted(std::uint32_t site_cap, std::uint32_t spare,
 std::vector<std::uint32_t> allocate_shares(
     ArbiterStrategy strategy, std::uint32_t site_cap,
     const std::vector<TenantDemand>& tenants) {
+  ArbiterConfig config;
+  config.site_cap = site_cap;
+  return allocate_shares(strategy, config, tenants);
+}
+
+std::vector<std::uint32_t> allocate_shares(
+    ArbiterStrategy strategy, const ArbiterConfig& config,
+    const std::vector<TenantDemand>& tenants) {
+  const std::uint32_t site_cap = config.site_cap;
   WIRE_REQUIRE(site_cap >= 1, "site cap must be at least one instance");
   if (tenants.empty()) return {};
 
@@ -155,7 +177,8 @@ std::vector<std::uint32_t> allocate_shares(
       static_fair_share(site_cap, spare, order, shares);
       break;
     case ArbiterStrategy::DemandWeighted:
-      demand_weighted(site_cap, spare, tenants, order, shares);
+      demand_weighted(site_cap, config.instance_mem_mb, spare, tenants, order,
+                      shares);
       break;
   }
 

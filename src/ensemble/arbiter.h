@@ -60,6 +60,23 @@ struct TenantDemand {
   /// Pool size the tenant's controller wants (>= 1 for a tenant that still
   /// has work; waiting tenants report their bootstrap size).
   std::uint32_t requested_pool = 0;
+  /// Projected memory demand (MB) the tenant's controller reported
+  /// (JobEngine::requested_mem_mb); 0.0 = not reported. Only consulted by
+  /// memory-aware arbitration (ArbiterConfig::instance_mem_mb > 0).
+  double requested_mem_mb = 0.0;
+};
+
+/// Site-level arbitration parameters beyond the strategy itself.
+struct ArbiterConfig {
+  /// Shared instance cap; must be >= 1.
+  std::uint32_t site_cap = 0;
+  /// Per-instance memory capacity (MB). When > 0, DemandWeighted lifts each
+  /// tenant's effective requested pool to at least
+  /// ceil(requested_mem_mb / instance_mem_mb) — a tenant whose projected
+  /// footprint cannot fit its instance-count demand bids for enough
+  /// instances to hold it. 0 (the default) reproduces the instance-only
+  /// arbitration byte-identically.
+  double instance_mem_mb = 0.0;
 };
 
 /// Partitions `site_cap` among `tenants` under `strategy`. Returns one share
@@ -67,6 +84,12 @@ struct TenantDemand {
 /// Requires site_cap >= 1 and sum(live_instances) <= site_cap.
 std::vector<std::uint32_t> allocate_shares(
     ArbiterStrategy strategy, std::uint32_t site_cap,
+    const std::vector<TenantDemand>& tenants);
+
+/// As above, with the full config (memory-aware demand lifting). The
+/// three-argument overload forwards here with instance_mem_mb = 0.
+std::vector<std::uint32_t> allocate_shares(
+    ArbiterStrategy strategy, const ArbiterConfig& config,
     const std::vector<TenantDemand>& tenants);
 
 }  // namespace wire::ensemble

@@ -3,17 +3,30 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "sim/driver.h"
 #include "sim/engine.h"
 #include "util/check.h"
+#include "util/rng.h"
 #include "workload/generators.h"
 
 namespace wire::ensemble {
 
 namespace {
 constexpr sim::SimTime kNever = std::numeric_limits<sim::SimTime>::infinity();
+/// Below this many open tenants the two-phase demand gather runs serially:
+/// the rows are O(1) each, so fan-out only pays off on wide sites. Purely a
+/// scheduling choice — the rows land in the same canonical slots either way.
+constexpr std::size_t kParallelDemandThreshold = 128;
 }  // namespace
+
+std::uint32_t tenant_shard(std::uint64_t shard_seed, std::uint32_t shards,
+                           std::uint32_t job) {
+  if (shards <= 1) return 0;
+  return static_cast<std::uint32_t>(util::derive_seed(shard_seed, job) %
+                                    shards);
+}
 
 struct EnsembleDriver::Tenant {
   enum class State { Waiting, Active, Done };
@@ -23,6 +36,10 @@ struct EnsembleDriver::Tenant {
   std::unique_ptr<sim::ScalingPolicy> policy;
   std::unique_ptr<sim::JobEngine> engine;
   State state = State::Waiting;
+  /// Index in tenants_ (== arrival order) — the canonical tie-break.
+  std::size_t index = 0;
+  /// Fixed shard this tenant is pinned to (tenant_shard of its job id).
+  std::uint32_t shard = 0;
   sim::SimTime admitted_at = -1.0;
   sim::SimTime completed_at = -1.0;
   sim::RunResult result;
@@ -33,6 +50,12 @@ struct EnsembleDriver::Tenant {
   sim::SimTime next_event_site_time() const {
     return admitted_at + engine->next_event_time();
   }
+
+  /// Site-clock time of the tenant's next demand-relevant event (+inf for a
+  /// completed engine awaiting retirement).
+  sim::SimTime next_demand_site_time() const {
+    return admitted_at + engine->next_demand_event_time();
+  }
 };
 
 EnsembleDriver::~EnsembleDriver() = default;
@@ -42,16 +65,32 @@ EnsembleDriver::EnsembleDriver(std::vector<workload::WorkflowProfile> profiles,
                                PolicyFactory policy_factory,
                                const sim::CloudConfig& cloud,
                                const EnsembleOptions& options)
+    : EnsembleDriver(std::move(profiles), std::move(arrivals),
+                     ShardedPolicyFactory(), cloud, options) {
+  WIRE_REQUIRE(static_cast<bool>(policy_factory), "need a policy factory");
+  // Wrap the zero-arg factory; its policies may share scratch, so the
+  // dedicated baselines must not run concurrently.
+  policy_factory_ = [factory = std::move(policy_factory)](std::uint32_t) {
+    return factory();
+  };
+  parallel_safe_factory_ = false;
+}
+
+EnsembleDriver::EnsembleDriver(std::vector<workload::WorkflowProfile> profiles,
+                               ArrivalProcess arrivals,
+                               ShardedPolicyFactory sharded_policy_factory,
+                               const sim::CloudConfig& cloud,
+                               const EnsembleOptions& options)
     : profiles_(std::move(profiles)),
       arrivals_(std::move(arrivals)),
-      policy_factory_(std::move(policy_factory)),
+      policy_factory_(std::move(sharded_policy_factory)),
+      parallel_safe_factory_(true),
       cloud_(cloud),
       options_(options) {
   WIRE_REQUIRE(!profiles_.empty(), "need at least one workflow profile");
   WIRE_REQUIRE(options_.site_cap >= 1, "site cap must be at least one");
   WIRE_REQUIRE(options_.initial_instances >= 1,
                "jobs bootstrap with at least one instance");
-  WIRE_REQUIRE(static_cast<bool>(policy_factory_), "need a policy factory");
   for (const JobArrival& a : arrivals_.jobs()) {
     WIRE_REQUIRE(a.profile_index < profiles_.size(),
                  "arrival references an unknown profile");
@@ -60,6 +99,7 @@ EnsembleDriver::EnsembleDriver(std::vector<workload::WorkflowProfile> profiles,
   // engines must not additionally clip against a site-wide max_instances
   // they believe they own exclusively.
   cloud_.max_instances = 0;
+  shard_members_.resize(std::max(1u, options_.shards));
 }
 
 void EnsembleDriver::admit(Tenant& tenant, sim::SimTime now) {
@@ -74,36 +114,89 @@ void EnsembleDriver::retire(Tenant& tenant, sim::SimTime now) {
   tenant.result = tenant.engine->result();
   busy_slot_seconds_ += tenant.result.busy_slot_seconds;
   allocated_instance_seconds_ += tenant.result.ready_instance_seconds;
+  const auto drop = [&tenant](std::vector<Tenant*>& v) {
+    v.erase(std::find(v.begin(), v.end(), &tenant));
+  };
+  drop(open_);
+  drop(shard_members_[tenant.shard]);
 }
 
-void EnsembleDriver::rebalance(sim::SimTime now) {
-  // Demands over every arrived-but-unfinished tenant, in arrival order
-  // (tenants_ is appended in arrival order, so iteration order is FIFO).
-  std::vector<Tenant*> open;
-  std::vector<TenantDemand> demands;
-  for (const std::unique_ptr<Tenant>& t : tenants_) {
-    if (t->state == Tenant::State::Done) continue;
-    TenantDemand d;
-    d.job = t->arrival.job;
-    d.arrival_seconds = t->arrival.arrival_seconds;
-    if (t->state == Tenant::State::Active) {
-      d.live_instances = t->engine->live_instances();
-      d.requested_pool = t->engine->requested_pool();
+void EnsembleDriver::admit_arrival(const JobArrival& a) {
+  auto tenant = std::make_unique<Tenant>(
+      a, workload::make_workflow(profiles_[a.profile_index], a.workflow_seed));
+  tenant->index = tenants_.size();
+  tenant->shard = tenant_shard(options_.shard_seed,
+                               std::max(1u, options_.shards), a.job);
+  tenant->policy = policy_factory_(tenant->shard);
+  sim::RunOptions run_options;
+  run_options.seed = a.run_seed;
+  run_options.initial_instances = options_.initial_instances;
+  run_options.max_sim_seconds = options_.max_sim_seconds;
+  tenant->engine = std::make_unique<sim::JobEngine>(
+      tenant->workflow, *tenant->policy, cloud_, run_options);
+  open_.push_back(tenant.get());
+  shard_members_[tenant->shard].push_back(tenant.get());
+  tenants_.push_back(std::move(tenant));
+}
+
+void EnsembleDriver::gather_demands(std::vector<TenantDemand>& demands) const {
+  demands.resize(open_.size());
+  const auto fill = [this, &demands](std::size_t i) {
+    const Tenant& t = *open_[i];
+    TenantDemand& d = demands[i];
+    d.job = t.arrival.job;
+    d.arrival_seconds = t.arrival.arrival_seconds;
+    if (t.state == Tenant::State::Active) {
+      d.live_instances = t.engine->live_instances();
+      d.requested_pool = t.engine->requested_pool();
+      d.requested_mem_mb =
+          options_.memory_aware_demand ? t.engine->requested_mem_mb() : 0.0;
     } else {
       d.live_instances = 0;
       d.requested_pool = options_.initial_instances;
+      d.requested_mem_mb = 0.0;
     }
-    open.push_back(t.get());
-    demands.push_back(d);
+  };
+  if (pool_ && open_.size() >= kParallelDemandThreshold) {
+    // Phase one of the two-phase arbitration: shards fill contiguous slices
+    // of the canonical arrival-order row vector concurrently. Placement is
+    // by canonical index, so the serial merge below sees rows independent of
+    // which worker produced them.
+    const std::size_t shards = shard_members_.size();
+    const std::size_t chunk = (open_.size() + shards - 1) / shards;
+    pool_->run_batch(shards, [&](std::size_t s) {
+      const std::size_t begin = s * chunk;
+      const std::size_t end = std::min(open_.size(), begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) fill(i);
+    });
+  } else {
+    for (std::size_t i = 0; i < open_.size(); ++i) fill(i);
   }
-  if (open.empty()) return;
+}
 
+void EnsembleDriver::rebalance(sim::SimTime now) {
+  // Phase one: demand rows over every arrived-but-unfinished tenant, in
+  // arrival order (open_ is appended at arrival and erased at retirement, so
+  // its order is FIFO).
+  if (open_.empty()) return;
+  std::vector<TenantDemand> demands;
+  gather_demands(demands);
+
+  // Phase two: the serial merge — one allocation pass over the canonical
+  // rows, then cap installation and admissions in the same canonical order.
+  ArbiterConfig config;
+  config.site_cap = options_.site_cap;
+  if (options_.memory_aware_demand) {
+    config.instance_mem_mb = cloud_.memory.instance_mem_mb;
+  }
   const std::vector<std::uint32_t> shares =
-      allocate_shares(options_.strategy, options_.site_cap, demands);
+      allocate_shares(options_.strategy, config, demands);
 
   std::uint32_t live_total = 0;
-  for (std::size_t i = 0; i < open.size(); ++i) {
-    Tenant& t = *open[i];
+  // Admissions mutate open_ only by state flips (no reordering), but iterate
+  // by index to stay robust.
+  for (std::size_t i = 0; i < open_.size(); ++i) {
+    Tenant& t = *open_[i];
     t.engine->set_instance_cap(shares[i]);
     if (t.state == Tenant::State::Waiting && shares[i] >= 1) {
       admit(t, now);
@@ -118,10 +211,10 @@ void EnsembleDriver::rebalance(sim::SimTime now) {
     sample.now = now;
     sample.site_cap = options_.site_cap;
     sample.live_total = live_total;
-    for (std::size_t i = 0; i < open.size(); ++i) {
-      sample.jobs.push_back(open[i]->arrival.job);
-      sample.live.push_back(open[i]->engine->started()
-                                ? open[i]->engine->live_instances()
+    for (std::size_t i = 0; i < open_.size(); ++i) {
+      sample.jobs.push_back(open_[i]->arrival.job);
+      sample.live.push_back(open_[i]->engine->started()
+                                ? open_[i]->engine->live_instances()
                                 : 0);
       sample.shares.push_back(shares[i]);
     }
@@ -134,7 +227,8 @@ double EnsembleDriver::dedicated_makespan(const Tenant& tenant) {
   // seed, same policy kind) alone on the full site.
   sim::CloudConfig dedicated = cloud_;
   dedicated.max_instances = options_.site_cap;
-  const std::unique_ptr<sim::ScalingPolicy> policy = policy_factory_();
+  const std::unique_ptr<sim::ScalingPolicy> policy =
+      policy_factory_(tenant.shard);
   sim::RunOptions run_options;
   run_options.seed = tenant.arrival.run_seed;
   run_options.initial_instances = options_.initial_instances;
@@ -143,10 +237,10 @@ double EnsembleDriver::dedicated_makespan(const Tenant& tenant) {
       .makespan;
 }
 
-EnsembleReport EnsembleDriver::run() {
-  WIRE_REQUIRE(!ran_, "ensemble already ran");
-  ran_ = true;
-
+void EnsembleDriver::run_sequential_loop() {
+  // The historical reference loop: pop one site event at a time, in global
+  // time order, scanning every tenant per event. Kept verbatim behind
+  // shards == 0 as the byte-identity oracle for the windowed engine.
   std::size_t next_arrival = 0;
   const std::vector<JobArrival>& stream = arrivals_.jobs();
 
@@ -176,18 +270,7 @@ EnsembleReport EnsembleDriver::run() {
     }
 
     if (arrival_time <= tenant_time) {
-      const JobArrival& a = stream[next_arrival++];
-      auto tenant = std::make_unique<Tenant>(
-          a, workload::make_workflow(profiles_[a.profile_index],
-                                     a.workflow_seed));
-      tenant->policy = policy_factory_();
-      sim::RunOptions run_options;
-      run_options.seed = a.run_seed;
-      run_options.initial_instances = options_.initial_instances;
-      run_options.max_sim_seconds = options_.max_sim_seconds;
-      tenant->engine = std::make_unique<sim::JobEngine>(
-          tenant->workflow, *tenant->policy, cloud_, run_options);
-      tenants_.push_back(std::move(tenant));
+      admit_arrival(stream[next_arrival++]);
     } else {
       next_tenant->engine->step();
       if (next_tenant->engine->done()) {
@@ -198,7 +281,107 @@ EnsembleReport EnsembleDriver::run() {
     // move on boots/releases, and retirements free whole shares.
     rebalance(now);
   }
+}
 
+void EnsembleDriver::run_windowed_loop() {
+  std::size_t next_arrival = 0;
+  const std::vector<JobArrival>& stream = arrivals_.jobs();
+  const std::size_t shards = shard_members_.size();
+  if (shards > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+  const sim::SimTime max = options_.max_sim_seconds;
+
+  for (;;) {
+    const sim::SimTime arrival_time = next_arrival < stream.size()
+                                          ? stream[next_arrival].arrival_seconds
+                                          : kNever;
+
+    // Horizon: the earliest pending event that can change any tenant's
+    // demand state or read its cap. Everything strictly below it is local to
+    // one engine and commutes across tenants.
+    sim::SimTime horizon = arrival_time;
+    bool advance_pending = false;
+    for (const Tenant* t : open_) {
+      if (t->state != Tenant::State::Active || t->engine->done()) continue;
+      horizon = std::min(horizon, t->next_demand_site_time());
+    }
+    for (const Tenant* t : open_) {
+      if (t->state != Tenant::State::Active || t->engine->done()) continue;
+      const sim::SimTime when = t->next_event_site_time();
+      if (when < horizon && when <= max) {
+        advance_pending = true;
+        break;
+      }
+    }
+
+    if (advance_pending) {
+      // Parallel phase: every shard advances its engines through their local
+      // events strictly below the horizon. Local handlers never touch caps
+      // or demand, so this is byte-equivalent to processing the same events
+      // interleaved in global time order.
+      const auto advance_shard = [&](std::size_t s) {
+        for (Tenant* t : shard_members_[s]) {
+          if (t->state != Tenant::State::Active) continue;
+          sim::JobEngine& engine = *t->engine;
+          while (!engine.done()) {
+            const sim::SimTime when = t->next_event_site_time();
+            if (when >= horizon || when > max) break;
+            engine.step();
+          }
+          WIRE_CHECK(engine.done() || t->next_demand_site_time() >= horizon,
+                     "local advance crossed a demand-relevant event");
+        }
+      };
+      if (pool_) {
+        pool_->run_batch(shards, advance_shard);
+      } else {
+        advance_shard(0);
+      }
+    }
+
+    // Serial phase: exactly one site action — the earliest among the next
+    // arrival, pending retirements (engines that completed during the
+    // parallel phase, at their completion times), and tracked tenant events
+    // (all >= horizon now). Ties: arrivals first, then lowest tenant index —
+    // the same total order the sequential reference scan induces.
+    Tenant* next_tenant = nullptr;
+    sim::SimTime tenant_time = kNever;
+    for (Tenant* t : open_) {
+      if (t->state != Tenant::State::Active) continue;
+      const sim::SimTime when = t->engine->done()
+                                    ? t->admitted_at + t->engine->end_time()
+                                    : t->next_event_site_time();
+      if (when < tenant_time) {
+        tenant_time = when;
+        next_tenant = t;
+      }
+    }
+    if (arrival_time == kNever && next_tenant == nullptr) break;
+
+    const sim::SimTime now = std::min(arrival_time, tenant_time);
+    if (now > max) {
+      throw std::runtime_error(
+          "ensemble exceeded max_sim_seconds — site appears stuck");
+    }
+
+    if (arrival_time <= tenant_time) {
+      admit_arrival(stream[next_arrival++]);
+    } else if (next_tenant->engine->done()) {
+      retire(*next_tenant, now);
+    } else {
+      next_tenant->engine->step();
+      if (next_tenant->engine->done()) {
+        retire(*next_tenant, now);
+      }
+    }
+    rebalance(now);
+  }
+
+  pool_.reset();
+}
+
+EnsembleReport EnsembleDriver::assemble_report() {
   EnsembleReport report;
   report.tenant_policy = tenants_.empty()
                              ? std::string("none")
@@ -206,6 +389,30 @@ EnsembleReport EnsembleDriver::run() {
   report.arbiter_strategy = strategy_name(options_.strategy);
   report.site_cap = options_.site_cap;
   report.slots_per_instance = cloud_.slots_per_instance;
+
+  // Dedicated-baseline counterfactuals are whole independent simulations, so
+  // they parallelize across shards — but only when policies were minted by a
+  // shard-aware factory (per-shard scratch); a plain factory may share
+  // scratch across all tenants and must stay sequential. Each result lands
+  // in its tenant's slot, so assembly below is order-independent.
+  std::vector<double> dedicated(tenants_.size(), 0.0);
+  if (options_.dedicated_baseline) {
+    const std::size_t shards = shard_members_.size();
+    if (parallel_safe_factory_ && shards > 1) {
+      util::ThreadPool pool(options_.threads);
+      pool.run_batch(shards, [&](std::size_t s) {
+        for (const std::unique_ptr<Tenant>& t : tenants_) {
+          if (t->shard != s) continue;
+          dedicated[t->index] = dedicated_makespan(*t);
+        }
+      });
+    } else {
+      for (const std::unique_ptr<Tenant>& t : tenants_) {
+        dedicated[t->index] = dedicated_makespan(*t);
+      }
+    }
+  }
+
   for (const std::unique_ptr<Tenant>& t : tenants_) {
     WIRE_CHECK(t->state == Tenant::State::Done, "unfinished tenant at exit");
     JobOutcome j;
@@ -217,7 +424,7 @@ EnsembleReport EnsembleDriver::run() {
     j.queue_wait_seconds = t->admitted_at - t->arrival.arrival_seconds;
     j.makespan_seconds = t->result.makespan;
     if (options_.dedicated_baseline) {
-      j.dedicated_makespan_seconds = dedicated_makespan(*t);
+      j.dedicated_makespan_seconds = dedicated[t->index];
       j.slowdown = (j.queue_wait_seconds + j.makespan_seconds) /
                    j.dedicated_makespan_seconds;
     }
@@ -232,6 +439,17 @@ EnsembleReport EnsembleDriver::run() {
   }
   report.finalize(busy_slot_seconds_, allocated_instance_seconds_);
   return report;
+}
+
+EnsembleReport EnsembleDriver::run() {
+  WIRE_REQUIRE(!ran_, "ensemble already ran");
+  ran_ = true;
+  if (options_.shards == 0) {
+    run_sequential_loop();
+  } else {
+    run_windowed_loop();
+  }
+  return assemble_report();
 }
 
 }  // namespace wire::ensemble

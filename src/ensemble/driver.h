@@ -20,15 +20,40 @@
 // a tenant's share at its live instance count, so 0 can only reach a tenant
 // that currently holds no instances.
 //
-// Serialization guarantee the Plan scratch sharing relies on: run() pops ONE
-// site event at a time and advances ONE tenant engine (or admits/retires one
-// job) before touching the next — tenant policies never plan concurrently.
-// exp::policy_factory exploits this by minting every WIRE controller of an
-// ensemble with one shared core::PlanScratch arena (the projection's
-// transient buffers), so per-tenant lookahead cost stops scaling with
-// allocation churn. Any custom PolicyFactory that shares state across the
-// policies it mints inherits the same contract: safe under this driver,
-// not safe under a hypothetical concurrent stepper.
+// Execution model (sharded windowed stepping): tenants are partitioned
+// across `EnsembleOptions::shards` shards by a fixed seeded map
+// (tenant_shard); the driver repeatedly computes a horizon H = the earliest
+// pending *demand-relevant* site event (next arrival, or any tenant's next
+// ControlTick / InstanceDrain / InstanceCrash / fault-mode InstanceReady —
+// see JobEngine::next_demand_event_time), advances every shard's engines
+// through their purely local events strictly below H in parallel on a
+// util::ThreadPool, then serially processes exactly one site event (arrival,
+// tracked tenant event, or retirement) and rebalances shares. Local events
+// never read the instance cap and never move the demand signal, so the
+// parallel phase commutes with the serial one and the result is
+// byte-identical to the fully sequential reference for any shard and worker
+// count (EnsembleOptions::shards == 0 keeps that reference loop;
+// tests/test_ensemble_sharded.cpp proves the equivalence differentially).
+//
+// Arbitration is two-phase under sharding: per-tenant demand rows are
+// gathered in parallel into canonical arrival-order slots, then one serial
+// merge runs allocate_shares over the canonically ordered rows — so the
+// allocation arithmetic and its (arrival, job id) tie-breaks never depend on
+// shard or thread count.
+//
+// Policy-state sharing: tenant policies plan() only at serial points (control
+// ticks), so even a PolicyFactory that shares one core::PlanScratch across
+// the policies it mints is safe in the main loop. Dedicated-baseline runs DO
+// execute whole jobs concurrently, so they are only parallelized when the
+// driver was built with a shard-aware ShardedPolicyFactory
+// (exp::sharded_policy_factory mints per-shard arenas); with a plain
+// PolicyFactory the baselines fall back to sequential execution.
+//
+// Site listener cadence: the windowed engine emits SiteSamples at serial
+// events only (arrivals, demand-relevant tenant events, retirements) — the
+// points where shares can actually move. The shards == 0 reference loop
+// keeps the historical after-every-event cadence. Share values and the
+// capacity invariant are identical at the shared points.
 #pragma once
 
 #include <cstdint>
@@ -41,6 +66,7 @@
 #include "ensemble/report.h"
 #include "sim/config.h"
 #include "sim/scaling_policy.h"
+#include "util/thread_pool.h"
 #include "workload/profiles.h"
 
 namespace wire::ensemble {
@@ -49,6 +75,21 @@ namespace wire::ensemble {
 /// state across jobs).
 using PolicyFactory =
     std::function<std::unique_ptr<sim::ScalingPolicy>()>;
+
+/// Shard-aware policy factory: mints a fresh policy for a tenant pinned to
+/// `shard`. Policies minted for the same shard may share scratch state
+/// (exp::sharded_policy_factory shares one PlanScratch arena per shard);
+/// policies of different shards must share nothing mutable, because
+/// dedicated-baseline runs execute different shards concurrently.
+using ShardedPolicyFactory =
+    std::function<std::unique_ptr<sim::ScalingPolicy>(std::uint32_t shard)>;
+
+/// Deterministic seeded tenant→shard map: which shard owns job `job` under
+/// `shards`-way partitioning. Pure (SplitMix64 over (shard_seed, job)), so
+/// the partition is stable across runs, platforms, and worker counts.
+/// Returns 0 when shards <= 1.
+std::uint32_t tenant_shard(std::uint64_t shard_seed, std::uint32_t shards,
+                           std::uint32_t job);
 
 struct EnsembleOptions {
   ArbiterStrategy strategy = ArbiterStrategy::StaticFairShare;
@@ -63,6 +104,22 @@ struct EnsembleOptions {
   /// measured against. Doubles the simulation work; disable for quick runs
   /// (slowdown and dedicated makespan then report 0).
   bool dedicated_baseline = true;
+  /// Tenant shards for the windowed parallel engine. 0 = the legacy fully
+  /// sequential reference loop; 1 = windowed engine, single shard (no
+  /// threads spawned); >= 2 = parallel shard advance + two-phase
+  /// arbitration. The EnsembleReport is byte-identical across all values.
+  std::uint32_t shards = 1;
+  /// Worker threads backing the shard pool (0 = hardware concurrency).
+  /// Never affects results, only wall-clock.
+  std::uint32_t threads = 0;
+  /// Seed of the tenant→shard map (kept fixed so recorded runs replay onto
+  /// identical partitions).
+  std::uint64_t shard_seed = 0x5A17D5ull;
+  /// Feed each tenant's projected memory demand
+  /// (JobEngine::requested_mem_mb) into demand-weighted arbitration via
+  /// ArbiterConfig::instance_mem_mb taken from the site's MemoryConfig. Off
+  /// by default: baselines stay byte-identical.
+  bool memory_aware_demand = false;
 };
 
 /// Site-level observation emitted after every processed event (arrival,
@@ -85,9 +142,20 @@ class EnsembleDriver {
   /// `profiles` is the workflow catalogue the arrival stream indexes into;
   /// `cloud` describes one site instance (its max_instances is ignored —
   /// EnsembleOptions::site_cap is the shared ceiling, and the per-tenant
-  /// engines are capped by their arbiter shares instead).
+  /// engines are capped by their arbiter shares instead). With a plain
+  /// PolicyFactory the minted policies may share scratch (main loop plans
+  /// serially), but dedicated-baseline runs stay sequential.
   EnsembleDriver(std::vector<workload::WorkflowProfile> profiles,
                  ArrivalProcess arrivals, PolicyFactory policy_factory,
+                 const sim::CloudConfig& cloud,
+                 const EnsembleOptions& options = {});
+
+  /// Shard-aware overload: policies are minted per tenant shard
+  /// (exp::sharded_policy_factory), which additionally lets
+  /// dedicated-baseline runs execute shards in parallel.
+  EnsembleDriver(std::vector<workload::WorkflowProfile> profiles,
+                 ArrivalProcess arrivals,
+                 ShardedPolicyFactory sharded_policy_factory,
                  const sim::CloudConfig& cloud,
                  const EnsembleOptions& options = {});
   ~EnsembleDriver();  // out of line: Tenant is private to the .cpp
@@ -108,15 +176,30 @@ class EnsembleDriver {
   void admit(Tenant& tenant, sim::SimTime now);
   void retire(Tenant& tenant, sim::SimTime now);
   void rebalance(sim::SimTime now);
+  void gather_demands(std::vector<TenantDemand>& demands) const;
+  void admit_arrival(const JobArrival& a);
+  void run_sequential_loop();
+  void run_windowed_loop();
+  EnsembleReport assemble_report();
   double dedicated_makespan(const Tenant& tenant);
 
   std::vector<workload::WorkflowProfile> profiles_;
   ArrivalProcess arrivals_;
-  PolicyFactory policy_factory_;
+  /// All policy minting goes through the sharded form; a plain PolicyFactory
+  /// is wrapped to ignore the shard (and parallel_safe_factory_ is false).
+  ShardedPolicyFactory policy_factory_;
+  bool parallel_safe_factory_ = false;
   sim::CloudConfig cloud_;
   EnsembleOptions options_;
   std::function<void(const SiteSample&)> site_listener_;
   std::vector<std::unique_ptr<Tenant>> tenants_;
+  /// Arrived, not yet retired tenants in arrival order (the serial scan
+  /// set), and the per-shard partition of the same set (the parallel
+  /// advance set). Maintained at arrival admission/retirement.
+  std::vector<Tenant*> open_;
+  std::vector<std::vector<Tenant*>> shard_members_;
+  /// Worker pool for the windowed engine; null unless shards >= 2.
+  std::unique_ptr<util::ThreadPool> pool_;
   double busy_slot_seconds_ = 0.0;
   double allocated_instance_seconds_ = 0.0;
   bool ran_ = false;

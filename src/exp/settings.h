@@ -40,11 +40,24 @@ std::unique_ptr<sim::ScalingPolicy> make_policy(
 /// A reusable factory for `kind`: each call yields a fresh policy instance.
 /// This is the shape the multi-tenant ensemble driver consumes (one
 /// controller per concurrent job). For PolicyKind::Wire, every controller
-/// from one factory shares a single Plan scratch arena (safe because the
-/// ensemble driver serializes tenant stepping; see core/plan_scratch.h) —
-/// pass WireOptions::plan_scratch to override.
+/// from one factory shares a single Plan scratch arena (safe: the ensemble
+/// driver only lets tenant policies plan() at serial points, never
+/// concurrently; see core/plan_scratch.h) — pass WireOptions::plan_scratch
+/// to override. Dedicated-baseline runs under this factory stay sequential;
+/// use sharded_policy_factory to parallelize them.
 std::function<std::unique_ptr<sim::ScalingPolicy>()> policy_factory(
     PolicyKind kind, const core::WireOptions& wire_options = {});
+
+/// Shard-aware factory for the sharded ensemble driver: policies minted for
+/// the same shard share one Plan scratch arena (created lazily, under a
+/// mutex so concurrent dedicated-baseline minting is safe); different shards
+/// never share scratch, so whole jobs of different shards may run
+/// concurrently. Scratch identity never affects results (the arena holds no
+/// cross-tick state), so this factory is result-identical to policy_factory
+/// for any shard assignment.
+std::function<std::unique_ptr<sim::ScalingPolicy>(std::uint32_t)>
+sharded_policy_factory(PolicyKind kind,
+                       const core::WireOptions& wire_options = {});
 
 /// Bootstrap pool size for a policy on a site: the full site for FullSite,
 /// one instance for the elastic policies.

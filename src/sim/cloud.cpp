@@ -23,6 +23,7 @@ InstanceId CloudPool::request(SimTime now, double speed_factor,
       now + (lag_override >= 0.0 ? lag_override : config_.lag_seconds);
   inst.speed_factor = speed_factor;
   instances_.push_back(inst);
+  live_ids_.push_back(inst.id);  // ids increase, so live_ids_ stays sorted
   peak_live_ = std::max(peak_live_, live_count());
   return inst.id;
 }
@@ -35,6 +36,7 @@ InstanceId CloudPool::request_ready(SimTime now, double speed_factor) {
   inst.ready_at = now;
   inst.speed_factor = speed_factor;
   instances_.push_back(inst);
+  live_ids_.push_back(inst.id);
   peak_live_ = std::max(peak_live_, live_count());
   return inst.id;
 }
@@ -66,6 +68,10 @@ void CloudPool::terminate(InstanceId id, SimTime now) {
   inst.state = InstanceState::Terminated;
   inst.terminated_at = now;
   inst.drain_at = -1.0;
+  const auto it = std::lower_bound(live_ids_.begin(), live_ids_.end(), id);
+  WIRE_CHECK(it != live_ids_.end() && *it == id,
+             "terminated instance missing from the live index");
+  live_ids_.erase(it);
 }
 
 SimTime CloudPool::schedule_drain(InstanceId id, SimTime now) {
@@ -106,26 +112,10 @@ bool CloudPool::is_usable(InstanceId id, SimTime now) const {
 
 std::vector<InstanceId> CloudPool::dispatchable(SimTime now) const {
   std::vector<InstanceId> out;
-  for (const Instance& inst : instances_) {
-    if (is_usable(inst.id, now)) out.push_back(inst.id);
+  for (InstanceId id : live_ids_) {
+    if (is_usable(id, now)) out.push_back(id);
   }
   return out;
-}
-
-std::vector<InstanceId> CloudPool::live() const {
-  std::vector<InstanceId> out;
-  for (const Instance& inst : instances_) {
-    if (inst.state != InstanceState::Terminated) out.push_back(inst.id);
-  }
-  return out;
-}
-
-std::uint32_t CloudPool::live_count() const {
-  std::uint32_t n = 0;
-  for (const Instance& inst : instances_) {
-    if (inst.state != InstanceState::Terminated) ++n;
-  }
-  return n;
 }
 
 SimTime CloudPool::time_to_next_charge(InstanceId id, SimTime now) const {

@@ -89,12 +89,15 @@ class CloudPool {
   /// order.
   std::vector<InstanceId> dispatchable(SimTime now) const;
 
-  /// All instances that are Provisioning or Ready (not terminated).
-  std::vector<InstanceId> live() const;
+  /// All instances that are Provisioning or Ready (not terminated), in id
+  /// order. Returns a copy: callers may terminate while iterating.
+  std::vector<InstanceId> live() const { return live_ids_; }
 
   /// Count of live instances (Provisioning + Ready) — what site capacity
   /// constrains.
-  std::uint32_t live_count() const;
+  std::uint32_t live_count() const {
+    return static_cast<std::uint32_t>(live_ids_.size());
+  }
 
   std::uint32_t peak_live() const { return peak_live_; }
 
@@ -122,6 +125,12 @@ class CloudPool {
 
   CloudConfig config_;
   std::vector<Instance> instances_;
+  /// Ids of non-terminated instances, kept sorted (ids are assigned in
+  /// increasing order; terminate() erases in place). Makes live()/live_count()
+  /// and dispatchable() O(live pool) instead of O(instances ever created) —
+  /// the difference matters once long ensemble runs accumulate thousands of
+  /// retired instances per tenant.
+  std::vector<InstanceId> live_ids_;
   std::uint32_t peak_live_ = 0;
 };
 

@@ -33,6 +33,18 @@ JobEngine::JobEngine(const dag::Workflow& workflow, ScalingPolicy& policy,
   // constructor performs (roots fired as Ready); lifecycle hooks keep it
   // current from here on.
   framework_.set_monitor_store(&store_);
+  // Demand-state events (next_demand_event_time): the kinds whose handlers
+  // can change live_instances / requested_pool / done or read the external
+  // cap. InstanceReady is demand-relevant only under fault injection, where a
+  // boot failure terminates the instance on arrival.
+  std::uint32_t tracked =
+      (1u << static_cast<std::uint32_t>(EventKind::ControlTick)) |
+      (1u << static_cast<std::uint32_t>(EventKind::InstanceDrain)) |
+      (1u << static_cast<std::uint32_t>(EventKind::InstanceCrash));
+  if (faults_.enabled()) {
+    tracked |= 1u << static_cast<std::uint32_t>(EventKind::InstanceReady);
+  }
+  queue_.set_tracked_kinds(tracked);
 }
 
 std::uint32_t JobEngine::effective_cap() const {
@@ -600,6 +612,7 @@ void JobEngine::handle_control_tick(const Event& e) {
         static_cast<std::uint32_t>(cmd.releases.size());
     requested_pool_ = m + cmd.grow - std::min(releases, m + cmd.grow);
   }
+  requested_mem_mb_ = cmd.desired_mem_mb;
   apply_command(cmd, e.time);
   queue_.schedule(e.time + config_.lag_seconds, EventKind::ControlTick, 0);
 }

@@ -60,6 +60,19 @@ class JobEngine {
   /// Local time of the earliest pending event. Requires started() && !done().
   SimTime next_event_time() const;
 
+  /// Local time of the earliest pending event that can change this engine's
+  /// externally visible demand state (live_instances / requested_pool /
+  /// done): ControlTick, InstanceDrain, InstanceCrash, and — only under
+  /// fault injection, where a boot failure can terminate an instance —
+  /// InstanceReady. +infinity when none is pending (a done engine). Local
+  /// events strictly before this horizon neither read the instance cap nor
+  /// move the demand signal, which is what lets a sharded multiplexer
+  /// advance engines past them in parallel (see ensemble/driver.h).
+  SimTime next_demand_event_time() const { return queue_.next_tracked_time(); }
+
+  /// Local time of the event that completed the run; negative until done().
+  SimTime end_time() const { return end_time_; }
+
   /// Processes exactly one event. Requires started() && !done(). Throws
   /// std::runtime_error past RunOptions::max_sim_seconds (a stuck policy).
   void step();
@@ -78,6 +91,12 @@ class JobEngine {
   /// cap clamping — the demand signal for demand-weighted arbitration.
   /// Defaults to the bootstrap pool size until the first tick.
   std::uint32_t requested_pool() const { return requested_pool_; }
+
+  /// Projected memory demand (MB) the policy reported at its last control
+  /// tick (PoolCommand::desired_mem_mb); 0.0 means the policy does not report
+  /// one. Advisory second axis of the demand signal for memory-aware
+  /// arbitration.
+  double requested_mem_mb() const { return requested_mem_mb_; }
 
   std::uint32_t incomplete_tasks() const {
     return static_cast<std::uint32_t>(workflow_.task_count() -
@@ -196,6 +215,7 @@ class JobEngine {
   std::vector<PoolSample> timeline_;
   std::uint32_t external_cap_ = kNoInstanceCap;
   std::uint32_t requested_pool_ = 0;
+  double requested_mem_mb_ = 0.0;
   bool started_ = false;
   bool finalized_ = false;
 };

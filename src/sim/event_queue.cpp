@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include <limits>
+
 #include "util/check.h"
 
 namespace wire::sim {
@@ -9,6 +11,7 @@ void EventQueue::schedule(SimTime time, EventKind kind, std::uint32_t payload,
   WIRE_REQUIRE(time >= last_popped_,
                "cannot schedule an event in the simulated past");
   heap_.push(Event{time, next_seq_++, kind, payload, aux});
+  if (is_tracked(kind)) tracked_.push(time);
 }
 
 SimTime EventQueue::next_time() const {
@@ -16,11 +19,21 @@ SimTime EventQueue::next_time() const {
   return heap_.top().time;
 }
 
+SimTime EventQueue::next_tracked_time() const {
+  if (tracked_.empty()) return std::numeric_limits<SimTime>::infinity();
+  return tracked_.top();
+}
+
 Event EventQueue::pop() {
   WIRE_REQUIRE(!heap_.empty(), "pop on empty queue");
   Event e = heap_.top();
   heap_.pop();
   last_popped_ = e.time;
+  if (is_tracked(e.kind)) {
+    WIRE_CHECK(!tracked_.empty() && tracked_.top() == e.time,
+               "tracked-kind mirror heap out of sync with the event queue");
+    tracked_.pop();
+  }
   return e;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -76,6 +77,17 @@ class EventQueue {
   /// Pops the earliest event. Requires non-empty.
   Event pop();
 
+  /// Marks a set of event kinds as "tracked" (bit i = kind with enum value
+  /// i): the queue maintains a side min-heap of their pending times so
+  /// next_tracked_time() answers "when is the next tracked event?" in O(1)
+  /// without draining the heap. Must be set before any event of a tracked
+  /// kind is scheduled.
+  void set_tracked_kinds(std::uint32_t mask) { tracked_mask_ = mask; }
+
+  /// Time of the earliest pending event of a tracked kind, or +infinity when
+  /// none is pending.
+  SimTime next_tracked_time() const;
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -83,7 +95,17 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  bool is_tracked(EventKind kind) const {
+    return (tracked_mask_ & (1u << static_cast<std::uint32_t>(kind))) != 0;
+  }
+
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Pending times of tracked-kind events, as an exact multiset mirror: the
+  /// global (time, seq) pop order guarantees a popped tracked event's time
+  /// equals this heap's minimum, so pop() can retire entries one-for-one.
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<SimTime>>
+      tracked_;
+  std::uint32_t tracked_mask_ = 0;
   std::uint64_t next_seq_ = 0;
   SimTime last_popped_ = 0.0;
 };

@@ -41,6 +41,11 @@ struct PoolCommand {
   /// signal for demand-weighted shares. 0 = not reported; the engine then
   /// infers demand from grow/release counts.
   std::uint32_t desired_pool = 0;
+  /// Projected peak memory demand (MB) over the policy's lookahead window —
+  /// the second, advisory axis of the demand signal (memory-aware
+  /// arbitration converts it to instances via the site's per-instance
+  /// capacity). 0.0 = not reported; never affects the engine itself.
+  double desired_mem_mb = 0.0;
 };
 
 /// Interface implemented by WIRE (src/core) and the baselines (src/policies).

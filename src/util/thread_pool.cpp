@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace wire::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -28,7 +30,14 @@ void ThreadPool::worker_loop() {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      cv_.wait(lock, [this] {
+        return stopping_ || !jobs_.empty() ||
+               (batch_fn_ != nullptr && batch_next_ < batch_count_);
+      });
+      if (batch_fn_ != nullptr && batch_next_ < batch_count_) {
+        drain_batch(lock);
+        continue;
+      }
       if (jobs_.empty()) {
         if (stopping_) return;
         continue;
@@ -40,23 +49,62 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::drain_batch(std::unique_lock<std::mutex>& lock) {
+  while (batch_fn_ != nullptr && batch_next_ < batch_count_) {
+    const std::size_t index = batch_next_++;
+    const std::function<void(std::size_t)>* fn = batch_fn_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error) batch_errors_[index] = error;
+    ++batch_done_;
+    if (batch_done_ == batch_count_) batch_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_batch(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    // No parallelism available (or worthwhile): run inline, preserving the
+    // lowest-index-first exception contract trivially.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  WIRE_REQUIRE(batch_fn_ == nullptr, "run_batch is not reentrant");
+  batch_fn_ = &fn;
+  batch_count_ = count;
+  batch_next_ = 0;
+  batch_done_ = 0;
+  batch_errors_.assign(count, nullptr);
+  cv_.notify_all();
+  // The caller claims indices too, so progress never depends on workers being
+  // free (they may be blocked behind long submit() jobs).
+  drain_batch(lock);
+  batch_cv_.wait(lock, [this] { return batch_done_ == batch_count_; });
+  batch_fn_ = nullptr;
+  std::exception_ptr first_error;
+  for (std::exception_ptr& e : batch_errors_) {
+    if (e) {
+      first_error = e;
+      break;
+    }
+  }
+  batch_errors_.clear();
+  lock.unlock();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t threads) {
   ThreadPool pool(threads);
-  std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(pool.submit([&fn, i] { fn(i); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  pool.run_batch(count, fn);
 }
 
 }  // namespace wire::util

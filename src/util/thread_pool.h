@@ -46,14 +46,36 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// Runs `fn(i)` for i in [0, count) across the pool's workers and blocks
+  /// until all complete; the calling thread participates, so a pool is never
+  /// idle-blocked on its own batch and `count == 1` runs inline. Indices are
+  /// claimed atomically in increasing order (which index lands on which
+  /// thread is nondeterministic — callers must make fn(i) write only to
+  /// slot i). Exceptions are collected per index; after the batch, the
+  /// lowest-index exception rethrows. Not reentrant: fn must not call
+  /// run_batch on the same pool.
+  void run_batch(std::size_t count, const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
+  /// Claims and runs batch indices until the batch is exhausted. Expects
+  /// `lock` held on entry; returns with it held.
+  void drain_batch(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> jobs_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable batch_cv_;
   bool stopping_ = false;
+
+  // State of the in-flight run_batch call (guarded by mutex_). batch_fn_ is
+  // non-null exactly while a batch is active.
+  const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+  std::size_t batch_count_ = 0;
+  std::size_t batch_next_ = 0;
+  std::size_t batch_done_ = 0;
+  std::vector<std::exception_ptr> batch_errors_;
 };
 
 /// Runs `fn(i)` for i in [0, count) across a pool and blocks until all

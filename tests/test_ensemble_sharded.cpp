@@ -1,0 +1,341 @@
+// Differential suite for the sharded ensemble engine: the EnsembleReport
+// must be byte-identical across every execution configuration — the legacy
+// sequential reference loop (shards == 0), the windowed single-shard engine,
+// and parallel multi-shard runs with any worker count — under fault chaos,
+// memory-aware arbitration, and parallel dedicated baselines. Also pins the
+// seeded tenant→shard map (recorded scale trajectories replay onto identical
+// partitions only if the map never silently changes).
+//
+// Randomized coverage announces its seed via SCOPED_TRACE; WIRE_FUZZ_SEED
+// adds one environment-chosen chaos seed (the CI faults-fuzz job sets it to
+// a time-derived value and echoes it into the log).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/controller.h"
+#include "ensemble/arbiter.h"
+#include "ensemble/arrival.h"
+#include "ensemble/driver.h"
+#include "ensemble/report.h"
+#include "exp/settings.h"
+#include "sim/config.h"
+#include "sim/engine.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
+
+namespace wire::ensemble {
+namespace {
+
+sim::CloudConfig quiet_site() {
+  sim::CloudConfig config;
+  config.lag_seconds = 180.0;
+  config.charging_unit_seconds = 900.0;
+  config.slots_per_instance = 4;
+  config.max_instances = 6;
+  config.variability.instance_speed_sigma = 0.0;
+  config.variability.interference_sigma = 0.0;
+  config.variability.transfer_noise_sigma = 0.0;
+  config.variability.transfer_latency_seconds = 0.0;
+  config.variability.bandwidth_mb_per_s = 1e12;
+  return config;
+}
+
+/// quiet_site plus a hostile fault model: crashes, provisioning failures,
+/// stragglers, transient task failures and monitor dropouts all active, so
+/// every tracked-event kind (including fault-mode InstanceReady) exercises
+/// the windowed horizon.
+sim::CloudConfig crashy_site() {
+  sim::CloudConfig config = quiet_site();
+  config.faults.crash_rate_per_hour = 0.6;
+  config.faults.crash_notice_seconds = 120.0;
+  config.faults.provision_failure_prob = 0.1;
+  config.faults.straggler_prob = 0.15;
+  config.faults.task_failure_prob = 0.05;
+  config.faults.monitor_dropout_prob = 0.1;
+  return config;
+}
+
+std::vector<workload::WorkflowProfile> small_profiles() {
+  return {workload::tpch6_profile(workload::Scale::Small),
+          workload::pagerank_profile(workload::Scale::Small)};
+}
+
+ArrivalProcess burst_stream(std::uint32_t jobs, double spacing_seconds,
+                            std::uint64_t seed = 13) {
+  std::vector<JobArrival> trace(jobs);
+  for (std::uint32_t i = 0; i < jobs; ++i) {
+    trace[i].arrival_seconds = spacing_seconds * i;
+    trace[i].profile_index = i % 2;
+  }
+  return ArrivalProcess::fixed_trace(std::move(trace), seed);
+}
+
+/// One full ensemble run under the given execution configuration; everything
+/// except (shards, threads) is held fixed so reports are comparable.
+EnsembleReport run_report(const sim::CloudConfig& site,
+                          EnsembleOptions options, std::uint32_t shards,
+                          std::uint32_t threads, exp::PolicyKind kind,
+                          std::uint32_t jobs, std::uint64_t stream_seed,
+                          const core::WireOptions& wire_options = {}) {
+  options.shards = shards;
+  options.threads = threads;
+  EnsembleDriver driver(small_profiles(), burst_stream(jobs, 90.0, stream_seed),
+                        exp::policy_factory(kind, wire_options), site, options);
+  return driver.run();
+}
+
+// ---------------------------------------------------------------------------
+// The seeded tenant→shard map
+
+TEST(TenantShardMap, GoldenPartitionNeverChanges) {
+  // Recorded trajectories (BENCH_scale.json) replay onto identical
+  // partitions only if the default-seed map stays exactly this. If this test
+  // fails, the map changed — that is a breaking change to recorded runs, not
+  // a tweak.
+  const std::uint64_t seed = 0x5A17D5ull;  // EnsembleOptions default
+  const std::uint32_t expect4[16] = {2, 0, 1, 0, 3, 2, 1, 2,
+                                     0, 3, 0, 3, 0, 3, 3, 2};
+  const std::uint32_t expect3[16] = {2, 0, 1, 1, 2, 1, 0, 0,
+                                     0, 0, 2, 0, 2, 2, 1, 2};
+  const std::uint32_t expect2[16] = {0, 0, 1, 0, 1, 0, 1, 0,
+                                     0, 1, 0, 1, 0, 1, 1, 0};
+  for (std::uint32_t job = 0; job < 16; ++job) {
+    EXPECT_EQ(tenant_shard(seed, 4, job), expect4[job]) << "job " << job;
+    EXPECT_EQ(tenant_shard(seed, 3, job), expect3[job]) << "job " << job;
+    EXPECT_EQ(tenant_shard(seed, 2, job), expect2[job]) << "job " << job;
+  }
+}
+
+TEST(TenantShardMap, BasicProperties) {
+  // shards <= 1 pins everything to shard 0; otherwise the map stays in
+  // range, is pure in its inputs, and actually uses every shard over a
+  // modest job population (it is a hash, not a modulo of the job id).
+  for (std::uint32_t job = 0; job < 8; ++job) {
+    EXPECT_EQ(tenant_shard(99, 0, job), 0u);
+    EXPECT_EQ(tenant_shard(99, 1, job), 0u);
+  }
+  std::vector<std::uint32_t> population(4, 0);
+  for (std::uint32_t job = 0; job < 64; ++job) {
+    const std::uint32_t shard = tenant_shard(7, 4, job);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, tenant_shard(7, 4, job));  // pure
+    ++population[shard];
+  }
+  for (std::uint32_t shard = 0; shard < 4; ++shard) {
+    EXPECT_GT(population[shard], 0u) << "shard " << shard << " never used";
+  }
+  // A different seed produces a different partition (some job moves).
+  bool moved = false;
+  for (std::uint32_t job = 0; job < 64 && !moved; ++job) {
+    moved = tenant_shard(7, 4, job) != tenant_shard(8, 4, job);
+  }
+  EXPECT_TRUE(moved);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: windowed/sharded vs the sequential reference
+
+TEST(ShardedDriver, WindowedMatchesSequentialReference) {
+  // shards == 0 is the historical event-at-a-time loop; every windowed
+  // configuration must reproduce its report byte-for-byte (operator== plus
+  // the rendered fixed-width table).
+  const sim::CloudConfig site = quiet_site();
+  for (ArbiterStrategy strategy :
+       {ArbiterStrategy::DemandWeighted, ArbiterStrategy::StaticFairShare}) {
+    EnsembleOptions options;
+    options.strategy = strategy;
+    options.site_cap = 6;
+    options.dedicated_baseline = false;
+    const EnsembleReport reference =
+        run_report(site, options, /*shards=*/0, /*threads=*/1,
+                   exp::PolicyKind::ReactiveConserving, /*jobs=*/6, 13);
+    for (std::uint32_t shards : {1u, 2u, 4u}) {
+      for (std::uint32_t threads : {1u, 2u}) {
+        SCOPED_TRACE("strategy=" + std::string(strategy_name(strategy)) +
+                     " shards=" + std::to_string(shards) +
+                     " threads=" + std::to_string(threads));
+        const EnsembleReport sharded =
+            run_report(site, options, shards, threads,
+                       exp::PolicyKind::ReactiveConserving, 6, 13);
+        EXPECT_TRUE(sharded == reference);
+        EXPECT_EQ(sharded.render(), reference.render());
+      }
+    }
+  }
+}
+
+TEST(ShardedDriver, InvariantToShardCountUnderFaultChaos) {
+  // The hostile fault model keeps InstanceCrash / fault-mode InstanceReady
+  // events (and crash-driven retirement churn) in play; reports must still
+  // be independent of the execution configuration, across seeds.
+  const sim::CloudConfig site = crashy_site();
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::DemandWeighted;
+  options.site_cap = 6;
+  options.dedicated_baseline = false;
+  for (std::uint64_t seed : {21ull, 22ull}) {
+    SCOPED_TRACE("stream_seed=" + std::to_string(seed));
+    const EnsembleReport reference = run_report(
+        site, options, 0, 1, exp::PolicyKind::PureReactive, 6, seed);
+    EXPECT_GT(reference.total_task_faults + reference.total_instance_crashes,
+              0u)
+        << "fault model never engaged — the chaos differential is vacuous";
+    for (std::uint32_t shards : {1u, 3u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      const EnsembleReport sharded = run_report(
+          site, options, shards, 2, exp::PolicyKind::PureReactive, 6, seed);
+      EXPECT_TRUE(sharded == reference);
+      EXPECT_EQ(sharded.render(), reference.render());
+    }
+  }
+}
+
+TEST(MemoryDemandSignal, EngineSurfacesProjectedFootprint) {
+  // The satellite plumbing under memory_aware_demand: a WIRE tenant with
+  // report_memory_demand on must surface a nonzero projected footprint
+  // through JobEngine::requested_mem_mb on a memory-enabled site; with the
+  // flag off the signal stays hard zero (byte-identical baselines).
+  sim::CloudConfig site = quiet_site();
+  site.memory.instance_mem_mb = 4096.0;
+  site.memory.noise_sigma = 0.2;
+  const dag::Workflow wf =
+      workload::make_workflow(workload::tpch6_profile(workload::Scale::Small),
+                              7);
+  for (const bool report : {true, false}) {
+    core::WireOptions wire;
+    wire.report_memory_demand = report;
+    core::WireController policy(wire);
+    sim::RunOptions options;
+    options.initial_instances = 1;
+    options.seed = 5;
+    sim::JobEngine engine(wf, policy, site, options);
+    engine.start();
+    double peak_mem_demand = 0.0;
+    while (!engine.done()) {
+      engine.step();
+      peak_mem_demand = std::max(peak_mem_demand, engine.requested_mem_mb());
+    }
+    if (report) {
+      EXPECT_GT(peak_mem_demand, 0.0);
+    } else {
+      EXPECT_EQ(peak_mem_demand, 0.0);
+    }
+  }
+}
+
+TEST(ShardedDriver, MemoryAwareDemandMatchesAcrossShards) {
+  // Memory-aware arbitration (projected-footprint bids lifted into instance
+  // counts) rides the same two-phase demand gather; the flag must not break
+  // shard invariance. WIRE tenants report the projected footprint.
+  sim::CloudConfig site = quiet_site();
+  site.memory.instance_mem_mb = 4096.0;
+  site.memory.noise_sigma = 0.2;
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::DemandWeighted;
+  options.site_cap = 6;
+  options.dedicated_baseline = false;
+  options.memory_aware_demand = true;
+  core::WireOptions wire;
+  wire.report_memory_demand = true;
+  const EnsembleReport reference = run_report(
+      site, options, 0, 1, exp::PolicyKind::Wire, 3, 13, wire);
+  for (std::uint32_t shards : {1u, 2u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const EnsembleReport sharded = run_report(
+        site, options, shards, 2, exp::PolicyKind::Wire, 3, 13, wire);
+    EXPECT_TRUE(sharded == reference);
+    EXPECT_EQ(sharded.render(), reference.render());
+  }
+}
+
+TEST(ShardedDriver, ParallelDedicatedBaselineMatchesSequential) {
+  // A shard-aware factory lets dedicated-baseline replays run per shard in
+  // parallel; slowdown/dedicated-makespan columns must match the sequential
+  // reference exactly (per-shard arenas cannot leak into results).
+  const sim::CloudConfig site = quiet_site();
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::StaticFairShare;
+  options.site_cap = 6;
+  options.dedicated_baseline = true;
+  const auto make_driver = [&](std::uint32_t shards, std::uint32_t threads) {
+    EnsembleOptions o = options;
+    o.shards = shards;
+    o.threads = threads;
+    return EnsembleDriver(
+        small_profiles(), burst_stream(5, 120.0),
+        exp::sharded_policy_factory(exp::PolicyKind::ReactiveConserving), site,
+        o);
+  };
+  EnsembleDriver sequential = make_driver(0, 1);
+  const EnsembleReport reference = sequential.run();
+  for (const JobOutcome& j : reference.jobs) {
+    ASSERT_GT(j.dedicated_makespan_seconds, 0.0);
+  }
+  EnsembleDriver parallel = make_driver(4, 2);
+  const EnsembleReport sharded = parallel.run();
+  EXPECT_TRUE(sharded == reference);
+  EXPECT_EQ(sharded.render(), reference.render());
+}
+
+TEST(ShardedDriver, CapacityInvariantHoldsAtSerialPoints) {
+  // Under sharding the site listener fires at serial events only; the
+  // capacity invariant must hold at every one of them.
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::DemandWeighted;
+  options.site_cap = 4;
+  options.dedicated_baseline = false;
+  options.shards = 4;
+  options.threads = 2;
+  EnsembleDriver driver(small_profiles(), burst_stream(5, 60.0),
+                        exp::policy_factory(exp::PolicyKind::PureReactive),
+                        quiet_site(), options);
+  std::size_t samples = 0;
+  driver.set_site_listener([&](const SiteSample& sample) {
+    ++samples;
+    ASSERT_LE(sample.live_total, sample.site_cap);
+    std::uint32_t share_total = 0;
+    for (std::size_t i = 0; i < sample.jobs.size(); ++i) {
+      ASSERT_GE(sample.shares[i], sample.live[i]);
+      share_total += sample.shares[i];
+    }
+    ASSERT_LE(share_total, sample.site_cap);
+  });
+  const EnsembleReport report = driver.run();
+  EXPECT_EQ(report.jobs.size(), 5u);
+  EXPECT_GT(samples, report.jobs.size());  // many serial events per job
+}
+
+TEST(ShardedChaos, EnvironmentSeedRuns) {
+  // CI chaos: WIRE_FUZZ_SEED (echoed in the job log) picks the arrival
+  // stream seed for one extra differential sweep under the hostile fault
+  // model.
+  const char* env = std::getenv("WIRE_FUZZ_SEED");
+  if (env == nullptr) GTEST_SKIP() << "WIRE_FUZZ_SEED not set";
+  const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+  SCOPED_TRACE("WIRE_FUZZ_SEED=" + std::to_string(seed));
+  std::printf("running sharded differential with WIRE_FUZZ_SEED=%llu\n",
+              static_cast<unsigned long long>(seed));
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::DemandWeighted;
+  options.site_cap = 6;
+  options.dedicated_baseline = false;
+  const EnsembleReport reference = run_report(
+      crashy_site(), options, 0, 1, exp::PolicyKind::PureReactive, 6, seed);
+  for (std::uint32_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const EnsembleReport sharded = run_report(
+        crashy_site(), options, shards, 2, exp::PolicyKind::PureReactive, 6,
+        seed);
+    EXPECT_TRUE(sharded == reference);
+    EXPECT_EQ(sharded.render(), reference.render());
+  }
+}
+
+}  // namespace
+}  // namespace wire::ensemble
