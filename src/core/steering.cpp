@@ -1,6 +1,7 @@
 #include "core/steering.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -41,7 +42,8 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
                        const sim::CloudConfig& config,
                        std::uint32_t* planned_size,
                        bool reclaim_draining,
-                       PlanScratch* scratch) {
+                       PlanScratch* scratch,
+                       double hazard_per_hour) {
   sim::PoolCommand cmd;
 
   // §III-D: Algorithm 3 assumes Q_task is non-empty; with an empty upcoming
@@ -90,6 +92,20 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
                   : resize_pool(occupancy, config.charging_unit_seconds,
                                 config.slots_per_instance,
                                 config.restart_cost_fraction);
+  }
+
+  if (hazard_per_hour > 0.0 && planned > 0) {
+    // Crash-aware steering: under an exponential hazard lambda, an instance
+    // bought for a charging unit u delivers only (1 - e^{-lambda u}) /
+    // (lambda u) of it in expectation before crashing. Inflating the planned
+    // pool by the reciprocal makes the *expected delivered* capacity match
+    // the packed demand instead of the nominal one. hazard 0 (the flag off,
+    // or no crash observed and no prior) leaves the plan bit-identical.
+    const double lambda_u =
+        hazard_per_hour / 3600.0 * config.charging_unit_seconds;
+    const double factor = lambda_u / (1.0 - std::exp(-lambda_u));
+    planned = static_cast<std::uint32_t>(
+        std::ceil(static_cast<double>(planned) * factor));
   }
 
   if (planned_size != nullptr) *planned_size = planned;
@@ -161,13 +177,26 @@ sim::PoolCommand steer(const LookaheadResult& lookahead,
     // would pay that cost again if the drain beats its actual completion, so
     // the release decision also respects the observed sunk cost at the drain
     // moment (elapsed so far + time to the charge boundary).
-    for (dag::TaskId task : inst.running_tasks) {
-      cost = std::max(cost, snapshot.tasks[task].elapsed +
-                                inst.time_to_next_charge);
+    if (config.checkpoint.enabled()) {
+      // Scheduled checkpointing: a killed task restarts from its last
+      // committed checkpoint, so the sunk cost at risk is the actual
+      // unsalvaged progress — elapsed beyond the durable prefix — not a
+      // blanket fraction of everything.
+      for (dag::TaskId task : inst.running_tasks) {
+        const sim::TaskObservation& obs = snapshot.tasks[task];
+        cost = std::max(cost,
+                        std::max(0.0, obs.elapsed + inst.time_to_next_charge -
+                                          obs.checkpointed_exec));
+      }
+    } else {
+      for (dag::TaskId task : inst.running_tasks) {
+        cost = std::max(cost, snapshot.tasks[task].elapsed +
+                                  inst.time_to_next_charge);
+      }
+      // Legacy fractional checkpointing salvages that fraction of a killed
+      // task's progress, so only the remainder is genuinely at risk.
+      cost *= 1.0 - config.checkpoint_fraction;
     }
-    // Checkpointing salvages that fraction of a killed task's progress, so
-    // only the remainder is genuinely at risk.
-    cost *= 1.0 - config.checkpoint_fraction;
     if (cost > config.restart_cost_fraction * config.charging_unit_seconds) {
       continue;
     }

@@ -170,11 +170,19 @@ std::uint32_t resize_pool(const std::vector<double>& upcoming,
 /// `scratch`, when non-null, lends reusable buffers for the occupancy
 /// rebuild and the victim-candidate list (persistent controllers); null
 /// keeps self-contained local buffers (tests, one-shot callers).
+///
+/// `hazard_per_hour` > 0 turns on crash-aware steering: the planned pool is
+/// inflated by lambda*u / (1 - e^{-lambda*u}) — the reciprocal of the
+/// expected fraction of a charging unit an instance delivers before an
+/// exponential crash at rate lambda — so expected delivered capacity matches
+/// the packed demand on a crashy cloud. 0 (the default) is bit-identical to
+/// hazard-blind steering.
 sim::PoolCommand steer(const LookaheadResult& lookahead,
                        const sim::MonitorSnapshot& snapshot,
                        const sim::CloudConfig& config,
                        std::uint32_t* planned_size = nullptr,
                        bool reclaim_draining = false,
-                       PlanScratch* scratch = nullptr);
+                       PlanScratch* scratch = nullptr,
+                       double hazard_per_hour = 0.0);
 
 }  // namespace wire::core

@@ -188,4 +188,42 @@ std::vector<std::uint32_t> allocate_shares(
   return shares;
 }
 
+std::vector<CheckpointGrant> allocate_checkpoint_windows(
+    const ArbiterConfig& config, const std::vector<TenantDemand>& tenants) {
+  WIRE_REQUIRE(config.checkpoint_bandwidth_mb_per_s > 0.0,
+               "checkpoint-channel arbitration needs a channel");
+  const double bandwidth = config.checkpoint_bandwidth_mb_per_s;
+  std::vector<CheckpointGrant> grants(tenants.size());
+  std::uint32_t demanding = 0;
+  for (const TenantDemand& t : tenants) {
+    if (t.checkpoint_mb > 0.0) ++demanding;
+  }
+  if (!config.stagger_checkpoints) {
+    // Concurrent co-sited writes interfere: every tenant sees its diluted
+    // share of the channel, always open.
+    const double share =
+        bandwidth / static_cast<double>(std::max(demanding, 1u));
+    for (CheckpointGrant& g : grants) g.bandwidth_mb_per_s = share;
+    return grants;
+  }
+  WIRE_REQUIRE(config.stagger_period_seconds > 0.0,
+               "staggering needs a positive period");
+  // Cooperative staggering: serialize channel access. Demanding tenants get
+  // the full bandwidth inside exclusive FIFO-ordered slices of each period;
+  // the rest keep an open window at full bandwidth (no recorded pressure).
+  for (CheckpointGrant& g : grants) g.bandwidth_mb_per_s = bandwidth;
+  if (demanding == 0) return grants;
+  const double period = config.stagger_period_seconds;
+  const double slice = period / static_cast<double>(demanding);
+  std::uint32_t k = 0;
+  for (std::size_t i : fifo_order(tenants)) {
+    if (tenants[i].checkpoint_mb <= 0.0) continue;
+    grants[i].window_offset_seconds = static_cast<double>(k) * slice;
+    grants[i].window_length_seconds = slice;
+    grants[i].window_period_seconds = period;
+    ++k;
+  }
+  return grants;
+}
+
 }  // namespace wire::ensemble

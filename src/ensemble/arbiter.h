@@ -64,6 +64,11 @@ struct TenantDemand {
   /// (JobEngine::requested_mem_mb); 0.0 = not reported. Only consulted by
   /// memory-aware arbitration (ArbiterConfig::instance_mem_mb > 0).
   double requested_mem_mb = 0.0;
+  /// Checkpoint bytes (MB) the tenant's running set would write
+  /// (JobEngine::checkpoint_demand_mb); 0.0 = no checkpoint pressure. Only
+  /// consulted by checkpoint-channel arbitration
+  /// (ArbiterConfig::checkpoint_bandwidth_mb_per_s > 0).
+  double checkpoint_mb = 0.0;
 };
 
 /// Site-level arbitration parameters beyond the strategy itself.
@@ -77,6 +82,28 @@ struct ArbiterConfig {
   /// instances to hold it. 0 (the default) reproduces the instance-only
   /// arbitration byte-identically.
   double instance_mem_mb = 0.0;
+  /// Shared checkpoint-channel bandwidth (CheckpointConfig's
+  /// channel_bandwidth_mb_per_s). When > 0, allocate_checkpoint_windows
+  /// arbitrates the channel among tenants with checkpoint pressure; 0 (the
+  /// default) disables channel arbitration entirely.
+  double checkpoint_bandwidth_mb_per_s = 0.0;
+  /// Cooperative staggering: serialize tenants' channel access into
+  /// round-robin windows instead of diluting the bandwidth.
+  bool stagger_checkpoints = false;
+  /// Staggering round length (seconds); each of the n demanding tenants gets
+  /// a 1/n slice per round. Must be > 0 when stagger_checkpoints is set.
+  double stagger_period_seconds = 0.0;
+};
+
+/// One tenant's grant on the shared checkpoint channel.
+struct CheckpointGrant {
+  /// Channel share (MB/s) the tenant may write at.
+  double bandwidth_mb_per_s = 0.0;
+  /// Staggering window in site time: writes may start in
+  /// [offset + k*period, offset + k*period + length). period 0 = always open.
+  sim::SimTime window_offset_seconds = 0.0;
+  double window_length_seconds = 0.0;
+  double window_period_seconds = 0.0;
 };
 
 /// Partitions `site_cap` among `tenants` under `strategy`. Returns one share
@@ -91,5 +118,19 @@ std::vector<std::uint32_t> allocate_shares(
 std::vector<std::uint32_t> allocate_shares(
     ArbiterStrategy strategy, const ArbiterConfig& config,
     const std::vector<TenantDemand>& tenants);
+
+/// Partitions the shared checkpoint channel among tenants, one grant per
+/// tenant in input order. Pure and deterministic like allocate_shares (FIFO
+/// tie-breaking by arrival, then job id). Without staggering, every tenant
+/// gets bandwidth / max(1, n_demanding) and an always-open window —
+/// concurrent cross-tenant writes dilute each other. With staggering, the
+/// k-th demanding tenant (FIFO order) gets the full bandwidth inside its
+/// exclusive slice [k*P/n, (k+1)*P/n) of each period P; tenants without
+/// recorded pressure keep the full bandwidth and an open window (their
+/// stray writes are corrected at the next reallocation — windows are
+/// advisory, not a hard reservation). Requires
+/// config.checkpoint_bandwidth_mb_per_s > 0.
+std::vector<CheckpointGrant> allocate_checkpoint_windows(
+    const ArbiterConfig& config, const std::vector<TenantDemand>& tenants);
 
 }  // namespace wire::ensemble

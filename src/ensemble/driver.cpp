@@ -151,10 +151,14 @@ void EnsembleDriver::gather_demands(std::vector<TenantDemand>& demands) const {
       d.requested_pool = t.engine->requested_pool();
       d.requested_mem_mb =
           options_.memory_aware_demand ? t.engine->requested_mem_mb() : 0.0;
+      d.checkpoint_mb = cloud_.checkpoint.enabled()
+                            ? t.engine->checkpoint_demand_mb()
+                            : 0.0;
     } else {
       d.live_instances = 0;
       d.requested_pool = options_.initial_instances;
       d.requested_mem_mb = 0.0;
+      d.checkpoint_mb = 0.0;
     }
   };
   if (pool_ && open_.size() >= kParallelDemandThreshold) {
@@ -192,6 +196,25 @@ void EnsembleDriver::rebalance(sim::SimTime now) {
   const std::vector<std::uint32_t> shares =
       allocate_shares(options_.strategy, config, demands);
 
+  // Checkpoint-channel arbitration rides the same serial merge. Grants are
+  // installed on every rebalance; the engine treats an unchanged bandwidth
+  // as a strict no-op, so only genuine changes (latched checkpoint demand
+  // moved at a control tick) perturb a tenant's event stream — which keeps
+  // the sequential and windowed loops byte-identical even though the
+  // sequential loop rebalances at more points.
+  std::vector<CheckpointGrant> ckpt_grants;
+  if (cloud_.checkpoint.enabled()) {
+    ArbiterConfig ckpt_config = config;
+    ckpt_config.checkpoint_bandwidth_mb_per_s =
+        cloud_.checkpoint.channel_bandwidth_mb_per_s;
+    ckpt_config.stagger_checkpoints = options_.stagger_checkpoints;
+    ckpt_config.stagger_period_seconds =
+        options_.checkpoint_stagger_period_seconds > 0.0
+            ? options_.checkpoint_stagger_period_seconds
+            : cloud_.lag_seconds;
+    ckpt_grants = allocate_checkpoint_windows(ckpt_config, demands);
+  }
+
   std::uint32_t live_total = 0;
   // Admissions mutate open_ only by state flips (no reordering), but iterate
   // by index to stay robust.
@@ -200,6 +223,16 @@ void EnsembleDriver::rebalance(sim::SimTime now) {
     t.engine->set_instance_cap(shares[i]);
     if (t.state == Tenant::State::Waiting && shares[i] >= 1) {
       admit(t, now);
+    }
+    if (!ckpt_grants.empty() && t.state == Tenant::State::Active) {
+      // Window offsets are site-anchored; the engine clock starts at
+      // admission, so translate by -admitted_at.
+      const CheckpointGrant& g = ckpt_grants[i];
+      t.engine->set_checkpoint_channel(g.bandwidth_mb_per_s,
+                                       now - t.admitted_at);
+      t.engine->set_checkpoint_window(
+          g.window_offset_seconds - t.admitted_at, g.window_length_seconds,
+          g.window_period_seconds);
     }
     live_total += t.engine->started() ? t.engine->live_instances() : 0;
   }

@@ -120,6 +120,15 @@ struct EnsembleOptions {
   /// ArbiterConfig::instance_mem_mb taken from the site's MemoryConfig. Off
   /// by default: baselines stay byte-identical.
   bool memory_aware_demand = false;
+  /// Cooperative checkpoint staggering on the shared checkpoint channel
+  /// (only meaningful when the site's CheckpointConfig is enabled). Off:
+  /// tenants with checkpoint pressure share the channel concurrently — each
+  /// is installed its diluted bandwidth share. On: the arbiter serializes
+  /// access into round-robin windows at full bandwidth
+  /// (allocate_checkpoint_windows).
+  bool stagger_checkpoints = false;
+  /// Staggering round length (seconds); 0 = the site's control lag.
+  double checkpoint_stagger_period_seconds = 0.0;
 };
 
 /// Site-level observation emitted after every processed event (arrival,

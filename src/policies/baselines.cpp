@@ -72,6 +72,26 @@ double observed_sunk_cost(const sim::InstanceObservation& inst,
   return cost;
 }
 
+/// Restart cost at risk if the instance is released, under the run's
+/// checkpointing model. Scheduled checkpointing charges each task's actual
+/// unsalvaged progress (elapsed beyond the last committed checkpoint); the
+/// legacy fractional model discounts the blanket sunk cost instead.
+double sunk_cost_at_risk(const sim::InstanceObservation& inst,
+                         const sim::MonitorSnapshot& snapshot,
+                         const sim::CloudConfig& config) {
+  if (config.checkpoint.enabled()) {
+    double cost = 0.0;
+    for (dag::TaskId task : inst.running_tasks) {
+      const sim::TaskObservation& obs = snapshot.tasks[task];
+      cost = std::max(cost,
+                      std::max(0.0, obs.elapsed - obs.checkpointed_exec));
+    }
+    return cost;
+  }
+  return observed_sunk_cost(inst, snapshot) *
+         (1.0 - config.checkpoint_fraction);
+}
+
 }  // namespace
 
 StaticPolicy::StaticPolicy(std::uint32_t size, std::string label)
@@ -168,8 +188,7 @@ sim::PoolCommand ReactiveConservingPolicy::plan(
   for (const sim::InstanceObservation& inst : snapshot.instances) {
     if (inst.provisioning || inst.draining || inst.revoking) continue;
     if (inst.time_to_next_charge > config_.lag_seconds) continue;
-    const double sunk = observed_sunk_cost(inst, snapshot) *
-                        (1.0 - config_.checkpoint_fraction);
+    const double sunk = sunk_cost_at_risk(inst, snapshot, config_);
     if (sunk >
         config_.restart_cost_fraction * config_.charging_unit_seconds) {
       continue;

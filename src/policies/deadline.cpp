@@ -95,11 +95,22 @@ sim::PoolCommand DeadlinePolicy::plan(const sim::MonitorSnapshot& snapshot) {
     if (inst.provisioning || inst.draining) continue;
     if (inst.time_to_next_charge > config_.lag_seconds) continue;
     double sunk = 0.0;
-    for (dag::TaskId task : inst.running_tasks) {
-      sunk = std::max(sunk, snapshot.tasks[task].elapsed +
-                                inst.time_to_next_charge);
+    if (config_.checkpoint.enabled()) {
+      // Scheduled checkpointing: charge each task's actual unsalvaged
+      // progress past its last committed checkpoint, not a blanket discount.
+      for (dag::TaskId task : inst.running_tasks) {
+        const sim::TaskObservation& obs = snapshot.tasks[task];
+        sunk = std::max(sunk,
+                        std::max(0.0, obs.elapsed + inst.time_to_next_charge -
+                                          obs.checkpointed_exec));
+      }
+    } else {
+      for (dag::TaskId task : inst.running_tasks) {
+        sunk = std::max(sunk, snapshot.tasks[task].elapsed +
+                                  inst.time_to_next_charge);
+      }
+      sunk *= 1.0 - config_.checkpoint_fraction;
     }
-    sunk *= 1.0 - config_.checkpoint_fraction;
     if (sunk > config_.restart_cost_fraction * config_.charging_unit_seconds) {
       continue;
     }

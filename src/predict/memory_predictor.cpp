@@ -16,6 +16,7 @@ MemoryPredictor::MemoryPredictor(const dag::Workflow& workflow,
       sizer_(config, slots_per_instance, workflow.stage_count()),
       stage_counts_(workflow.stage_count(), 0),
       stage_revisions_(workflow.stage_count(), 0),
+      stage_mark_(workflow.stage_count(), 0),
       harvested_(workflow.task_count(), false) {
   WIRE_REQUIRE(config.enabled(),
                "memory predictor constructed with the memory dimension off");
@@ -29,7 +30,14 @@ void MemoryPredictor::record_peak(TaskId task,
   const StageId stage = workflow_->task(task).stage;
   sizer_.observe_peak(stage, obs.peak_mem_mb);
   ++stage_counts_[stage];
-  ++stage_revisions_[stage];
+  if (stage_mark_[stage] != observe_epoch_) {
+    // One refit per stage per observe(): a bursty delta completing many
+    // same-stage tasks advances the stage revision once, so downstream
+    // revision-keyed memos re-derive the stage estimate once, not per task.
+    stage_mark_[stage] = observe_epoch_;
+    ++stage_revisions_[stage];
+    ++total_refits_;
+  }
   observe_changed_ = true;
 }
 
@@ -37,6 +45,7 @@ void MemoryPredictor::observe(const sim::MonitorSnapshot& snapshot) {
   WIRE_REQUIRE(snapshot.tasks.size() == workflow_->task_count(),
                "snapshot does not match the workflow");
   observe_changed_ = false;
+  ++observe_epoch_;
   if (snapshot.delta.exact) {
     for (TaskId t : snapshot.delta.completed) {
       record_peak(t, snapshot.tasks[t]);
@@ -77,6 +86,7 @@ std::size_t MemoryPredictor::state_bytes() const {
   std::size_t bytes = sizeof(*this);
   bytes += stage_counts_.capacity() * sizeof(std::size_t);
   bytes += stage_revisions_.capacity() * sizeof(std::uint64_t);
+  bytes += stage_mark_.capacity() * sizeof(std::uint64_t);
   bytes += harvested_.capacity() / 8;
   for (StageId s = 0; s < stage_counts_.size(); ++s) {
     bytes += stage_counts_[s] * sizeof(double);

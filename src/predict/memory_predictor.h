@@ -50,9 +50,17 @@ class MemoryPredictor {
   double predict_reservation(dag::TaskId task,
                              const sim::MonitorSnapshot& snapshot) const;
 
-  /// Monotone revision of `stage`'s peak history: advances exactly when a
-  /// harvest ingested new peaks for the stage.
+  /// Monotone revision of `stage`'s peak history: advances (at most once per
+  /// observe()) exactly when a harvest ingested new peaks for the stage.
+  /// Batched like TaskPredictor's stage revisions: a bursty delta completing
+  /// many same-stage tasks in one tick is ONE refit, not one per task, so
+  /// revision-keyed memos (core::IncrementalLookahead) re-derive once.
   std::uint64_t stage_revision(dag::StageId stage) const;
+
+  /// Total stage refits (stage-revision bumps) across the run — the batching
+  /// observable: bounded by observe() calls times touched stages, not by
+  /// ingested peaks (asserted by the monitor-store chaos probe).
+  std::uint64_t total_refits() const { return total_refits_; }
 
   /// Predictor revision: advances (once) per observe() that changed any
   /// stage history.
@@ -73,9 +81,16 @@ class MemoryPredictor {
   sim::TaskMemorySizer sizer_;
   std::vector<std::size_t> stage_counts_;
   std::vector<std::uint64_t> stage_revisions_;
+  /// Per-stage epoch mark: stage_revisions_[s] is bumped only when
+  /// stage_mark_[s] != observe_epoch_ — the first ingested peak of the stage
+  /// this observe(); subsequent same-stage peaks in the same burst ride on
+  /// the same bump.
+  std::vector<std::uint64_t> stage_mark_;
   /// Tasks whose completion peak was already ingested (idempotence guard).
   std::vector<bool> harvested_;
   std::uint64_t revision_ = 0;
+  std::uint64_t observe_epoch_ = 0;
+  std::uint64_t total_refits_ = 0;
   bool observe_changed_ = false;
 };
 

@@ -138,6 +138,55 @@ struct MemoryConfig {
   bool enabled() const { return instance_mem_mb > 0.0; }
 };
 
+/// Scheduled checkpointing on a shared checkpoint channel (extension beyond
+/// the paper: the SMURFS InterferingCheckpoints line of work). Disabled by
+/// default (channel_bandwidth_mb_per_s == 0): the engine schedules no
+/// checkpoint events, draws no RNG, and books no channel time, so
+/// checkpoint-off runs stay byte-identical to the pre-checkpoint
+/// implementation — the same zero-rate discipline FaultConfig and
+/// MemoryConfig established. When enabled, the legacy instantaneous
+/// `CloudConfig::checkpoint_fraction` salvage is superseded: a killed attempt
+/// salvages exactly the execution progress covered by its last *completed*
+/// checkpoint write, and writes in flight at the kill are lost.
+struct CheckpointConfig {
+  /// Aggregate bandwidth of the shared checkpoint channel, MB/s. Concurrent
+  /// checkpoint writes from co-located tasks share it processor-style (each
+  /// proceeds at bandwidth / active writes), mirroring the transfer fabric
+  /// model. 0 = checkpoint scheduling is off end to end.
+  double channel_bandwidth_mb_per_s = 0.0;
+  /// Checkpoint image size when the memory dimension is off (no reservation
+  /// to derive it from), MB. With memory on, a task's image size is its
+  /// booked reservation.
+  double default_size_mb = 256.0;
+
+  /// How the engine-side CheckpointScheduler picks the interval between a
+  /// task's checkpoint writes.
+  enum class IntervalPolicy : std::uint8_t {
+    /// Young/Daly: sqrt(2 * write_cost * MTBF) from the online hazard
+    /// estimate; hazard -> 0 pushes the interval to infinity (no
+    /// checkpoints on a reliable cloud).
+    YoungDaly,
+    /// Fixed interval (`static_interval_seconds`) — the ablation.
+    Static,
+  };
+  IntervalPolicy interval_policy = IntervalPolicy::YoungDaly;
+  /// Interval used by IntervalPolicy::Static, seconds.
+  double static_interval_seconds = 600.0;
+  /// Floor under any computed interval, seconds (a near-zero Young/Daly
+  /// interval under an extreme hazard estimate must not livelock a task).
+  double min_interval_seconds = 30.0;
+
+  /// Prior mean of the hazard estimate, crashes per instance-hour, blended
+  /// with observed crashes per observed ready instance-hour. A zero prior
+  /// with no observed crashes estimates zero hazard (Young/Daly never
+  /// checkpoints until the first crash is seen).
+  double hazard_prior_per_hour = 0.0;
+  /// Pseudo-observation weight of the prior, instance-hours.
+  double hazard_prior_weight_hours = 1.0;
+
+  bool enabled() const { return channel_bandwidth_mb_per_s > 0.0; }
+};
+
 /// Bounded retry policy for transient task failures (only exercised when
 /// FaultConfig::task_failure_prob > 0).
 struct RetryConfig {
@@ -186,6 +235,10 @@ struct CloudConfig {
   /// same fraction. bench_checkpoint studies the interaction with the
   /// restart-cost threshold.
   double checkpoint_fraction = 0.0;
+
+  /// Scheduled checkpointing on a shared channel (bandwidth 0 = off). When
+  /// enabled it supersedes the instantaneous `checkpoint_fraction` model.
+  CheckpointConfig checkpoint;
 
   /// Ground-truth fault injection (all-zero = reliable cloud).
   FaultConfig faults;

@@ -68,6 +68,20 @@ struct RunResult {
   /// Control ticks whose monitoring delta was withheld.
   std::uint32_t monitor_dropouts = 0;
 
+  // --- Scheduled checkpointing (all zero when CheckpointConfig is off,
+  // --- except lost_work_seconds, which also tracks the legacy
+  // --- checkpoint_fraction salvage model) ---
+  /// Checkpoint writes that committed on the shared channel.
+  std::uint32_t checkpoints_completed = 0;
+  /// In-flight writes purged because their attempt was killed mid-write.
+  std::uint32_t checkpoints_lost = 0;
+  /// Slot-seconds the running set spent stalled on checkpoint I/O (committed
+  /// and lost writes both) — the overhead half of the waste metric.
+  double checkpoint_io_slot_seconds = 0.0;
+  /// Executed seconds destroyed by kills net of salvage — the lost-work half
+  /// of the waste metric (bench_checkpoint minimizes their sum).
+  double lost_work_seconds = 0.0;
+
   // --- Memory dimension (all zero when MemoryConfig is off) ---
   /// Attempts OOM-killed because their true peak exceeded the reservation
   /// (each spawns an upsized retry, or quarantine past max_oom_attempts).

@@ -18,12 +18,13 @@ JobEngine::JobEngine(const dag::Workflow& workflow, ScalingPolicy& policy,
       options_(options),
       cloud_(config),
       framework_(workflow, config.first_fire_priority,
-                 config.checkpoint_fraction),
+                 config.checkpoint_fraction, config.checkpoint.enabled()),
       store_(workflow),
       variability_(config.variability, options.seed),
       faults_(config.faults, options.seed, config.memory),
       sizer_(config.memory, config.slots_per_instance,
-             workflow.stage_count()) {
+             workflow.stage_count()),
+      ckpt_sched_(config.checkpoint) {
   WIRE_REQUIRE(config.lag_seconds > 0.0, "lag must be positive");
   WIRE_REQUIRE(config.charging_unit_seconds > 0.0,
                "charging unit must be positive");
@@ -45,6 +46,13 @@ JobEngine::JobEngine(const dag::Workflow& workflow, ScalingPolicy& policy,
     tracked |= 1u << static_cast<std::uint32_t>(EventKind::InstanceReady);
   }
   queue_.set_tracked_kinds(tracked);
+  // Checkpoint events are deliberately NOT tracked: commits and fires never
+  // touch live_instances / requested_pool / done, so a sharded multiplexer
+  // may advance them in parallel like any other local event.
+  if (config_.checkpoint.enabled()) {
+    ckpt_bandwidth_ = config_.checkpoint.channel_bandwidth_mb_per_s;
+    ckpt_states_.resize(workflow.task_count());
+  }
 }
 
 std::uint32_t JobEngine::effective_cap() const {
@@ -109,6 +117,8 @@ void JobEngine::step() {
     case EventKind::TaskFaulted: handle_task_faulted(e); break;
     case EventKind::TaskRetry: handle_task_retry(e); break;
     case EventKind::TaskOom: handle_task_oom(e); break;
+    case EventKind::TaskCheckpoint: handle_task_checkpoint(e); break;
+    case EventKind::CheckpointGuard: handle_checkpoint_guard(e); break;
   }
   store_.end_step();
 }
@@ -244,16 +254,19 @@ void JobEngine::finish_transfer_in(TaskId task, SimTime now) {
       workflow_.task(task).ref_exec_seconds, factor);
   // Checkpointed progress from killed attempts shortens the re-execution.
   exec = std::max(0.0, exec - framework_.runtime(task).salvaged_exec);
+  // The attempt's terminal event and the executed seconds until it fires:
+  // completion after the full demand, or an injected death partway through.
+  EventKind terminal = EventKind::ExecDone;
+  double exec_horizon = exec;
   if (faults_.enabled()) {
     const ExecFaultPlan plan = faults_.plan_exec();
     if (plan.fails && exec > 0.0) {
       // The attempt dies partway through execution instead of finishing.
-      queue_.schedule(now + plan.fraction * exec, EventKind::TaskFaulted,
-                      task, framework_.runtime(task).attempts);
-      return;
+      terminal = EventKind::TaskFaulted;
+      exec_horizon = plan.fraction * exec;
     }
   }
-  if (config_.memory.enabled()) {
+  if (terminal == EventKind::ExecDone && config_.memory.enabled()) {
     // Ground truth is drawn lazily, once per task, at first execution start
     // — retries re-run against the SAME peak, so upsizing converges instead
     // of chasing a moving target. (The exec-fault draw above stays first: a
@@ -269,12 +282,23 @@ void JobEngine::finish_transfer_in(TaskId task, SimTime now) {
       // Footprint ramps linearly over the attempt, so it hits the
       // reservation ceiling at the reservation/peak fraction of exec.
       const double fraction = rt.mem_reservation_mb / rt.true_peak_mem_mb;
-      queue_.schedule(now + fraction * exec, EventKind::TaskOom, task,
-                      rt.attempts);
-      return;
+      terminal = EventKind::TaskOom;
+      exec_horizon = fraction * exec;
     }
   }
-  queue_.schedule(now + exec, EventKind::ExecDone, task,
+  if (config_.checkpoint.enabled()) {
+    // Segmented execution: the attempt runs toward its terminal event in
+    // segments punctuated by checkpoint writes. A doomed attempt (injected
+    // fault/OOM) checkpoints on the same cadence — the system does not know
+    // it is doomed — so its committed progress is salvaged at the kill.
+    TaskCkptState& st = ckpt_states_[task];
+    st.exec_total = exec_horizon;
+    st.exec_done = 0.0;
+    st.terminal = terminal;
+    schedule_exec_segment(task, now);
+    return;
+  }
+  queue_.schedule(now + exec_horizon, terminal, task,
                   framework_.runtime(task).attempts);
 }
 
@@ -336,6 +360,189 @@ void JobEngine::purge_stale_transfers(SimTime now) {
   }
 }
 
+double JobEngine::ckpt_size_mb(TaskId task) const {
+  const double reservation = framework_.runtime(task).mem_reservation_mb;
+  return reservation >= 0.0 ? reservation : config_.checkpoint.default_size_mb;
+}
+
+SimTime JobEngine::ckpt_window_defer(SimTime t) const {
+  if (ckpt_window_period_ <= 0.0 ||
+      ckpt_window_length_ >= ckpt_window_period_) {
+    return t;  // no staggering installed, or the window covers the period
+  }
+  double phase = std::fmod(t - ckpt_window_offset_, ckpt_window_period_);
+  if (phase < 0.0) phase += ckpt_window_period_;
+  if (phase < ckpt_window_length_) return t;
+  return t + (ckpt_window_period_ - phase);
+}
+
+void JobEngine::schedule_exec_segment(TaskId task, SimTime now) {
+  TaskCkptState& st = ckpt_states_[task];
+  const std::uint32_t attempt = framework_.runtime(task).attempts;
+  st.attempt = attempt;
+  st.segment_start = now;
+  const double remaining = st.exec_total - st.exec_done;
+  if (checkpoint_active()) {
+    // Young/Daly delta: this task's expected write stall at the tenant's
+    // current channel share. Co-located running tasks checkpoint on the same
+    // cadence and share the channel processor-style, so a write that costs
+    // size/bandwidth alone stalls ~running times longer in a synchronized
+    // round — without the contention term the interval is tuned for a write
+    // cost the task never actually sees and Young/Daly over-checkpoints.
+    // Execution continues while a fire waits for an open staggering window,
+    // so the deferral extends the segment, not a stall.
+    const double contention = static_cast<double>(
+        std::max<std::uint32_t>(1u, store_.running_count()));
+    const double interval = ckpt_sched_.interval_seconds(
+        contention * ckpt_size_mb(task) / ckpt_bandwidth_);
+    if (interval < remaining) {
+      const SimTime fire = ckpt_window_defer(now + interval);
+      if (fire - now < remaining) {
+        queue_.schedule(fire, EventKind::TaskCheckpoint, task, attempt);
+        return;
+      }
+    }
+  }
+  queue_.schedule(now + remaining, st.terminal, task, attempt);
+}
+
+void JobEngine::advance_ckpt_writes(SimTime now) {
+  const double rate = ckpt_write_rate();
+  const double dt = now - ckpt_writes_updated_;
+  if (dt > 0.0 && rate > 0.0) {
+    for (ActiveCkptWrite& w : ckpt_writes_) {
+      w.remaining_mb -= rate * dt;
+    }
+  }
+  ckpt_writes_updated_ = now;
+}
+
+void JobEngine::arm_ckpt_guard(SimTime now) {
+  ++ckpt_epoch_;
+  if (ckpt_writes_.empty()) return;
+  const double rate = ckpt_write_rate();
+  WIRE_CHECK(rate > 0.0, "active checkpoint writes with zero rate");
+  double min_remaining = ckpt_writes_.front().remaining_mb;
+  for (const ActiveCkptWrite& w : ckpt_writes_) {
+    min_remaining = std::min(min_remaining, w.remaining_mb);
+  }
+  const SimTime when = now + std::max(0.0, min_remaining) / rate;
+  queue_.schedule(when, EventKind::CheckpointGuard, 0,
+                  static_cast<std::uint32_t>(ckpt_epoch_));
+}
+
+void JobEngine::handle_task_checkpoint(const Event& e) {
+  const TaskId task = e.payload;
+  if (!attempt_is_current(task, e.aux)) return;
+  TaskCkptState& st = ckpt_states_[task];
+  WIRE_CHECK(st.attempt == e.aux && st.segment_start >= 0.0,
+             "checkpoint fired on a stalled attempt");
+  // Close the segment and stall the task for the duration of the write; the
+  // slot (and its memory reservation) stays occupied the whole time.
+  st.exec_done += e.time - st.segment_start;
+  st.segment_start = -1.0;
+  advance_ckpt_writes(e.time);
+  ActiveCkptWrite w;
+  w.task = task;
+  w.attempt = e.aux;
+  w.remaining_mb = ckpt_size_mb(task);
+  w.started = e.time;
+  ckpt_writes_.push_back(w);
+  arm_ckpt_guard(e.time);
+}
+
+void JobEngine::handle_checkpoint_guard(const Event& e) {
+  if (static_cast<std::uint32_t>(ckpt_epoch_) != e.aux) return;
+  advance_ckpt_writes(e.time);
+  std::vector<ActiveCkptWrite> committed;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < ckpt_writes_.size(); ++i) {
+    ActiveCkptWrite& w = ckpt_writes_[i];
+    if (!attempt_is_current(w.task, w.attempt)) {
+      // The attempt died since the last purge point; its image is garbage.
+      ++ckpt_lost_;
+      ckpt_io_slot_seconds_ += e.time - w.started;
+      continue;
+    }
+    if (w.remaining_mb <= 1e-9) {
+      committed.push_back(w);
+      continue;
+    }
+    ckpt_writes_[keep++] = w;
+  }
+  ckpt_writes_.resize(keep);
+  arm_ckpt_guard(e.time);
+  for (const ActiveCkptWrite& w : committed) {
+    ++ckpt_completed_;
+    ckpt_io_slot_seconds_ += e.time - w.started;
+    // Everything executed before the write started is now durable; a later
+    // kill salvages exactly this much.
+    framework_.on_checkpoint_committed(w.task, ckpt_states_[w.task].exec_done);
+    schedule_exec_segment(w.task, e.time);
+  }
+}
+
+void JobEngine::purge_stale_ckpt_writes(SimTime now) {
+  if (ckpt_writes_.empty()) return;
+  advance_ckpt_writes(now);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < ckpt_writes_.size(); ++i) {
+    ActiveCkptWrite& w = ckpt_writes_[i];
+    if (attempt_is_current(w.task, w.attempt)) {
+      ckpt_writes_[keep++] = w;
+      continue;
+    }
+    ++ckpt_lost_;
+    ckpt_io_slot_seconds_ += now - w.started;
+  }
+  if (keep != ckpt_writes_.size()) {
+    ckpt_writes_.resize(keep);
+    arm_ckpt_guard(now);
+  }
+}
+
+void JobEngine::stage_ckpt_kill(TaskId task, SimTime now) {
+  if (!config_.checkpoint.enabled()) return;
+  const TaskRuntime& rt = framework_.runtime(task);
+  const TaskCkptState& st = ckpt_states_[task];
+  if (rt.exec_start < 0.0 || st.attempt != rt.attempts) return;
+  double progress = st.exec_done;
+  if (st.segment_start >= 0.0) progress += now - st.segment_start;
+  framework_.stage_kill_progress(task, progress);
+}
+
+void JobEngine::ckpt_observe_exposure(SimTime now) {
+  // Tick-sampled exposure: the current Ready count applied over the elapsed
+  // interval. Piecewise-constant, but unbiased enough that the estimate
+  // converges to the configured crash rate on long runs (pinned by test).
+  double ready = 0.0;
+  for (InstanceId id : cloud_.live()) {
+    if (cloud_.instance(id).state == InstanceState::Ready) ready += 1.0;
+  }
+  ckpt_sched_.hazard().add_exposure_hours(ready * (now - ckpt_exposure_mark_) /
+                                          3600.0);
+  ckpt_exposure_mark_ = now;
+}
+
+void JobEngine::set_checkpoint_channel(double bandwidth_mb_per_s, SimTime now) {
+  if (!config_.checkpoint.enabled() ||
+      bandwidth_mb_per_s == ckpt_bandwidth_) {
+    return;  // no-op installs must not perturb the event stream
+  }
+  // In-flight writes ran at the old rate until now; the guard must be
+  // re-armed because the projected earliest completion changed.
+  advance_ckpt_writes(now);
+  ckpt_bandwidth_ = bandwidth_mb_per_s;
+  if (!ckpt_writes_.empty()) arm_ckpt_guard(now);
+}
+
+void JobEngine::set_checkpoint_window(SimTime offset, double length,
+                                      double period) {
+  ckpt_window_offset_ = offset;
+  ckpt_window_length_ = length;
+  ckpt_window_period_ = period;
+}
+
 void JobEngine::handle_instance_ready(const Event& e) {
   const InstanceId id = e.payload;
   if (cloud_.instance(id).state == InstanceState::Terminated) return;
@@ -372,21 +579,28 @@ void JobEngine::handle_instance_crash(const Event& e) {
   // Terminate-style lifecycle: in-flight tasks re-fire through the restart
   // path, billing stops at the crash, and the store journals the same events
   // a policy-ordered release would — MonitorDelta stays exact.
+  if (config_.checkpoint.enabled()) {
+    for (TaskId t : framework_.tasks_on(id)) stage_ckpt_kill(t, e.time);
+    ckpt_sched_.hazard().record_crash();
+  }
   framework_.resubmit_tasks_on(id, e.time);
   cloud_.terminate(id, e.time);
   store_.on_instance_removed(id);
   faults_.record(e.time, FaultKind::InstanceCrash, id, 0,
                  config_.faults.crash_notice_seconds);
   purge_stale_transfers(e.time);
+  purge_stale_ckpt_writes(e.time);
   dispatch_all(e.time);
 }
 
 void JobEngine::handle_task_faulted(const Event& e) {
   const TaskId task = e.payload;
   if (!attempt_is_current(task, e.aux)) return;
+  stage_ckpt_kill(task, e.time);
   const std::uint32_t failures = framework_.on_task_failed(task, e.time);
   faults_.record(e.time, FaultKind::TaskFault, task, failures,
                  framework_.runtime(task).last_failed_elapsed);
+  purge_stale_ckpt_writes(e.time);
   if (failures >= config_.retry.max_attempts) {
     for (TaskId poisoned : framework_.quarantine(task)) {
       faults_.record(e.time, FaultKind::TaskQuarantine, poisoned, 0, 0.0);
@@ -410,8 +624,10 @@ void JobEngine::handle_task_oom(const Event& e) {
   const TaskId task = e.payload;
   if (!attempt_is_current(task, e.aux)) return;
   const double true_peak = framework_.runtime(task).true_peak_mem_mb;
+  stage_ckpt_kill(task, e.time);
   const std::uint32_t ooms = framework_.on_task_oom(task, e.time);
   faults_.record(e.time, FaultKind::OomKill, task, ooms, true_peak);
+  purge_stale_ckpt_writes(e.time);
   if (ooms >= config_.memory.max_oom_attempts) {
     for (TaskId poisoned : framework_.quarantine(task)) {
       faults_.record(e.time, FaultKind::TaskQuarantine, poisoned, 0, 0.0);
@@ -456,7 +672,18 @@ void JobEngine::handle_transfer_in_done(const Event& e) {
 void JobEngine::handle_exec_done(const Event& e) {
   const TaskId task = e.payload;
   if (!attempt_is_current(task, e.aux)) return;
-  framework_.on_exec_done(task, e.time);
+  if (config_.checkpoint.enabled()) {
+    TaskCkptState& st = ckpt_states_[task];
+    WIRE_CHECK(st.attempt == e.aux && st.segment_start >= 0.0,
+               "exec finished on a stalled attempt");
+    st.exec_done = st.exec_total;
+    st.segment_start = -1.0;
+    // Report pure executed seconds: the attempt's wall span includes
+    // checkpoint stalls, which must not pollute exec-time observations.
+    framework_.on_exec_done(task, e.time, st.exec_total);
+  } else {
+    framework_.on_exec_done(task, e.time);
+  }
   begin_transfer(task, /*inbound=*/false, workflow_.task(task).output_mb,
                  e.time);
 }
@@ -559,6 +786,11 @@ void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
       const SimTime when = cloud_.schedule_drain(rel.instance, now);
       queue_.schedule(when, EventKind::InstanceDrain, rel.instance);
     } else {
+      if (config_.checkpoint.enabled()) {
+        for (TaskId t : framework_.tasks_on(rel.instance)) {
+          stage_ckpt_kill(t, now);
+        }
+      }
       framework_.resubmit_tasks_on(rel.instance, now);
       cloud_.terminate(rel.instance, now);
       store_.on_instance_removed(rel.instance);
@@ -567,6 +799,7 @@ void JobEngine::apply_command(const PoolCommand& cmd, SimTime now) {
   }
   if (need_dispatch) {
     purge_stale_transfers(now);
+    purge_stale_ckpt_writes(now);
     dispatch_all(now);
   }
 }
@@ -581,6 +814,17 @@ void JobEngine::handle_control_tick(const Event& e) {
   const bool dropout = faults_.enabled() && faults_.drop_monitor_tick();
   if (dropout) {
     faults_.record(e.time, FaultKind::MonitorDropout, 0, 0, 0.0);
+  }
+  if (config_.checkpoint.enabled()) {
+    ckpt_observe_exposure(e.time);
+    // Latch the checkpoint demand signal like requested_pool_: the bytes the
+    // current running set would write, read by a site arbiter at rebalance.
+    double demand = 0.0;
+    for (InstanceId id : cloud_.live()) {
+      if (cloud_.instance(id).state != InstanceState::Ready) continue;
+      for (TaskId t : framework_.tasks_on(id)) demand += ckpt_size_mb(t);
+    }
+    ckpt_demand_mb_ = demand;
   }
   // O(running + live + ready) store refresh instead of an O(total tasks)
   // rebuild; the published delta lets consumers skip their own rescans too.
@@ -624,10 +868,14 @@ void JobEngine::handle_instance_drain(const Event& e) {
   if (inst.drain_at < 0.0 || std::abs(inst.drain_at - e.time) > 1e-6) {
     return;  // drain was cancelled or rescheduled
   }
+  if (config_.checkpoint.enabled()) {
+    for (TaskId t : framework_.tasks_on(id)) stage_ckpt_kill(t, e.time);
+  }
   framework_.resubmit_tasks_on(id, e.time);
   cloud_.terminate(id, e.time);
   store_.on_instance_removed(id);
   purge_stale_transfers(e.time);
+  purge_stale_ckpt_writes(e.time);
   dispatch_all(e.time);
 }
 
@@ -636,6 +884,9 @@ RunResult JobEngine::result() {
   WIRE_REQUIRE(!finalized_, "result already taken");
   finalized_ = true;
   WIRE_CHECK(end_time_ >= 0.0, "run finished without an end time");
+
+  // Stragglers from attempts that died right at the end count as lost.
+  purge_stale_ckpt_writes(end_time_);
 
   // Release whatever is still allocated; paid units up to now are kept.
   for (InstanceId id : cloud_.live()) {
@@ -663,6 +914,10 @@ RunResult JobEngine::result() {
   result.provision_failures = faults_.count(FaultKind::ProvisionFailure);
   result.straggler_boots = faults_.count(FaultKind::StragglerBoot);
   result.monitor_dropouts = faults_.count(FaultKind::MonitorDropout);
+  result.checkpoints_completed = ckpt_completed_;
+  result.checkpoints_lost = ckpt_lost_;
+  result.checkpoint_io_slot_seconds = ckpt_io_slot_seconds_;
+  result.lost_work_seconds = framework_.lost_work_seconds();
   result.oom_kills = framework_.total_oom_kills();
   result.mem_reserved_mb_seconds = framework_.mem_reserved_mb_seconds();
   result.mem_used_mb_seconds = framework_.mem_used_mb_seconds();

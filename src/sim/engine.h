@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "dag/workflow.h"
+#include "policies/checkpoint.h"
 #include "sim/cloud.h"
 #include "sim/config.h"
 #include "sim/driver.h"
@@ -98,6 +99,33 @@ class JobEngine {
   /// arbitration.
   double requested_mem_mb() const { return requested_mem_mb_; }
 
+  /// Total checkpoint bytes (MB) the running set would write, latched at the
+  /// last control tick like requested_pool() — the demand signal a site
+  /// arbiter uses to stagger tenants on the shared checkpoint channel.
+  /// Always 0.0 with scheduled checkpointing disabled.
+  double checkpoint_demand_mb() const { return ckpt_demand_mb_; }
+
+  /// Installs the effective checkpoint-channel bandwidth this tenant may use
+  /// (a site arbiter's share of CheckpointConfig::channel_bandwidth_mb_per_s).
+  /// `now` is engine-local time; in-flight writes are advanced at the old
+  /// rate before the switch. No-op if the value is unchanged, so callers may
+  /// re-install every rebalance without perturbing the event stream.
+  void set_checkpoint_channel(double bandwidth_mb_per_s, SimTime now);
+
+  /// Installs the cooperative-staggering window: checkpoint writes may only
+  /// *start* in [offset + k*period, offset + k*period + length) (engine-local
+  /// clock; the installer translates site-anchored offsets). period <= 0
+  /// means always open. Windows are soft — a write started inside runs to
+  /// completion — and advisory for already-scheduled checkpoint fires.
+  void set_checkpoint_window(SimTime offset, double length, double period);
+
+  /// The engine's live hazard estimate (crashes per ready instance-hour),
+  /// fed by observed crashes and tick-sampled exposure. Zero until the prior
+  /// or an observed crash contributes mass.
+  double checkpoint_hazard_per_hour() const {
+    return ckpt_sched_.hazard().hazard_per_hour();
+  }
+
   std::uint32_t incomplete_tasks() const {
     return static_cast<std::uint32_t>(workflow_.task_count() -
                                       framework_.completed_count());
@@ -146,6 +174,8 @@ class JobEngine {
   void handle_task_faulted(const Event& e);
   void handle_task_retry(const Event& e);
   void handle_task_oom(const Event& e);
+  void handle_task_checkpoint(const Event& e);
+  void handle_checkpoint_guard(const Event& e);
 
   /// Draws and schedules the crash/revocation of an instance that just
   /// became Ready (no-op with fault injection disabled).
@@ -171,6 +201,44 @@ class JobEngine {
   void finish_transfer_in(dag::TaskId task, SimTime now);
   void finish_transfer_out(dag::TaskId task, SimTime now);
   void purge_stale_transfers(SimTime now);
+
+  // --- Scheduled checkpointing (CheckpointConfig::enabled()) ------------
+  // Execution runs in segments punctuated by checkpoint writes on a shared
+  // channel that mirrors the transfer fabric: active writes share
+  // ckpt_bandwidth_ processor-style and an epoch-stamped CheckpointGuard
+  // tracks the earliest projected completion. Exactly one exec event
+  // (TaskCheckpoint xor ExecDone) is pending per running attempt; while a
+  // write is in flight the task stalls (occupying its slot) and resumes when
+  // the write commits. A killed attempt salvages only committed checkpoints;
+  // its in-flight write is purged and counted lost.
+  bool checkpoint_active() const {
+    return config_.checkpoint.enabled() && ckpt_bandwidth_ > 0.0;
+  }
+  /// Checkpoint image size: the attempt's memory reservation when the memory
+  /// dimension is on, CheckpointConfig::default_size_mb otherwise.
+  double ckpt_size_mb(dag::TaskId task) const;
+  /// Earliest time >= t at which a checkpoint write may start under the
+  /// installed staggering window.
+  SimTime ckpt_window_defer(SimTime t) const;
+  /// Schedules the attempt's next exec event from a segment starting at
+  /// `now`: a TaskCheckpoint if one more interval fits before the remaining
+  /// execution ends, the final ExecDone otherwise.
+  void schedule_exec_segment(dag::TaskId task, SimTime now);
+  double ckpt_write_rate() const {
+    return ckpt_writes_.empty()
+               ? 0.0
+               : ckpt_bandwidth_ / static_cast<double>(ckpt_writes_.size());
+  }
+  void advance_ckpt_writes(SimTime now);
+  void arm_ckpt_guard(SimTime now);
+  /// Drops writes whose attempt died (counting them lost); call wherever an
+  /// attempt can be killed.
+  void purge_stale_ckpt_writes(SimTime now);
+  /// Stages the killed attempt's true executed seconds (committed + live
+  /// segment) with the framework so salvage charges exact lost work.
+  void stage_ckpt_kill(dag::TaskId task, SimTime now);
+  /// Feeds tick-sampled ready-instance exposure to the hazard estimator.
+  void ckpt_observe_exposure(SimTime now);
 
   void apply_command(const PoolCommand& cmd, SimTime now);
 
@@ -210,6 +278,43 @@ class JobEngine {
   std::vector<ActiveTransfer> transfers_;
   SimTime transfers_updated_ = 0.0;
   std::uint64_t transfer_epoch_ = 0;
+  /// Per-task segmented-execution state of the *current* attempt (valid only
+  /// while `attempt` matches TaskRuntime::attempts). exec_total is the
+  /// attempt's post-salvage execution demand; exec_done the seconds already
+  /// executed; segment_start the start of the live segment (< 0 while
+  /// stalled on a write or not executing). Sized task_count only when
+  /// scheduled checkpointing is enabled.
+  struct TaskCkptState {
+    double exec_total = 0.0;
+    double exec_done = 0.0;
+    SimTime segment_start = -1.0;
+    std::uint32_t attempt = 0;
+    /// Event ending the attempt's execution: ExecDone, or the injected
+    /// TaskFaulted/TaskOom of a doomed attempt.
+    EventKind terminal = EventKind::ExecDone;
+  };
+  struct ActiveCkptWrite {
+    dag::TaskId task = dag::kInvalidTask;
+    std::uint32_t attempt = 0;
+    double remaining_mb = 0.0;
+    SimTime started = 0.0;
+  };
+  std::vector<TaskCkptState> ckpt_states_;
+  std::vector<ActiveCkptWrite> ckpt_writes_;
+  SimTime ckpt_writes_updated_ = 0.0;
+  std::uint64_t ckpt_epoch_ = 0;
+  /// Effective channel bandwidth (arbiter share; starts at the configured
+  /// full channel) and the cooperative-staggering window.
+  double ckpt_bandwidth_ = 0.0;
+  SimTime ckpt_window_offset_ = 0.0;
+  double ckpt_window_length_ = 0.0;
+  double ckpt_window_period_ = 0.0;
+  policies::CheckpointScheduler ckpt_sched_;
+  SimTime ckpt_exposure_mark_ = 0.0;
+  double ckpt_demand_mb_ = 0.0;
+  std::uint32_t ckpt_completed_ = 0;
+  std::uint32_t ckpt_lost_ = 0;
+  double ckpt_io_slot_seconds_ = 0.0;
   SimTime end_time_ = -1.0;
   std::uint32_t control_ticks_ = 0;
   std::vector<PoolSample> timeline_;

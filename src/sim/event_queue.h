@@ -49,6 +49,15 @@ enum class EventKind : std::uint8_t {
   /// the attempt is OOM-killed. payload = task id, aux = attempt (stale
   /// guards are ignored, as for ExecDone).
   TaskOom,
+  /// Scheduled checkpointing: a running attempt reaches its next checkpoint
+  /// instant, stalls execution, and starts a write on the shared checkpoint
+  /// channel. payload = task id, aux = attempt (stale guards are ignored,
+  /// as for ExecDone).
+  TaskCheckpoint,
+  /// Earliest projected completion among the shared-channel checkpoint
+  /// writes (processor-sharing model, mirroring TransferGuard). aux =
+  /// checkpoint epoch; stale guards are ignored.
+  CheckpointGuard,
 };
 
 struct Event {

@@ -11,10 +11,12 @@ using dag::TaskId;
 
 FrameworkMaster::FrameworkMaster(const dag::Workflow& workflow,
                                  std::uint32_t first_fire_priority,
-                                 double checkpoint_fraction)
+                                 double checkpoint_fraction,
+                                 bool scheduled_checkpoints)
     : workflow_(&workflow),
       first_fire_priority_(first_fire_priority),
       checkpoint_fraction_(checkpoint_fraction),
+      scheduled_checkpoints_(scheduled_checkpoints),
       runtimes_(workflow.task_count()),
       stage_priority_granted_(workflow.stage_count(), 0) {
   for (const dag::TaskSpec& t : workflow.tasks()) {
@@ -156,6 +158,24 @@ void FrameworkMaster::set_true_peak_mem(TaskId task, double peak_mb) {
   mutable_runtime(task).true_peak_mem_mb = peak_mb;
 }
 
+void FrameworkMaster::on_checkpoint_committed(TaskId task,
+                                              double durable_exec_seconds) {
+  TaskRuntime& rt = mutable_runtime(task);
+  WIRE_REQUIRE(rt.phase == TaskPhase::Running,
+               "checkpoint commit for a task that is not running");
+  WIRE_CHECK(durable_exec_seconds >= rt.ckpt_durable_exec,
+             "checkpoint commits must cover monotone progress");
+  rt.ckpt_durable_exec = durable_exec_seconds;
+  if (store_ != nullptr) {
+    store_->on_checkpoint_committed(task, durable_exec_seconds);
+  }
+}
+
+void FrameworkMaster::stage_kill_progress(TaskId task,
+                                          double progress_exec_seconds) {
+  mutable_runtime(task).ckpt_progress_exec = progress_exec_seconds;
+}
+
 void FrameworkMaster::on_transfer_in_done(TaskId task, SimTime now) {
   TaskRuntime& rt = mutable_runtime(task);
   WIRE_REQUIRE(rt.phase == TaskPhase::Running, "transfer_in_done on non-running task");
@@ -166,11 +186,15 @@ void FrameworkMaster::on_transfer_in_done(TaskId task, SimTime now) {
   }
 }
 
-void FrameworkMaster::on_exec_done(TaskId task, SimTime now) {
+void FrameworkMaster::on_exec_done(TaskId task, SimTime now,
+                                   double pure_exec_seconds) {
   TaskRuntime& rt = mutable_runtime(task);
   WIRE_REQUIRE(rt.phase == TaskPhase::Running, "exec_done on non-running task");
   WIRE_CHECK(rt.exec_start >= 0.0, "exec_done before transfer_in_done");
+  // Wall time; on_complete needs it to place the output transfer. The pure
+  // (stall-free) time replaces it in the completed observation there.
   rt.exec_time = now - rt.exec_start;
+  rt.ckpt_pure_exec = pure_exec_seconds;
 }
 
 std::vector<TaskId> FrameworkMaster::on_complete(TaskId task, SimTime now) {
@@ -178,6 +202,12 @@ std::vector<TaskId> FrameworkMaster::on_complete(TaskId task, SimTime now) {
   WIRE_REQUIRE(rt.phase == TaskPhase::Running, "complete on non-running task");
   WIRE_CHECK(rt.exec_time >= 0.0, "complete before exec_done");
   rt.transfer_out_time = now - rt.exec_start - rt.exec_time;
+  if (rt.ckpt_pure_exec >= 0.0) {
+    // Scheduled checkpointing stalls execution during writes: observations
+    // (and the predictor's runtime harvest) must see the pure execution
+    // time, not the stall-stretched wall interval.
+    rt.exec_time = rt.ckpt_pure_exec;
+  }
   rt.phase = TaskPhase::Completed;
   rt.completed_at = now;
   busy_slot_seconds_ += now - rt.occupancy_start;
@@ -210,6 +240,39 @@ std::vector<TaskId> FrameworkMaster::on_complete(TaskId task, SimTime now) {
   return newly_ready;
 }
 
+void FrameworkMaster::salvage_on_kill(TaskRuntime& rt, SimTime now,
+                                      bool allow_legacy_salvage) {
+  // Execution progress of the dying attempt: the engine stages the true
+  // value when checkpoint stalls make wall time an overstatement; a kill
+  // during the output transfer finds the finished exec time; otherwise wall
+  // time since exec_start is exact.
+  double progress = 0.0;
+  if (rt.ckpt_progress_exec >= 0.0) {
+    progress = rt.ckpt_progress_exec;
+  } else if (rt.exec_time >= 0.0) {
+    progress = rt.exec_time;
+  } else if (rt.exec_start >= 0.0) {
+    progress = now - rt.exec_start;
+  }
+  const double salvaged_before = rt.salvaged_exec;
+  if (scheduled_checkpoints_) {
+    // Every kill kind recovers the attempt's committed checkpoint — that is
+    // the point of writing one (an upgrade over the legacy model, where a
+    // crashed process was assumed to die at an unknown point with nothing
+    // durable on disk).
+    rt.salvaged_exec += rt.ckpt_durable_exec;
+  } else if (allow_legacy_salvage && checkpoint_fraction_ > 0.0 &&
+             rt.exec_start >= 0.0) {
+    rt.salvaged_exec = std::max(
+        rt.salvaged_exec, checkpoint_fraction_ * (now - rt.exec_start));
+  }
+  lost_work_seconds_ +=
+      std::max(0.0, progress - (rt.salvaged_exec - salvaged_before));
+  rt.ckpt_durable_exec = 0.0;
+  rt.ckpt_progress_exec = -1.0;
+  rt.ckpt_pure_exec = -1.0;
+}
+
 std::vector<TaskId> FrameworkMaster::resubmit_tasks_on(InstanceId instance,
                                                        SimTime now) {
   std::vector<TaskId> killed = tasks_on(instance);
@@ -223,10 +286,7 @@ std::vector<TaskId> FrameworkMaster::resubmit_tasks_on(InstanceId instance,
     wasted_slot_seconds_ += now - rt.occupancy_start;
     release_memory(rt, now);
     ++restarts_;
-    if (checkpoint_fraction_ > 0.0 && rt.exec_start >= 0.0) {
-      rt.salvaged_exec = std::max(
-          rt.salvaged_exec, checkpoint_fraction_ * (now - rt.exec_start));
-    }
+    salvage_on_kill(rt, now, /*allow_legacy_salvage=*/true);
     rt.exec_time = -1.0;
     enqueue_ready(task, now);
   }
@@ -247,9 +307,10 @@ std::uint32_t FrameworkMaster::on_task_failed(TaskId task, SimTime now) {
   ++task_faults_;
   ++rt.failed_attempts;
   rt.last_failed_elapsed = elapsed;
-  // A transient failure loses the attempt's progress outright — unlike an
-  // instance release there is no checkpoint to salvage from (the process
-  // died, it was not killed at a known point).
+  // Under the legacy fraction model a transient failure loses the attempt's
+  // progress outright (the process died at an unknown point, nothing durable
+  // exists); scheduled checkpointing recovers the committed write.
+  salvage_on_kill(rt, now, /*allow_legacy_salvage=*/false);
   rt.phase = TaskPhase::Pending;
   rt.ready_at = -1.0;
   rt.occupancy_start = -1.0;
@@ -279,6 +340,7 @@ std::uint32_t FrameworkMaster::on_task_oom(TaskId task, SimTime now) {
   // Unlike a transient fault, failed_attempts/last_failed_elapsed stay
   // untouched: an OOM kill is a sizing error, and the exec-time failure
   // harvest must not see it as a runtime observation.
+  salvage_on_kill(rt, now, /*allow_legacy_salvage=*/false);
   rt.phase = TaskPhase::Pending;
   rt.ready_at = -1.0;
   rt.occupancy_start = -1.0;
@@ -346,6 +408,7 @@ void FrameworkMaster::fill_observations(
         obs.transfer_in_time = rt.transfer_in_time;
         obs.instance = rt.instance;
         obs.mem_reservation_mb = rt.mem_reservation_mb;
+        obs.checkpointed_exec = rt.ckpt_durable_exec;
         break;
       case TaskPhase::Completed:
         obs.exec_time = rt.exec_time;

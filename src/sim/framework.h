@@ -64,6 +64,19 @@ struct TaskRuntime {
   /// OOM kills of this task (separate from failed_attempts: OOM retries are
   /// sizing errors, not transient faults).
   std::uint32_t oom_attempts = 0;
+
+  // --- Scheduled checkpointing (inert when CheckpointConfig is off) ---
+  /// Execution seconds of the current attempt covered by its last *completed*
+  /// checkpoint write (what a kill salvages under scheduled checkpointing).
+  double ckpt_durable_exec = 0.0;
+  /// Staging slot the engine fills immediately before a kill with the
+  /// attempt's actual execution progress in seconds (the engine tracks
+  /// checkpoint stalls, so wall time since exec_start overstates it); < 0 =
+  /// derive progress from exec_start.
+  double ckpt_progress_exec = -1.0;
+  /// Pure execution seconds of a completed attempt as reported by the
+  /// engine (checkpoint-write stalls excluded); < 0 = use wall exec time.
+  double ckpt_pure_exec = -1.0;
 };
 
 class FrameworkMaster {
@@ -72,9 +85,13 @@ class FrameworkMaster {
   /// enqueues its root tasks as ready at time 0. `first_fire_priority` is
   /// the per-stage count of ready tasks promoted to high dispatch priority
   /// (the paper's Condor patch uses 5).
+  /// `scheduled_checkpoints` switches the salvage model from the legacy
+  /// instantaneous `checkpoint_fraction` rule to explicit checkpoint events:
+  /// a killed attempt salvages exactly its last committed checkpoint.
   explicit FrameworkMaster(const dag::Workflow& workflow,
                            std::uint32_t first_fire_priority = 5,
-                           double checkpoint_fraction = 0.0);
+                           double checkpoint_fraction = 0.0,
+                           bool scheduled_checkpoints = false);
 
   // --- Ready queue ---
   bool has_ready() const { return !ready_queue_.empty(); }
@@ -94,8 +111,11 @@ class FrameworkMaster {
                    SimTime now, double mem_reservation_mb = -1.0);
   /// Input transfer finished; execution begins.
   void on_transfer_in_done(dag::TaskId task, SimTime now);
-  /// Execution finished; output transfer begins.
-  void on_exec_done(dag::TaskId task, SimTime now);
+  /// Execution finished; output transfer begins. `pure_exec_seconds` >= 0
+  /// reports the attempt's execution time with checkpoint-write stalls
+  /// excluded (scheduled checkpointing); < 0 = wall time since exec_start.
+  void on_exec_done(dag::TaskId task, SimTime now,
+                    double pure_exec_seconds = -1.0);
   /// Output transfer finished; task completes, slot frees. Returns the
   /// successors that became ready (already enqueued).
   std::vector<dag::TaskId> on_complete(dag::TaskId task, SimTime now);
@@ -121,6 +141,17 @@ class FrameworkMaster {
   std::uint32_t on_task_oom(dag::TaskId task, SimTime now);
   /// Caches the ground-truth peak the engine drew for this task.
   void set_true_peak_mem(dag::TaskId task, double peak_mb);
+
+  // --- Scheduled checkpointing ---
+  /// A checkpoint write for `task`'s current attempt finished on the shared
+  /// channel: `durable_exec_seconds` of this attempt's execution are now
+  /// recoverable. Forwards to the monitor store (TaskObservation::
+  /// checkpointed_exec).
+  void on_checkpoint_committed(dag::TaskId task, double durable_exec_seconds);
+  /// Immediately before a kill, the engine stages the attempt's actual
+  /// execution progress (wall time minus checkpoint stalls) so the kill
+  /// paths charge true lost work instead of wall time.
+  void stage_kill_progress(dag::TaskId task, double progress_exec_seconds);
   /// Memory currently booked on `instance`, MB (0 if none/unknown).
   double mem_used(InstanceId instance) const;
 
@@ -152,6 +183,10 @@ class FrameworkMaster {
   double busy_slot_seconds() const { return busy_slot_seconds_; }
   /// Slot-seconds consumed by attempts that were killed (sunk cost paid).
   double wasted_slot_seconds() const { return wasted_slot_seconds_; }
+  /// Execution seconds of killed attempts that no checkpoint (legacy
+  /// fraction or committed write) salvaged — the rollback-waste numerator
+  /// of the checkpoint study. Accounted in every salvage mode.
+  double lost_work_seconds() const { return lost_work_seconds_; }
   /// Total OOM kills across all tasks.
   std::uint32_t total_oom_kills() const { return oom_kills_; }
   /// MB-seconds of reserved memory over all occupancy (every attempt holds
@@ -181,6 +216,12 @@ class FrameworkMaster {
  private:
   void enqueue_ready(dag::TaskId task, SimTime now);
   TaskRuntime& mutable_runtime(dag::TaskId task);
+  /// Shared kill-path salvage + lost-work accounting. `allow_legacy_salvage`
+  /// mirrors the historical asymmetry: only instance-release kills salvage
+  /// under the legacy fraction model (a crashed process died at an unknown
+  /// point), while scheduled checkpoints recover committed progress on every
+  /// kill kind.
+  void salvage_on_kill(TaskRuntime& rt, SimTime now, bool allow_legacy_salvage);
   /// Releases a runtime's booked reservation (slot is being freed) and
   /// accumulates the reserved-MB-seconds wastage numerator.
   void release_memory(TaskRuntime& rt, SimTime now);
@@ -188,6 +229,7 @@ class FrameworkMaster {
   const dag::Workflow* workflow_;
   std::uint32_t first_fire_priority_;
   double checkpoint_fraction_;
+  bool scheduled_checkpoints_;
   std::vector<TaskRuntime> runtimes_;
   // Dispatch order: (priority class, ready time, id). Class 0 = first-five.
   std::set<std::tuple<int, SimTime, dag::TaskId>> ready_queue_;
@@ -200,6 +242,7 @@ class FrameworkMaster {
   std::uint32_t task_faults_ = 0;
   double busy_slot_seconds_ = 0.0;
   double wasted_slot_seconds_ = 0.0;
+  double lost_work_seconds_ = 0.0;
   std::uint32_t oom_kills_ = 0;
   std::unordered_map<InstanceId, double> mem_used_;
   double mem_reserved_mb_seconds_ = 0.0;

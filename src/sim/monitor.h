@@ -96,6 +96,14 @@ struct TaskObservation {
   /// sizing error, not a transient fault, and must not contaminate the
   /// execution-time failure harvest).
   std::uint32_t oom_attempts = 0;
+
+  // --- Scheduled checkpointing (zero when CheckpointConfig is off) ---
+  /// Execution seconds of the current attempt covered by its last completed
+  /// checkpoint write — what a kill would salvage. Only meaningful while
+  /// Running; resets with each new attempt. Checkpoint-aware victim
+  /// selection charges `progress - checkpointed_exec` instead of the legacy
+  /// blanket `1 - checkpoint_fraction` discount.
+  SimTime checkpointed_exec = 0.0;
 };
 
 /// Controller-visible state of one worker instance.

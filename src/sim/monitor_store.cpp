@@ -120,6 +120,15 @@ void MonitorStore::on_transfer_in_done(TaskId task, double transfer_in_time,
   // Still Running: no phase change to journal.
 }
 
+void MonitorStore::on_checkpoint_committed(TaskId task,
+                                           double durable_exec_seconds) {
+  TaskObservation& obs = snap_.tasks[task];
+  WIRE_CHECK(obs.phase == TaskPhase::Running,
+             "checkpoint commit for a non-running task");
+  obs.checkpointed_exec = durable_exec_seconds;
+  // Still Running: no phase change to journal.
+}
+
 void MonitorStore::on_task_failed(TaskId task, std::uint32_t attempts,
                                   std::uint32_t failed_attempts,
                                   double elapsed) {

@@ -68,6 +68,12 @@ class MonitorStore {
   /// TaskObservation::oom_attempts.
   void on_task_oom(dag::TaskId task, std::uint32_t attempts,
                    std::uint32_t oom_attempts);
+  /// A checkpoint write committed for `task`'s current attempt:
+  /// TaskObservation::checkpointed_exec now covers `durable_exec_seconds`.
+  /// Not journaled — like elapsed/elapsed_exec it is an attribute of the
+  /// running attempt, visible in the task row itself, and resets with the
+  /// attempt (on_task_ready).
+  void on_checkpoint_committed(dag::TaskId task, double durable_exec_seconds);
 
   // --- Instance hooks (driven by JobEngine) ---
   void on_instance_added(InstanceId instance);

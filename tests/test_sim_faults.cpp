@@ -74,6 +74,7 @@ void expect_observation_eq(const TaskObservation& got,
   EXPECT_EQ(got.attempts, want.attempts);
   EXPECT_EQ(got.failed_attempts, want.failed_attempts);
   EXPECT_EQ(got.last_failed_elapsed, want.last_failed_elapsed);
+  EXPECT_EQ(got.checkpointed_exec, want.checkpointed_exec);
 }
 
 void expect_instance_eq(const InstanceObservation& got,

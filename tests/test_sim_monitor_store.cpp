@@ -15,11 +15,14 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <tuple>
 #include <vector>
 
 #include "exp/settings.h"
+#include "predict/memory_predictor.h"
+#include "predict/task_predictor.h"
 #include "sim/driver.h"
 #include "sim/engine.h"
 #include "sim/monitor.h"
@@ -104,11 +107,16 @@ class ChaosProbePolicy final : public ScalingPolicy {
   std::uint32_t ticks() const { return ticks_; }
   std::uint32_t immediate_releases() const { return immediate_releases_; }
   std::uint32_t drains() const { return drains_; }
+  std::uint64_t predictor_refits() const { return predictor_refits_; }
+  const predict::TaskPredictor& predictor() const { return *predictor_; }
 
   std::string name() const override { return "chaos-probe"; }
 
   void on_run_start(const dag::Workflow& workflow,
                     const CloudConfig& /*config*/) override {
+    workflow_ = &workflow;
+    predictor_ = std::make_unique<predict::TaskPredictor>(workflow);
+    predictor_refits_ = 0;
     // Baseline for the first delta: the engine's bootstrap state (roots
     // fired at t = 0, nothing dispatched, no instances journaled yet).
     prev_phase_.assign(workflow.task_count(), TaskPhase::Pending);
@@ -123,6 +131,7 @@ class ChaosProbePolicy final : public ScalingPolicy {
     ++ticks_;
     verify_against_rebuild(snapshot);
     verify_delta(snapshot);
+    verify_predictor_batching(snapshot);
     remember(snapshot);
     return next_command(snapshot);
   }
@@ -132,6 +141,20 @@ class ChaosProbePolicy final : public ScalingPolicy {
     ASSERT_NE(engine_, nullptr);
     SCOPED_TRACE("control tick at t=" + std::to_string(snapshot.now));
     expect_snapshot_eq(snapshot, engine_->rebuild_snapshot(snapshot.now));
+  }
+
+  /// Refit batching under restart churn: however bursty the tick's delta
+  /// (the chaos commands restart whole instances, so one interval can
+  /// complete many same-stage tasks at once), a harvest refits each touched
+  /// stage once and bumps the estimator revision at most once.
+  void verify_predictor_batching(const MonitorSnapshot& snapshot) {
+    const std::uint64_t before = predictor_->revision();
+    predictor_->observe(snapshot);
+    EXPECT_LE(predictor_->revision(), before + 1)
+        << "bursty delta bumped the estimator revision more than once";
+    predictor_refits_ += predictor_->last_refit_stages();
+    EXPECT_LE(predictor_->last_refit_stages(), workflow_->stage_count())
+        << "one observe refit a stage twice";
   }
 
   /// The journal must be exact, sorted, deduplicated, and derivable from the
@@ -304,6 +327,9 @@ class ChaosProbePolicy final : public ScalingPolicy {
 
   util::Rng rng_;
   const JobEngine* engine_ = nullptr;
+  const dag::Workflow* workflow_ = nullptr;
+  std::unique_ptr<predict::TaskPredictor> predictor_;
+  std::uint64_t predictor_refits_ = 0;
   bool benign_ = false;
   std::uint32_t ticks_ = 0;
   std::uint32_t immediate_releases_ = 0;
@@ -362,9 +388,68 @@ TEST_P(MonitorStoreFuzz, StoreMatchesRebuildUnderChaos) {
               static_cast<int>(TaskPhase::Completed));
   }
   EXPECT_GE(policy.ticks(), 1u);
+  // Refit accounting: restart churn completes tasks in bursts, yet the total
+  // refit count stays bounded by ticks x stages (one per touched stage per
+  // harvest), never by the completion count.
+  EXPECT_LE(policy.predictor_refits(),
+            static_cast<std::uint64_t>(policy.ticks()) * wf.stage_count());
+  for (dag::StageId s = 0; s < wf.stage_count(); ++s) {
+    EXPECT_LE(policy.predictor().stage_revision(s), policy.ticks());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MonitorStoreFuzz, ::testing::Range(0, 10));
+
+// MemoryPredictor refit batching: one bursty exact delta completing many
+// same-stage tasks is ONE stage refit (revision bump), not one per task, and
+// replaying the same snapshot refits nothing (harvest idempotence).
+TEST(MonitorStore, BurstyDeltaBatchesMemoryRefits) {
+  const dag::Workflow wf = workload::linear_workflow(/*stages=*/2,
+                                                     /*width=*/4, 10.0);
+  MemoryConfig mc;
+  mc.instance_mem_mb = 4096.0;
+  predict::MemoryPredictor predictor(wf, mc, /*slots_per_instance=*/2);
+
+  // Burst: all four stage-0 tasks complete inside one control interval.
+  MonitorSnapshot snap;
+  snap.now = 100.0;
+  snap.tasks.resize(wf.task_count());
+  snap.delta.exact = true;
+  for (dag::TaskId t = 0; t < static_cast<dag::TaskId>(wf.task_count()); ++t) {
+    if (wf.task(t).stage != 0) continue;
+    snap.tasks[t].phase = TaskPhase::Completed;
+    snap.tasks[t].peak_mem_mb = 512.0 + static_cast<double>(t);
+    snap.delta.completed.push_back(t);
+  }
+  predictor.observe(snap);
+  EXPECT_EQ(predictor.stage_revision(0), 1u);
+  EXPECT_EQ(predictor.stage_samples(0), 4u);
+  EXPECT_EQ(predictor.total_refits(), 1u);
+  EXPECT_EQ(predictor.revision(), 1u);
+
+  // Replay: nothing new, nothing refit.
+  predictor.observe(snap);
+  EXPECT_EQ(predictor.stage_revision(0), 1u);
+  EXPECT_EQ(predictor.total_refits(), 1u);
+  EXPECT_EQ(predictor.revision(), 1u);
+
+  // A second burst touching BOTH stages refits each stage once.
+  MonitorSnapshot snap2 = snap;
+  snap2.now = 200.0;
+  snap2.delta.completed.clear();
+  for (dag::TaskId t = 0; t < static_cast<dag::TaskId>(wf.task_count()); ++t) {
+    if (wf.task(t).stage != 1) continue;
+    snap2.tasks[t].phase = TaskPhase::Completed;
+    snap2.tasks[t].peak_mem_mb = 700.0;
+    snap2.delta.completed.push_back(t);
+  }
+  predictor.observe(snap2);
+  EXPECT_EQ(predictor.stage_revision(0), 1u);
+  EXPECT_EQ(predictor.stage_revision(1), 1u);
+  EXPECT_EQ(predictor.stage_samples(1), 4u);
+  EXPECT_EQ(predictor.total_refits(), 2u);
+  EXPECT_EQ(predictor.revision(), 2u);
+}
 
 // Restart-heavy determinism: peeking the monitor after every event (which
 // refreshes the store-held snapshot and clears its published delta, but must
