@@ -10,10 +10,11 @@
 // A second study reruns the demand-weighted cell on a memory-constrained
 // site at two provisioning factors (tight and ample per-slot capacity) with
 // the memory-aware demand signal off vs on: tenants whose projected
-// footprint cannot fit their instance-count bid lift it. The lift is
-// deliberately aggressive (the controller reports the footprint of the whole
-// upcoming wavefront), so the study measures what that over-claim costs in
-// queueing at each provisioning level, not just what it buys.
+// footprint cannot fit their instance-count bid lift it. The controller bids
+// the footprint of the wave that can actually run concurrently at its
+// planned pool size (not the whole upcoming queue — that over-claim starved
+// tight sites to a 3.9x mean slowdown), so the study measures what the lift
+// costs in queueing at each provisioning level, not just what it buys.
 #include <algorithm>
 #include <cstdio>
 #include <string>

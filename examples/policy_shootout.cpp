@@ -5,7 +5,10 @@
 // Runs all four resource-management settings (full-site, pure-reactive,
 // reactive-conserving, wire) across the four paper charging units and prints
 // the Figure 5/6 style summary: charging units consumed and execution time
-// relative to the best setting.
+// relative to the best setting. A coda reruns WIRE under a shrinking spend
+// ceiling (policies::BudgetPolicy, hard cap) to show how the schedule trades
+// makespan for cost as the budget tightens.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -13,6 +16,8 @@
 
 #include "exp/runner.h"
 #include "exp/settings.h"
+#include "policies/budget.h"
+#include "sim/driver.h"
 #include "util/table.h"
 #include "workload/generators.h"
 #include "workload/profiles.h"
@@ -77,5 +82,38 @@ int main(int argc, char** argv) {
       "boundaries; wire additionally predicts the upcoming load from the\n"
       "DAG, so it grows before the width arrives and shrinks before waste\n"
       "accumulates.\n");
+
+  // Budget coda: WIRE on the 1-minute unit (the finest-grained billing, so
+  // the cap actually bites), unconstrained first to probe the natural cost,
+  // then hard-capped at 100% / 80% / 60% of it. The "off" row is the zero
+  // sentinel — it must reproduce the unconstrained run exactly.
+  const sim::CloudConfig site = exp::paper_cloud(60.0);
+  const dag::Workflow wf = workload::make_workflow(profile, /*seed=*/1);
+  sim::RunOptions run_options;
+  run_options.seed = 1;
+  const auto run_with_budget = [&](double units) {
+    policies::BudgetOptions budget;
+    budget.budget_units = units;
+    policies::BudgetPolicy policy(exp::make_policy(exp::PolicyKind::Wire),
+                                  budget);
+    sim::RunResult r = sim::simulate(wf, policy, site, run_options);
+    return std::pair<sim::RunResult, bool>(std::move(r), policy.exhausted());
+  };
+  const auto [probe, probe_exhausted] = run_with_budget(0.0);
+  util::TextTable budget_table;
+  budget_table.set_header(
+      {"budget", "units", "cost", "makespan (s)", "exhausted"});
+  for (double scale : {0.0, 1.0, 0.8, 0.6}) {
+    const double units =
+        scale == 0.0 ? 0.0 : std::ceil(probe.cost_units * scale);
+    const auto [r, exhausted] = run_with_budget(units);
+    budget_table.add_row(
+        {scale == 0.0 ? std::string("off") : util::fmt(scale, 1) + "x",
+         scale == 0.0 ? std::string("-") : util::fmt(units, 0),
+         util::fmt(r.cost_units, 1), util::fmt(r.makespan, 0),
+         exhausted ? "yes" : "no"});
+  }
+  std::printf("\n=== wire under a hard spend cap (1 min unit) ===\n\n%s",
+              budget_table.render().c_str());
   return 0;
 }

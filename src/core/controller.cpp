@@ -46,6 +46,7 @@ void WireController::on_run_start(const dag::Workflow& workflow,
   hazard_crashes_ = 0;
   hazard_pending_releases_ = 0;
   hazard_mark_ = 0.0;
+  last_planned_pool_ = 0;
 }
 
 const predict::Estimator& WireController::estimator() const {
@@ -132,17 +133,31 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
   sim::PoolCommand cmd = steer(*lookahead, snapshot, config_, &planned,
                                options_.reclaim_draining,
                                lookahead_.scratch().get(), hazard_per_hour);
+  last_planned_pool_ = planned;
   if (options_.crash_aware_steering) {
     hazard_pending_releases_ += cmd.releases.size();
   }
 
   if (memory_ && options_.report_memory_demand) {
-    // The projected footprint of the upcoming load — what the job would
-    // reserve if every Q_task entry ran concurrently. Purely advisory (the
-    // engine never acts on it); the ensemble arbiter converts it to an
+    // The projected footprint of the *concurrent wave* — the Q_task prefix
+    // that would actually co-reside at the planned pool size (Q_task is
+    // emitted in projected start order, so its first planned * slots entries
+    // are the wavefront). Summing the whole queue instead over-claims badly
+    // under demand-weighted arbitration: tasks that run serially behind the
+    // wave never reserve memory at the same time, and bidding their sum
+    // starves the other tenants for capacity this job cannot use (the
+    // bench_ensemble memory-bid study measured 3.90x tight-provisioning
+    // slowdown for the whole-queue signal vs 1.32x per-wave). Purely advisory
+    // (the engine never acts on it); the ensemble arbiter converts it to an
     // instance-count bid.
+    const std::size_t wave =
+        std::min(lookahead->upcoming.size(),
+                 static_cast<std::size_t>(planned) *
+                     static_cast<std::size_t>(config_.slots_per_instance));
     double mem = 0.0;
-    for (const UpcomingTask& t : lookahead->upcoming) mem += t.mem_mb;
+    for (std::size_t i = 0; i < wave; ++i) {
+      mem += lookahead->upcoming[i].mem_mb;
+    }
     cmd.desired_mem_mb = mem;
   }
 
@@ -161,6 +176,12 @@ sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
     trace_listener_(trace);
   }
   return cmd;
+}
+
+double WireController::planned_burn_units(const sim::MonitorSnapshot& snapshot,
+                                          double horizon) const {
+  return core::planned_burn_units(snapshot, config_, last_planned_pool_,
+                                  horizon);
 }
 
 std::size_t WireController::state_bytes() const {

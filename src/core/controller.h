@@ -125,6 +125,18 @@ class WireController final : public sim::ScalingPolicy {
     return memory_.get();
   }
 
+  /// Algorithm 3's unclamped planned pool size from the last plan() call
+  /// (0 until the first tick) — the anchor of the burn projection below.
+  std::uint32_t last_planned_pool() const { return last_planned_pool_; }
+
+  /// Projected billing burn of holding the last planned pool over the next
+  /// `horizon` seconds: charging units newly starting in (now, now +
+  /// horizon], per core::planned_burn_units. This is the spend-rate signal
+  /// budget enforcement consumes — what the plan will cost before the money
+  /// is gone, not after (policies::BudgetPolicy, DESIGN.md §4.16).
+  double planned_burn_units(const sim::MonitorSnapshot& snapshot,
+                            double horizon) const;
+
   /// Controller state footprint in bytes (§IV-F overhead accounting).
   std::size_t state_bytes() const;
 
@@ -153,6 +165,7 @@ class WireController final : public sim::ScalingPolicy {
   std::uint64_t hazard_crashes_ = 0;
   std::uint64_t hazard_pending_releases_ = 0;
   sim::SimTime hazard_mark_ = 0.0;
+  std::uint32_t last_planned_pool_ = 0;
 };
 
 }  // namespace wire::core

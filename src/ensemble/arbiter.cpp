@@ -13,13 +13,14 @@ const char* strategy_name(ArbiterStrategy strategy) {
     case ArbiterStrategy::FifoExclusive: return "fifo-exclusive";
     case ArbiterStrategy::StaticFairShare: return "fair-share";
     case ArbiterStrategy::DemandWeighted: return "demand-weighted";
+    case ArbiterStrategy::BudgetWeighted: return "budget-weighted";
   }
   return "unknown";
 }
 
 std::vector<ArbiterStrategy> all_strategies() {
   return {ArbiterStrategy::FifoExclusive, ArbiterStrategy::StaticFairShare,
-          ArbiterStrategy::DemandWeighted};
+          ArbiterStrategy::DemandWeighted, ArbiterStrategy::BudgetWeighted};
 }
 
 namespace {
@@ -138,6 +139,126 @@ void demand_weighted(std::uint32_t site_cap, double instance_mem_mb,
   }
 }
 
+/// The tenant's effective requested pool: the controller's ask, lifted by
+/// the memory footprint when a per-instance capacity is configured, clamped
+/// to the site. Shared by the demand- and budget-weighted strategies so the
+/// two bid on the same demand signal.
+std::uint32_t effective_requested(const TenantDemand& tenant,
+                                  std::uint32_t site_cap,
+                                  double instance_mem_mb) {
+  std::uint32_t requested = tenant.requested_pool;
+  if (instance_mem_mb > 0.0 && tenant.requested_mem_mb > 0.0) {
+    const double needed = std::ceil(tenant.requested_mem_mb / instance_mem_mb);
+    if (needed > static_cast<double>(requested)) {
+      requested = needed >= static_cast<double>(site_cap)
+                      ? site_cap
+                      : static_cast<std::uint32_t>(needed);
+    }
+  }
+  return std::min(requested, site_cap);
+}
+
+void budget_weighted(std::uint32_t site_cap, double instance_mem_mb,
+                     std::uint32_t spare,
+                     const std::vector<TenantDemand>& tenants,
+                     const std::vector<std::size_t>& order,
+                     std::vector<std::uint32_t>& shares) {
+  // A tenant that reports no budget (-1) bids as if exactly one charging
+  // unit remained — between an exhausted tenant (weight 0, floor only) and
+  // any tenant with real money left.
+  constexpr double kUnreportedUnits = 1.0;
+  // Fixed-point weight scale: 1/16 charging unit of budget resolution is
+  // plenty, and the clamp at 2^16 units keeps every bid product comfortably
+  // inside 64 bits (bid <= extra * 2^20, num <= spare * 2^30 after the bid
+  // clamp below).
+  constexpr double kWeightScale = 16.0;
+  constexpr double kMaxUnits = 65536.0;
+  constexpr std::uint64_t kMaxBid = std::uint64_t{1} << 30;
+
+  std::vector<std::uint32_t> extra(tenants.size(), 0);
+  std::vector<std::uint64_t> weight(tenants.size(), 0);
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const std::uint32_t want =
+        std::max(tenants[i].live_instances,
+                 effective_requested(tenants[i], site_cap, instance_mem_mb));
+    extra[i] = want - tenants[i].live_instances;
+    const double r = tenants[i].remaining_budget_units;
+    const double units = r < 0.0 ? kUnreportedUnits : std::min(r, kMaxUnits);
+    weight[i] = static_cast<std::uint64_t>(
+        std::llround(std::max(0.0, units) * kWeightScale));
+  }
+
+  // Minimum-progress floor, in FIFO order: a tenant with unmet demand and
+  // nothing live gets one instance before any bidding — an exhausted tenant
+  // (or one whose instance just crashed) inches forward instead of being
+  // starved to death at zero by the solvent bidders.
+  for (std::size_t i : order) {
+    if (spare == 0) break;
+    if (tenants[i].live_instances == 0 && shares[i] == 0 && extra[i] > 0) {
+      ++shares[i];
+      --extra[i];
+      --spare;
+    }
+  }
+  if (spare == 0) return;
+
+  std::vector<std::uint64_t> bid(tenants.size(), 0);
+  std::uint64_t total_bid = 0;
+  std::uint64_t weighted_extra = 0;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    bid[i] = std::min(static_cast<std::uint64_t>(extra[i]) * weight[i], kMaxBid);
+    total_bid += bid[i];
+    if (weight[i] > 0) weighted_extra += extra[i];
+  }
+  if (total_bid == 0) return;  // only exhausted demand left: capacity waits
+  if (weighted_extra <= spare) {
+    // Every solvent demand fits; exhausted tenants stay at their floor and
+    // unbacked capacity is re-offered at the next reallocation.
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      if (weight[i] > 0) shares[i] += extra[i];
+    }
+    return;
+  }
+
+  // Largest-remainder split of the spare over the budget-scaled bids, each
+  // grant capped at the tenant's unmet demand; capacity freed by the caps is
+  // re-offered round-robin in FIFO order to solvent tenants still short.
+  std::vector<std::uint64_t> remainder(tenants.size(), 0);
+  std::vector<std::uint32_t> grant(tenants.size(), 0);
+  std::uint32_t granted = 0;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const std::uint64_t num = static_cast<std::uint64_t>(spare) * bid[i];
+    grant[i] = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(num / total_bid, extra[i]));
+    remainder[i] = num % total_bid;
+    granted += grant[i];
+  }
+  std::vector<std::size_t> by_remainder = order;
+  std::stable_sort(by_remainder.begin(), by_remainder.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return remainder[a] > remainder[b];
+                   });
+  for (std::size_t i : by_remainder) {
+    if (granted == spare) break;
+    if (remainder[i] == 0 || weight[i] == 0 || grant[i] >= extra[i]) continue;
+    ++grant[i];
+    ++granted;
+  }
+  bool moved = true;
+  while (granted < spare && moved) {
+    moved = false;
+    for (std::size_t i : order) {
+      if (granted == spare) break;
+      if (weight[i] > 0 && grant[i] < extra[i]) {
+        ++grant[i];
+        ++granted;
+        moved = true;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < shares.size(); ++i) shares[i] += grant[i];
+}
+
 }  // namespace
 
 std::vector<std::uint32_t> allocate_shares(
@@ -178,6 +299,10 @@ std::vector<std::uint32_t> allocate_shares(
       break;
     case ArbiterStrategy::DemandWeighted:
       demand_weighted(site_cap, config.instance_mem_mb, spare, tenants, order,
+                      shares);
+      break;
+    case ArbiterStrategy::BudgetWeighted:
+      budget_weighted(site_cap, config.instance_mem_mb, spare, tenants, order,
                       shares);
       break;
   }

@@ -30,6 +30,16 @@
 //                     Algorithm-3 size, the reactive baselines' load
 //                     target). Capacity nobody demands stays unallocated
 //                     and is re-offered at the next reallocation.
+//   BudgetWeighted  — tenants bid with their unmet demand *scaled by
+//                     remaining budget* (TenantDemand::remaining_budget_units,
+//                     the spend signal a policies::BudgetPolicy reports
+//                     through the engine): money left to burn is what turns
+//                     demand into a credible bid. An exhausted tenant
+//                     (remaining == 0) bids nothing beyond the
+//                     minimum-progress floor — one instance while it has
+//                     unmet demand — and a tenant that reports no budget at
+//                     all (-1) bids as if one unit remained, so mixed
+//                     budgeted/unbudgeted ensembles stay well-defined.
 #pragma once
 
 #include <cstdint>
@@ -43,11 +53,12 @@ enum class ArbiterStrategy {
   FifoExclusive,
   StaticFairShare,
   DemandWeighted,
+  BudgetWeighted,
 };
 
 const char* strategy_name(ArbiterStrategy strategy);
 
-/// All three strategies, in the order above (bench sweeps).
+/// All four strategies, in the order above (bench sweeps).
 std::vector<ArbiterStrategy> all_strategies();
 
 /// One tenant's state as the arbiter sees it.
@@ -69,6 +80,10 @@ struct TenantDemand {
   /// consulted by checkpoint-channel arbitration
   /// (ArbiterConfig::checkpoint_bandwidth_mb_per_s > 0).
   double checkpoint_mb = 0.0;
+  /// Charging units of budget the tenant has left to spend
+  /// (JobEngine::remaining_budget_units); -1.0 = no budget reported, 0.0 =
+  /// exhausted. Only consulted by BudgetWeighted arbitration.
+  double remaining_budget_units = -1.0;
 };
 
 /// Site-level arbitration parameters beyond the strategy itself.

@@ -154,11 +154,21 @@ void EnsembleDriver::gather_demands(std::vector<TenantDemand>& demands) const {
       d.checkpoint_mb = cloud_.checkpoint.enabled()
                             ? t.engine->checkpoint_demand_mb()
                             : 0.0;
+      // Until the tenant's first control tick the engine still carries the
+      // -1 "not reported" sentinel; a driver-level budget fills the gap so
+      // a freshly admitted tenant bids with its full allowance instead of
+      // the unbudgeted default weight.
+      d.remaining_budget_units = t.engine->remaining_budget_units();
+      if (d.remaining_budget_units < 0.0 && options_.budget_units > 0.0) {
+        d.remaining_budget_units = options_.budget_units;
+      }
     } else {
       d.live_instances = 0;
       d.requested_pool = options_.initial_instances;
       d.requested_mem_mb = 0.0;
       d.checkpoint_mb = 0.0;
+      d.remaining_budget_units =
+          options_.budget_units > 0.0 ? options_.budget_units : -1.0;
     }
   };
   if (pool_ && open_.size() >= kParallelDemandThreshold) {
@@ -462,6 +472,10 @@ EnsembleReport EnsembleDriver::assemble_report() {
                    j.dedicated_makespan_seconds;
     }
     j.cost_units = t->result.cost_units;
+    j.budget_units = options_.budget_units;
+    if (j.budget_units > 0.0) {
+      j.over_budget_units = std::max(0.0, j.cost_units - j.budget_units);
+    }
     j.peak_instances = t->result.peak_instances;
     j.task_restarts = t->result.task_restarts;
     j.task_faults = t->result.task_faults;

@@ -120,6 +120,15 @@ struct EnsembleOptions {
   /// ArbiterConfig::instance_mem_mb taken from the site's MemoryConfig. Off
   /// by default: baselines stay byte-identical.
   bool memory_aware_demand = false;
+  /// Per-tenant budget (charging units) every job of the stream runs under;
+  /// 0 disables budget accounting entirely (byte-identical baselines). The
+  /// driver does not enforce the budget itself — the tenant's own
+  /// policies::BudgetPolicy does (mint one through exp::budget_policy_factory
+  /// with BudgetOptions::budget_units equal to this) — but it seeds the
+  /// demand signal: a tenant whose engine has not yet reported a remaining
+  /// budget bids with the full amount, and the report's per-job budget /
+  /// overrun counters are measured against it.
+  double budget_units = 0.0;
   /// Cooperative checkpoint staggering on the shared checkpoint channel
   /// (only meaningful when the site's CheckpointConfig is enabled). Off:
   /// tenants with checkpoint pressure share the channel concurrently — each

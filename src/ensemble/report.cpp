@@ -20,6 +20,8 @@ void EnsembleReport::finalize(double busy_slot_seconds,
   total_task_faults = 0;
   total_instance_crashes = 0;
   total_quarantined_tasks = 0;
+  total_over_budget_units = 0.0;
+  jobs_over_budget = 0;
   for (const JobOutcome& j : jobs) {
     horizon_seconds = std::max(horizon_seconds, j.completed_seconds);
     total_cost_units += j.cost_units;
@@ -29,6 +31,8 @@ void EnsembleReport::finalize(double busy_slot_seconds,
     total_task_faults += j.task_faults;
     total_instance_crashes += j.instance_crashes;
     total_quarantined_tasks += j.quarantined_tasks;
+    total_over_budget_units += j.over_budget_units;
+    if (j.budget_units > 0.0 && j.over_budget_units > 0.0) ++jobs_over_budget;
   }
   if (!jobs.empty()) {
     mean_queue_wait_seconds /= static_cast<double>(jobs.size());
@@ -87,6 +91,15 @@ std::string EnsembleReport::render() const {
         << ", instance crashes " << total_instance_crashes
         << ", quarantined tasks " << total_quarantined_tasks << "\n";
   }
+  // Conditional like the fault line: unbudgeted runs keep the historical
+  // bytes (the budget-off identity contract).
+  bool budgeted = false;
+  for (const JobOutcome& j : jobs) budgeted = budgeted || j.budget_units > 0.0;
+  if (budgeted) {
+    out << "budget: " << jobs_over_budget << "/" << jobs.size()
+        << " jobs over budget, total overrun "
+        << util::fmt(total_over_budget_units, 2) << " units\n";
+  }
   return out.str();
 }
 
@@ -99,6 +112,8 @@ bool operator==(const JobOutcome& a, const JobOutcome& b) {
          a.makespan_seconds == b.makespan_seconds &&
          a.dedicated_makespan_seconds == b.dedicated_makespan_seconds &&
          a.slowdown == b.slowdown && a.cost_units == b.cost_units &&
+         a.budget_units == b.budget_units &&
+         a.over_budget_units == b.over_budget_units &&
          a.peak_instances == b.peak_instances &&
          a.task_restarts == b.task_restarts &&
          a.task_faults == b.task_faults &&
@@ -121,7 +136,9 @@ bool operator==(const EnsembleReport& a, const EnsembleReport& b) {
          a.max_slowdown == b.max_slowdown &&
          a.total_task_faults == b.total_task_faults &&
          a.total_instance_crashes == b.total_instance_crashes &&
-         a.total_quarantined_tasks == b.total_quarantined_tasks;
+         a.total_quarantined_tasks == b.total_quarantined_tasks &&
+         a.total_over_budget_units == b.total_over_budget_units &&
+         a.jobs_over_budget == b.jobs_over_budget;
 }
 
 }  // namespace wire::ensemble

@@ -32,6 +32,11 @@ struct JobOutcome {
   double slowdown = 0.0;
   /// Charging units billed to this job.
   double cost_units = 0.0;
+  /// Budget (charging units) the job ran under; 0 = unbudgeted.
+  double budget_units = 0.0;
+  /// max(0, cost - budget) when budgeted — the minimum-progress overrun a
+  /// budget policy is permitted past exhaustion. Always 0 when unbudgeted.
+  double over_budget_units = 0.0;
   std::uint32_t peak_instances = 0;
   std::uint32_t task_restarts = 0;
   /// Transient task failures injected into this job's tasks (fault model).
@@ -69,6 +74,9 @@ struct EnsembleReport {
   std::uint32_t total_task_faults = 0;
   std::uint32_t total_instance_crashes = 0;
   std::uint32_t total_quarantined_tasks = 0;
+  /// Site-wide budget totals (all zero when no job carries a budget).
+  double total_over_budget_units = 0.0;
+  std::uint32_t jobs_over_budget = 0;
 
   /// Recomputes every aggregate from `jobs` plus the per-job raw inputs
   /// recorded by the driver. Called by the driver; exposed for tests.

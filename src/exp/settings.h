@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/controller.h"
+#include "policies/budget.h"
 #include "sim/config.h"
 #include "sim/scaling_policy.h"
 
@@ -58,6 +59,20 @@ std::function<std::unique_ptr<sim::ScalingPolicy>()> policy_factory(
 std::function<std::unique_ptr<sim::ScalingPolicy>(std::uint32_t)>
 sharded_policy_factory(PolicyKind kind,
                        const core::WireOptions& wire_options = {});
+
+/// As policy_factory, with every minted policy wrapped in a
+/// policies::BudgetPolicy carrying `budget`. With budget.budget_units == 0
+/// the wrapper is a pure passthrough and the factory's runs are
+/// byte-identical to policy_factory's — the budget-off identity contract.
+std::function<std::unique_ptr<sim::ScalingPolicy>()> budget_policy_factory(
+    PolicyKind kind, const policies::BudgetOptions& budget,
+    const core::WireOptions& wire_options = {});
+
+/// As sharded_policy_factory, budget-wrapped the same way.
+std::function<std::unique_ptr<sim::ScalingPolicy>(std::uint32_t)>
+sharded_budget_policy_factory(PolicyKind kind,
+                              const policies::BudgetOptions& budget,
+                              const core::WireOptions& wire_options = {});
 
 /// Bootstrap pool size for a policy on a site: the full site for FullSite,
 /// one instance for the elastic policies.

@@ -857,6 +857,7 @@ void JobEngine::handle_control_tick(const Event& e) {
     requested_pool_ = m + cmd.grow - std::min(releases, m + cmd.grow);
   }
   requested_mem_mb_ = cmd.desired_mem_mb;
+  remaining_budget_units_ = cmd.remaining_budget_units;
   apply_command(cmd, e.time);
   queue_.schedule(e.time + config_.lag_seconds, EventKind::ControlTick, 0);
 }

@@ -105,6 +105,12 @@ class JobEngine {
   /// Always 0.0 with scheduled checkpointing disabled.
   double checkpoint_demand_mb() const { return ckpt_demand_mb_; }
 
+  /// Remaining budget (charging units) the policy reported at its last
+  /// control tick (PoolCommand::remaining_budget_units); -1.0 means the
+  /// policy does not track a budget. Advisory third axis of the demand
+  /// signal for budget-weighted arbitration.
+  double remaining_budget_units() const { return remaining_budget_units_; }
+
   /// Installs the effective checkpoint-channel bandwidth this tenant may use
   /// (a site arbiter's share of CheckpointConfig::channel_bandwidth_mb_per_s).
   /// `now` is engine-local time; in-flight writes are advanced at the old
@@ -321,6 +327,7 @@ class JobEngine {
   std::uint32_t external_cap_ = kNoInstanceCap;
   std::uint32_t requested_pool_ = 0;
   double requested_mem_mb_ = 0.0;
+  double remaining_budget_units_ = -1.0;
   bool started_ = false;
   bool finalized_ = false;
 };

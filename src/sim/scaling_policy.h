@@ -46,6 +46,12 @@ struct PoolCommand {
   /// arbitration converts it to instances via the site's per-instance
   /// capacity). 0.0 = not reported; never affects the engine itself.
   double desired_mem_mb = 0.0;
+  /// Charging units of budget the policy has left to spend — the third,
+  /// advisory axis of the demand signal (budget-weighted arbitration lets
+  /// tenants bid with remaining budget; see policies::BudgetPolicy).
+  /// -1.0 = not reported (no budget tracking); 0.0 is a meaningful
+  /// "exhausted" report. Never affects the engine itself.
+  double remaining_budget_units = -1.0;
 };
 
 /// Interface implemented by WIRE (src/core) and the baselines (src/policies).

@@ -24,6 +24,7 @@
 #include "ensemble/driver.h"
 #include "ensemble/report.h"
 #include "exp/settings.h"
+#include "policies/budget.h"
 #include "sim/config.h"
 #include "sim/engine.h"
 #include "workload/generators.h"
@@ -229,6 +230,56 @@ TEST(MemoryDemandSignal, EngineSurfacesProjectedFootprint) {
   }
 }
 
+TEST(MemoryDemandSignal, TightProvisioningSlowdownStaysBounded) {
+  // Regression pin for the per-wave footprint bid: the controller used to
+  // report the memory of the WHOLE upcoming queue, so on a tightly
+  // provisioned site every tenant's bid ballooned to many times its
+  // concurrent wave and the memory-aware lift starved the stream (bench
+  // mean slowdown 3.90x). Bidding only the wave that can actually run at the
+  // planned pool size brings the same cell under 1.5x. This replicates the
+  // bench_ensemble tight cell exactly (mem_factor 0.75, demand-weighted WIRE
+  // tenants, 50-job Poisson stream, seed 1905), sharded for wall-clock —
+  // shard invariance is pinned byte-for-byte by the suites above.
+  const std::vector<workload::WorkflowProfile> catalogue = {
+      workload::tpch1_profile(workload::Scale::Small),
+      workload::tpch6_profile(workload::Scale::Small),
+      workload::pagerank_profile(workload::Scale::Small),
+      workload::epigenomics_profile(workload::Scale::Small)};
+  double need_mb = 0.0;
+  for (const workload::WorkflowProfile& profile : catalogue) {
+    for (const workload::StageProfile& sp : profile.stages) {
+      need_mb = std::max(need_mb, sp.mean_peak_mem_mb);
+    }
+  }
+  PoissonArrivalConfig stream;
+  stream.mean_interarrival_seconds = 300.0;
+  stream.job_count = 50;
+  stream.seed = 1905;
+  const ArrivalProcess arrivals =
+      ArrivalProcess::poisson(stream, catalogue.size());
+
+  sim::CloudConfig site = exp::paper_cloud(900.0);
+  site.memory.instance_mem_mb =
+      0.75 * need_mb * static_cast<double>(site.slots_per_instance);
+  site.memory.noise_sigma = 0.2;
+  core::WireOptions wire_options;
+  wire_options.report_memory_demand = true;
+
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::DemandWeighted;
+  options.site_cap = site.max_instances;
+  options.memory_aware_demand = true;
+  options.shards = 4;
+  options.threads = 4;
+  EnsembleDriver driver(catalogue, arrivals,
+                        exp::sharded_policy_factory(exp::PolicyKind::Wire,
+                                                    wire_options),
+                        site, options);
+  const EnsembleReport report = driver.run();
+  EXPECT_EQ(report.jobs.size(), 50u);
+  EXPECT_LT(report.mean_slowdown, 1.5);
+}
+
 TEST(ShardedDriver, MemoryAwareDemandMatchesAcrossShards) {
   // Memory-aware arbitration (projected-footprint bids lifted into instance
   // counts) rides the same two-phase demand gather; the flag must not break
@@ -309,6 +360,106 @@ TEST(ShardedDriver, CapacityInvariantHoldsAtSerialPoints) {
   const EnsembleReport report = driver.run();
   EXPECT_EQ(report.jobs.size(), 5u);
   EXPECT_GT(samples, report.jobs.size());  // many serial events per job
+}
+
+/// One ensemble run with every tenant wrapped in a BudgetPolicy and the
+/// budget threaded through EnsembleOptions (the demand-signal seed for
+/// waiting tenants plus the report columns).
+EnsembleReport run_budget_report(const sim::CloudConfig& site,
+                                 EnsembleOptions options, std::uint32_t shards,
+                                 std::uint32_t threads, double budget_units,
+                                 std::uint32_t jobs,
+                                 std::uint64_t stream_seed) {
+  options.shards = shards;
+  options.threads = threads;
+  options.budget_units = budget_units;
+  policies::BudgetOptions budget;
+  budget.budget_units = budget_units;
+  EnsembleDriver driver(
+      small_profiles(), burst_stream(jobs, 90.0, stream_seed),
+      exp::budget_policy_factory(exp::PolicyKind::ReactiveConserving, budget),
+      site, options);
+  return driver.run();
+}
+
+TEST(BudgetArbitration, ShardInvariantAcrossBudgetTightness) {
+  // Budget-weighted arbitration rides the same two-phase gather/merge as the
+  // other strategies, so sharded runs must reproduce the sequential reference
+  // byte-for-byte — with budgets tight (tenants hit exhaustion and bid their
+  // way down to the floor) and ample (weights saturate, never bind).
+  const sim::CloudConfig site = quiet_site();
+  for (const double budget_units : {3.0, 1e6}) {
+    EnsembleOptions options;
+    options.strategy = ArbiterStrategy::BudgetWeighted;
+    options.site_cap = 6;
+    options.dedicated_baseline = false;
+    const EnsembleReport reference =
+        run_budget_report(site, options, /*shards=*/0, /*threads=*/1,
+                          budget_units, /*jobs=*/6, 13);
+    // The budget columns and the render's budget line are live.
+    for (const JobOutcome& j : reference.jobs) {
+      EXPECT_EQ(j.budget_units, budget_units);
+      EXPECT_EQ(j.over_budget_units,
+                std::max(0.0, j.cost_units - j.budget_units));
+    }
+    EXPECT_NE(reference.render().find("budget:"), std::string::npos);
+    for (std::uint32_t shards : {1u, 2u, 4u}) {
+      SCOPED_TRACE("budget=" + std::to_string(budget_units) +
+                   " shards=" + std::to_string(shards));
+      const EnsembleReport sharded = run_budget_report(
+          site, options, shards, /*threads=*/2, budget_units, 6, 13);
+      EXPECT_TRUE(sharded == reference);
+      EXPECT_EQ(sharded.render(), reference.render());
+    }
+  }
+}
+
+TEST(BudgetArbitration, ShardInvariantUnderFaultChaos) {
+  // Tight budgets under the hostile fault model: exhaustion, crash-driven
+  // retirement churn and budget-weighted bidding together must stay
+  // independent of the execution configuration, across seeds.
+  const sim::CloudConfig site = crashy_site();
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::BudgetWeighted;
+  options.site_cap = 6;
+  options.dedicated_baseline = false;
+  for (std::uint64_t seed : {21ull, 29ull}) {
+    SCOPED_TRACE("stream_seed=" + std::to_string(seed));
+    const EnsembleReport reference =
+        run_budget_report(site, options, 0, 1, /*budget_units=*/4.0, 6, seed);
+    EXPECT_GT(reference.total_task_faults + reference.total_instance_crashes,
+              0u)
+        << "fault model never engaged — the chaos differential is vacuous";
+    for (std::uint32_t shards : {1u, 3u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      const EnsembleReport sharded =
+          run_budget_report(site, options, shards, 2, 4.0, 6, seed);
+      EXPECT_TRUE(sharded == reference);
+      EXPECT_EQ(sharded.render(), reference.render());
+    }
+  }
+}
+
+TEST(BudgetArbitration, BudgetOffKeepsBaselineBytes) {
+  // The budget-off identity contract at the ensemble layer: a zero budget
+  // through the budget factory (and EnsembleOptions left at its 0 default)
+  // must reproduce the plain factory's report bytes, sharded or not.
+  const sim::CloudConfig site = quiet_site();
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::DemandWeighted;
+  options.site_cap = 6;
+  options.dedicated_baseline = false;
+  const EnsembleReport reference = run_report(
+      site, options, 0, 1, exp::PolicyKind::ReactiveConserving, 6, 13);
+  EXPECT_EQ(reference.render().find("budget:"), std::string::npos);
+  for (std::uint32_t shards : {0u, 2u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    const EnsembleReport off = run_budget_report(
+        site, options, shards, shards == 0 ? 1 : 2, /*budget_units=*/0.0, 6,
+        13);
+    EXPECT_TRUE(off == reference);
+    EXPECT_EQ(off.render(), reference.render());
+  }
 }
 
 TEST(ShardedChaos, EnvironmentSeedRuns) {

@@ -2,9 +2,14 @@
 // per-started-unit billing, and drain-at-boundary semantics.
 #include <gtest/gtest.h>
 
+#include "policies/baselines.h"
 #include "sim/cloud.h"
+#include "sim/driver.h"
+#include "sim/engine.h"
 #include "sim/event_queue.h"
 #include "util/check.h"
+#include "workload/generators.h"
+#include "workload/profiles.h"
 
 namespace wire::sim {
 namespace {
@@ -130,6 +135,62 @@ TEST(CloudPool, DoubleTerminateThrows) {
   const InstanceId id = pool.request_ready(0.0, 1.0);
   pool.terminate(id, 10.0);
   EXPECT_THROW(pool.terminate(id, 20.0), util::ContractViolation);
+}
+
+TEST(CloudPool, BillingInvariantHoldsAtEveryEventUnderChaos) {
+  // The billing probe behind the budget policy's accounting mirror: at every
+  // engine event under restart/revocation chaos, the per-instance charging
+  // units must sum to the pool's total, the total must never decrease as the
+  // clock advances, and the final total must be exactly the RunResult's
+  // cost_units. Any drift here would silently corrupt budget enforcement
+  // (policies::BudgetPolicy mirrors this arithmetic from the monitoring
+  // surface).
+  CloudConfig config = test_config();
+  config.lag_seconds = 60.0;
+  config.charging_unit_seconds = 60.0;
+  config.faults.crash_rate_per_hour = 0.8;
+  config.faults.crash_notice_seconds = 120.0;  // spot-style revocations
+  config.faults.provision_failure_prob = 0.1;
+  config.faults.straggler_prob = 0.15;
+  config.faults.task_failure_prob = 0.08;  // transient restarts
+  const dag::Workflow wf = workload::make_workflow(
+      workload::tpch6_profile(workload::Scale::Small), 7);
+
+  for (std::uint64_t seed : {5ull, 11ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    policies::ReactiveConservingPolicy policy;
+    RunOptions options;
+    options.seed = seed;
+    options.initial_instances = 1;
+    JobEngine engine(wf, policy, config, options);
+    engine.start();
+    double previous_total = 0.0;
+    SimTime previous_time = 0.0;
+    while (!engine.done()) {
+      engine.step();
+      const SimTime t =
+          engine.done() ? engine.end_time() : engine.next_event_time();
+      double per_instance_sum = 0.0;
+      for (const Instance& inst : engine.cloud().instances()) {
+        per_instance_sum += engine.cloud().charged_units(inst.id, t);
+      }
+      const double total = engine.cloud().total_charged_units(t);
+      ASSERT_DOUBLE_EQ(per_instance_sum, total) << "at t=" << t;
+      if (t >= previous_time) {
+        ASSERT_GE(total, previous_total)
+            << "billing ran backwards between t=" << previous_time
+            << " and t=" << t;
+        previous_total = total;
+        previous_time = t;
+      }
+    }
+    const SimTime end = engine.end_time();
+    const double final_total = engine.cloud().total_charged_units(end);
+    const RunResult result = engine.result();
+    EXPECT_DOUBLE_EQ(result.cost_units, final_total);
+    EXPECT_GT(result.instance_crashes + result.task_faults, 0u)
+        << "chaos never engaged — the probe is vacuous";
+  }
 }
 
 TEST(EventQueue, OrdersByTimeThenSequence) {
