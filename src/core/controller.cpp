@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/steering.h"
 #include "predict/oracle.h"
@@ -17,6 +18,7 @@ void WireController::on_run_start(const dag::Workflow& workflow,
                                   const sim::CloudConfig& config) {
   workflow_ = &workflow;
   config_ = config;
+  selector_.reset();
   if (options_.oracle_estimator) {
     estimator_ = std::make_unique<predict::OracleEstimator>(
         workflow, config.variability.transfer_latency_seconds,
@@ -28,11 +30,21 @@ void WireController::on_run_start(const dag::Workflow& workflow,
                                                     *options_.history);
     online_ = nullptr;
   } else {
-    auto online =
-        std::make_unique<predict::TaskPredictor>(workflow, options_.predictor);
+    // With the selector enabled, the initial arm's configuration IS the
+    // predictor configuration — the arm set owns the knob from the first
+    // tick (options_.predictor only seeds the selector-off path).
+    if (options_.bandit.enabled()) {
+      selector_ = std::make_unique<predict::BanditSelector>(options_.bandit);
+    }
+    auto online = std::make_unique<predict::TaskPredictor>(
+        workflow, selector_ ? selector_->arm(selector_->current()).config
+                            : options_.predictor);
     online_ = online.get();
     estimator_ = std::move(online);
   }
+  lookahead_.set_adaptive_horizon(
+      selector_ ? selector_->arm(selector_->current()).adaptive_horizon
+                : options_.lookahead_cache.adaptive_horizon);
   // The memory predictor exists only when the run models memory at all; a
   // memory-off run keeps the pointer null so plan() pays nothing for the
   // second resource dimension (and stays byte-identical to pre-memory).
@@ -62,6 +74,31 @@ const predict::TaskPredictor& WireController::predictor() const {
 
 sim::PoolCommand WireController::plan(const sim::MonitorSnapshot& snapshot) {
   WIRE_REQUIRE(workflow_ != nullptr, "plan before on_run_start");
+
+  // Predictor selection: score the live arm on this interval's completions
+  // BEFORE the harvest below ingests them, so |predicted - actual| is a
+  // genuine out-of-sample regret (after observe() the predictor has already
+  // absorbed the very samples it would be judged on). Arm switches land
+  // between the regret read and the harvest: the new arm starts learning
+  // from this interval's data under its own configuration.
+  if (selector_) {
+    double cost = 0.0;
+    std::uint32_t scored = 0;
+    if (snapshot.delta.exact) {
+      for (dag::TaskId task : snapshot.delta.completed) {
+        double predicted = 0.0;
+        if (online_->counterfactual_exec(task, &predicted)) {
+          cost += std::abs(predicted - snapshot.tasks[task].exec_time);
+          ++scored;
+        }
+      }
+    }
+    if (selector_->tick(cost, scored)) {
+      const predict::BanditArm& arm = selector_->arm(selector_->current());
+      online_->reconfigure(arm.config);
+      lookahead_.set_adaptive_horizon(arm.adaptive_horizon);
+    }
+  }
 
   // Monitor + Analyze: harvest the interval's data, refresh the models.
   estimator_->observe(snapshot);
@@ -188,6 +225,7 @@ std::size_t WireController::state_bytes() const {
   std::size_t bytes = sizeof(*this);
   if (estimator_) bytes += estimator_->state_bytes();
   if (memory_) bytes += memory_->state_bytes();
+  if (selector_) bytes += selector_->state_bytes();
   // RunState: one counter plus one completion flag per task.
   bytes += run_state_.remaining_preds().capacity() *
            (sizeof(std::uint32_t) + sizeof(char));

@@ -15,6 +15,7 @@
 #include "core/lookahead.h"
 #include "core/lookahead_cache.h"
 #include "core/run_state.h"
+#include "predict/bandit.h"
 #include "predict/estimator.h"
 #include "predict/history.h"
 #include "predict/memory_predictor.h"
@@ -61,6 +62,15 @@ struct WireOptions {
   /// Off by default: the field stays 0 and every baseline is byte-identical.
   /// No effect when the run's memory dimension is off.
   bool report_memory_demand = false;
+  /// Online predictor selection (predict/bandit.h): a seeded bandit over a
+  /// small arm set of predictor configurations, scored by per-tick
+  /// misprediction regret and switched between control ticks through
+  /// TaskPredictor::reconfigure. `bandit.arms == 0` (the default) is the
+  /// off sentinel — no selector, no RNG stream, byte-identical to every
+  /// baseline. Only meaningful with the online predictor; ignored under
+  /// oracle_estimator / history (their estimates have no learned config to
+  /// select among).
+  predict::BanditOptions bandit;
   /// Crash-aware steering (extension beyond the paper): maintain a
   /// controller-side crash-hazard estimate from the monitoring surface alone
   /// (instance removals the controller did not order, over observed
@@ -96,6 +106,7 @@ class WireController final : public sim::ScalingPolicy {
   std::string name() const override {
     if (options_.oracle_estimator) return "wire-oracle";
     if (options_.history) return "wire-history";
+    if (options_.bandit.enabled()) return "wire-bandit";
     return "wire";
   }
   void on_run_start(const dag::Workflow& workflow,
@@ -125,6 +136,10 @@ class WireController final : public sim::ScalingPolicy {
     return memory_.get();
   }
 
+  /// The live bandit selector, or null when `options.bandit` is off (or the
+  /// estimator is oracle/history). Valid between on_run_start and run end.
+  const predict::BanditSelector* bandit() const { return selector_.get(); }
+
   /// Algorithm 3's unclamped planned pool size from the last plan() call
   /// (0 until the first tick) — the anchor of the burn projection below.
   std::uint32_t last_planned_pool() const { return last_planned_pool_; }
@@ -147,6 +162,9 @@ class WireController final : public sim::ScalingPolicy {
   std::unique_ptr<predict::Estimator> estimator_;
   /// Non-null iff the estimator is the online TaskPredictor.
   predict::TaskPredictor* online_ = nullptr;
+  /// Online predictor selection; non-null iff options_.bandit is enabled
+  /// and the estimator is the online predictor.
+  std::unique_ptr<predict::BanditSelector> selector_;
   /// Online memory-reservation predictor; constructed iff the run's
   /// MemoryConfig is enabled (null otherwise — the memory dimension then
   /// costs the controller nothing, not even a branch per task).

@@ -169,6 +169,16 @@ class IncrementalLookahead {
   const LookaheadCacheStats& stats() const { return stats_; }
   const LookaheadCacheOptions& options() const { return options_; }
 
+  /// Flips the adaptive-horizon lever between ticks (the BanditSelector
+  /// arm-switch hook — arms may differ in horizon capping). Safe mid-run:
+  /// the cap only truncates queue-tail emission; the exec/occupancy memos
+  /// key on predictor revisions and never depend on it. A truncated
+  /// projection stamps a smaller wavefront, which can only make the next
+  /// classification more conservative (more fallbacks, never stale reuse).
+  void set_adaptive_horizon(bool enabled) {
+    options_.adaptive_horizon = enabled;
+  }
+
   /// The Plan scratch arena the projection runs on. Owned (constructed
   /// per-lookahead) by default; set_scratch() rebinds to a shared arena so
   /// N tenant controllers stepped sequentially reuse ONE set of buffers

@@ -186,6 +186,12 @@ void budget_weighted(std::uint32_t site_cap, double instance_mem_mb,
     const double units = r < 0.0 ? kUnreportedUnits : std::min(r, kMaxUnits);
     weight[i] = static_cast<std::uint64_t>(
         std::llround(std::max(0.0, units) * kWeightScale));
+    // Any strictly-positive remaining budget must bid above the exhausted
+    // floor: below 1/32 of a charging unit llround truncates the weight to
+    // 0, which would starve a nearly-broke (but solvent) tenant exactly
+    // like one at 0 — contradicting the documented exhausted-floor
+    // semantics. Floor the fixed-point weight at 1.
+    if (weight[i] == 0 && units > 0.0) weight[i] = 1;
   }
 
   // Minimum-progress floor, in FIFO order: a tenant with unmet demand and

@@ -46,6 +46,15 @@ std::unique_ptr<sim::ScalingPolicy> make_policy(
 /// concurrently; see core/plan_scratch.h) — pass WireOptions::plan_scratch
 /// to override. Dedicated-baseline runs under this factory stay sequential;
 /// use sharded_policy_factory to parallelize them.
+///
+/// With `wire_options.bandit` enabled, every minted controller carries its
+/// OWN BanditSelector (per-tenant predictor selection), all seeded from the
+/// same `bandit.seed`. The seed is deliberately NOT mixed with a mint-order
+/// counter: the sharded factory mints from worker threads concurrently, so
+/// mint order is nondeterministic — per-tenant selector streams still
+/// diverge deterministically because each tenant feeds its selector its own
+/// regret sequence. Selector-off (`bandit.arms == 0`) stays byte-identical
+/// to the pre-bandit factories.
 std::function<std::unique_ptr<sim::ScalingPolicy>()> policy_factory(
     PolicyKind kind, const core::WireOptions& wire_options = {});
 

@@ -46,16 +46,29 @@ class HazardEstimator {
   double exposure_hours() const { return exposure_hours_; }
 
   /// Crashes per instance-hour. Zero until either the prior or an observed
-  /// crash contributes mass.
+  /// crash contributes mass. With a zero-weight prior, crashes observed
+  /// before any exposure accrues (instances killed while still
+  /// provisioning, or a crash on the first control tick) must still yield a
+  /// finite hazard: returning 0 here would declare the cloud reliable at
+  /// the exact moment it demonstrated otherwise, and Young/Daly would pick
+  /// an infinite checkpoint interval. The exposure denominator is floored
+  /// at one instance-second.
   double hazard_per_hour() const {
     const double weight = prior_weight_hours_ + exposure_hours_;
-    if (weight <= 0.0) return 0.0;
+    if (weight <= 0.0) {
+      if (crashes_ == 0) return 0.0;
+      return static_cast<double>(crashes_) / kMinExposureHours;
+    }
     return (prior_per_hour_ * prior_weight_hours_ +
             static_cast<double>(crashes_)) /
            weight;
   }
 
  private:
+  /// Exposure floor for the crash-before-exposure estimate: one
+  /// instance-second, in hours.
+  static constexpr double kMinExposureHours = 1.0 / 3600.0;
+
   double prior_per_hour_;
   double prior_weight_hours_;
   double exposure_hours_ = 0.0;

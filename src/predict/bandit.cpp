@@ -1,0 +1,155 @@
+#include "predict/bandit.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wire::predict {
+
+std::vector<BanditArm> default_bandit_arms() {
+  // Prefix-ordered so small `arms` values cover the most distinct variants
+  // first: paper default, then the centre statistic, then the OGD ablation,
+  // then the adaptive horizon, then the harvest-failed contamination grid.
+  std::vector<BanditArm> arms;
+  auto add = [&arms](bool use_mean, bool disable_ogd, bool harvest,
+                     bool horizon, const char* label) {
+    BanditArm arm;
+    arm.config.use_mean = use_mean;
+    arm.config.disable_ogd = disable_ogd;
+    arm.config.harvest_failed_attempts = harvest;
+    arm.adaptive_horizon = horizon;
+    arm.label = label;
+    arms.push_back(std::move(arm));
+  };
+  add(false, false, false, false, "median-ogd");
+  add(true, false, false, false, "mean-ogd");
+  add(false, true, false, false, "median-stage");
+  add(false, false, false, true, "median-ogd-cap");
+  add(true, true, false, false, "mean-stage");
+  add(false, false, true, false, "median-ogd-harvest");
+  add(true, false, true, false, "mean-ogd-harvest");
+  add(false, true, true, false, "median-stage-harvest");
+  add(true, true, true, false, "mean-stage-harvest");
+  return arms;
+}
+
+BanditSelector::BanditSelector(const BanditOptions& options)
+    : options_(options),
+      arms_(options.arm_set.empty() ? default_bandit_arms()
+                                    : options.arm_set),
+      rng_(options.seed) {
+  WIRE_REQUIRE(options_.arms > 0, "selector constructed with the off sentinel");
+  WIRE_REQUIRE(options_.arms <= arms_.size(),
+               "bandit arms exceed the arm set");
+  WIRE_REQUIRE(options_.switch_period_ticks > 0,
+               "bandit decision period must be positive");
+  arms_.resize(options_.arms);
+  stats_.resize(arms_.size());
+  for (const BanditArm& arm : arms_) {
+    WIRE_REQUIRE(arm.config.input_bucket_rel_tol ==
+                     arms_.front().config.input_bucket_rel_tol,
+                 "bandit arms must share one input bucket tolerance");
+  }
+}
+
+const BanditArm& BanditSelector::arm(std::uint32_t index) const {
+  WIRE_REQUIRE(index < arms_.size(), "unknown bandit arm");
+  return arms_[index];
+}
+
+const ArmStats& BanditSelector::stats(std::uint32_t index) const {
+  WIRE_REQUIRE(index < stats_.size(), "unknown bandit arm");
+  return stats_[index];
+}
+
+bool BanditSelector::tick(double cost, std::uint32_t completions) {
+  period_cost_ += cost;
+  period_completions_ += completions;
+  total_cost_ += cost;
+  total_completions_ += completions;
+  if (++period_ticks_ < options_.switch_period_ticks) return false;
+  period_ticks_ = 0;
+  if (period_completions_ == 0) {
+    // Uninformative period (no completions, no regret signal): hold the arm
+    // and keep accumulating. Deciding here would charge the live arm a
+    // zero-cost pull it did not earn and spin the explorer on noise.
+    return false;
+  }
+  ArmStats& live = stats_[current_];
+  ++live.pulls;
+  live.completions += period_completions_;
+  live.total_cost += period_cost_;
+  period_cost_ = 0.0;
+  period_completions_ = 0;
+
+  const std::uint32_t next = decide();
+  decisions_.push_back(next);
+  if (next == current_) return false;
+  current_ = next;
+  ++switches_;
+  return true;
+}
+
+std::uint32_t BanditSelector::decide() {
+  const std::uint32_t n = static_cast<std::uint32_t>(arms_.size());
+  // Prime every arm once, in index order, before any scoring: both explorers
+  // need an initial estimate per arm, and index order keeps the priming
+  // sweep seed-independent.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (stats_[i].pulls == 0) return i;
+  }
+
+  if (options_.explorer == Explorer::EpsilonGreedyDecay) {
+    const double eps =
+        options_.epsilon0 /
+        (1.0 + options_.decay * static_cast<double>(decisions_.size()));
+    if (rng_.bernoulli(eps)) {
+      return static_cast<std::uint32_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    }
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < n; ++i) {
+      if (stats_[i].mean_cost() < stats_[best].mean_cost()) best = i;
+    }
+    return best;
+  }
+
+  // UCB1, cost-minimizing. The confidence bonus is scaled by the global mean
+  // cost per completion so ucb_c is unitless (regret is in seconds and its
+  // magnitude is workload-dependent).
+  std::uint64_t total_pulls = 0;
+  std::uint64_t completions = 0;
+  double cost = 0.0;
+  for (const ArmStats& s : stats_) {
+    total_pulls += s.pulls;
+    completions += s.completions;
+    cost += s.total_cost;
+  }
+  const double scale =
+      completions == 0 ? 1.0 : cost / static_cast<double>(completions);
+  const double log_term = 2.0 * std::log(static_cast<double>(total_pulls));
+  std::uint32_t best = 0;
+  double best_score = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const double bonus =
+        options_.ucb_c * scale *
+        std::sqrt(log_term / static_cast<double>(stats_[i].pulls));
+    const double score = stats_[i].mean_cost() - bonus;
+    if (i == 0 || score < best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::size_t BanditSelector::state_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += arms_.capacity() * sizeof(BanditArm);
+  for (const BanditArm& arm : arms_) bytes += arm.label.capacity();
+  bytes += stats_.capacity() * sizeof(ArmStats);
+  bytes += decisions_.capacity() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+}  // namespace wire::predict

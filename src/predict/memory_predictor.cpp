@@ -13,6 +13,7 @@ MemoryPredictor::MemoryPredictor(const dag::Workflow& workflow,
                                  std::uint32_t slots_per_instance)
     : workflow_(&workflow),
       config_(config),
+      slots_per_instance_(slots_per_instance),
       sizer_(config, slots_per_instance, workflow.stage_count()),
       stage_counts_(workflow.stage_count(), 0),
       stage_revisions_(workflow.stage_count(), 0),
@@ -39,6 +40,28 @@ void MemoryPredictor::record_peak(TaskId task,
     ++total_refits_;
   }
   observe_changed_ = true;
+}
+
+bool MemoryPredictor::reconfigure(const sim::MemoryConfig& config) {
+  WIRE_REQUIRE(config.enabled(),
+               "reconfigure cannot turn the memory dimension off");
+  if (config.instance_mem_mb == config_.instance_mem_mb &&
+      config.sizing == config_.sizing &&
+      config.percentile == config_.percentile &&
+      config.safety_factor == config_.safety_factor &&
+      config.default_mb == config_.default_mb &&
+      config.min_reservation_mb == config_.min_reservation_mb &&
+      config.upsize_factor == config_.upsize_factor &&
+      config.max_oom_attempts == config_.max_oom_attempts) {
+    return false;
+  }
+  config_ = config;
+  sizer_.reconfigure(config, slots_per_instance_);
+  // predict_reservation output may change for every stage under the new
+  // sizing policy; move every revision so no memoized reservation survives.
+  for (std::uint64_t& rev : stage_revisions_) ++rev;
+  ++revision_;
+  return true;
 }
 
 void MemoryPredictor::observe(const sim::MonitorSnapshot& snapshot) {

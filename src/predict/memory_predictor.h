@@ -50,6 +50,18 @@ class MemoryPredictor {
   double predict_reservation(dag::TaskId task,
                              const sim::MonitorSnapshot& snapshot) const;
 
+  /// Swaps the live sizing configuration in place (the reconfiguration seam
+  /// TaskPredictor::reconfigure opens on the execution side). Keeps every
+  /// accumulated peak history; bumps every stage revision and the predictor
+  /// revision because predict_reservation is a pure function of (config,
+  /// stage history, oom count) and any revision-keyed memo of it would
+  /// otherwise serve estimates sized under the old policy. A no-op
+  /// returning false when `config` matches the live one bitwise-relevant
+  /// fields included. The memory dimension cannot be toggled on a live
+  /// predictor (`enabled()` must stay true) and `slots_per_instance` is the
+  /// bound instance shape.
+  bool reconfigure(const sim::MemoryConfig& config);
+
   /// Monotone revision of `stage`'s peak history: advances (at most once per
   /// observe()) exactly when a harvest ingested new peaks for the stage.
   /// Batched like TaskPredictor's stage revisions: a bursty delta completing
@@ -77,6 +89,7 @@ class MemoryPredictor {
 
   const dag::Workflow* workflow_;
   sim::MemoryConfig config_;
+  std::uint32_t slots_per_instance_;
   /// The shared sizing core; holds the per-stage sorted peak histories.
   sim::TaskMemorySizer sizer_;
   std::vector<std::size_t> stage_counts_;

@@ -47,6 +47,14 @@ class OgdModel {
   double alpha0() const;
   double alpha1() const;
 
+  /// Retargets the step size for subsequent epochs (predictor
+  /// reconfiguration). Coefficients, scales and epoch count are untouched —
+  /// the model continues from where the old rate left it.
+  void set_learning_rate(double learning_rate) {
+    learning_rate_ = learning_rate;
+  }
+  double learning_rate() const { return learning_rate_; }
+
   std::size_t epochs() const { return epochs_; }
 
  private:

@@ -239,6 +239,60 @@ Prediction TaskPredictor::predict_exec(
   return {stage.model.predict(spec.input_mb), Policy::CompletedNewSize};
 }
 
+bool TaskPredictor::counterfactual_exec(TaskId task,
+                                        double* exec_seconds) const {
+  WIRE_REQUIRE(task < workflow_->task_count(), "unknown task id");
+  const dag::TaskSpec& spec = workflow_->task(task);
+  const StageState& stage = stages_[spec.stage];
+  if (stage.completed == 0) return false;
+  // The completed task was ready when it ran, so replay the ready-task
+  // policies (4, then 5) against the pre-harvest state. Centres are always
+  // flushed here: observe() flushes every dirty stage before returning.
+  const auto it = stage.groups.find(bucket_key(spec.input_mb));
+  if (it != stage.groups.end()) {
+    *exec_seconds = it->second.exec.center;
+    return true;
+  }
+  if (config_.disable_ogd || stage.model.epochs() == 0) {
+    *exec_seconds = stage.completed_exec.center;
+    return true;
+  }
+  *exec_seconds = stage.model.predict(spec.input_mb);
+  return true;
+}
+
+bool TaskPredictor::reconfigure(const PredictorConfig& config) {
+  WIRE_REQUIRE(config.input_bucket_rel_tol == config_.input_bucket_rel_tol,
+               "reconfigure cannot change the input bucket tolerance");
+  if (config.learning_rate == config_.learning_rate &&
+      config.use_mean == config_.use_mean &&
+      config.disable_ogd == config_.disable_ogd &&
+      config.harvest_failed_attempts == config_.harvest_failed_attempts) {
+    return false;
+  }
+  config_ = config;
+  for (StageState& stage : stages_) {
+    stage.model.set_learning_rate(config_.learning_rate);
+    // Recompute every cached centre under the new statistic. Both centres
+    // are derived from state the sets already carry (arrival-order sum,
+    // sorted multiset), so toggling use_mean back and forth reproduces the
+    // original doubles bit-for-bit.
+    flush_samples(stage.completed_exec);
+    for (auto& [key, group] : stage.groups) {
+      flush_samples(group.exec);
+    }
+    // Every stage revision moves, data or not: predict_exec's output may
+    // change for any stage (centre statistic, OGD fallback), and the memo
+    // contract is that a surviving key proves the estimate is unchanged.
+    ++stage.revision;
+  }
+  // The transfer estimate is a point value carried forward between
+  // intervals; its source samples are not retained, so it keeps the value
+  // computed under the old centre until the next non-empty interval.
+  ++revision_;
+  return true;
+}
+
 double TaskPredictor::predict_remaining_occupancy(
     TaskId task, const sim::MonitorSnapshot& snapshot) const {
   const sim::TaskObservation& obs = snapshot.tasks[task];

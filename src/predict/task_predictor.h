@@ -89,6 +89,31 @@ class TaskPredictor : public Estimator {
   Prediction predict_exec(dag::TaskId task,
                           const sim::MonitorSnapshot& snapshot) const;
 
+  /// Counterfactual execution estimate for a task that just completed: what
+  /// the ready-task policies (4/5) would have predicted from the *current*
+  /// learned state — i.e. before the completion is harvested. Unlike
+  /// predict_exec it never passes through the recorded actual, so
+  /// |counterfactual - actual| is a genuine out-of-sample misprediction
+  /// regret (the BanditSelector's reward signal). Returns false (no
+  /// estimate) while the task's stage has no harvested completions.
+  bool counterfactual_exec(dag::TaskId task, double* exec_seconds) const;
+
+  /// Switches the live configuration in place — the BanditSelector's
+  /// arm-switch hook. Rebuilds every cached sample centre under the new
+  /// centre statistic (bit-identical to a from-scratch predictor fed the
+  /// same history: mean = sum/size, median from the sorted multiset — both
+  /// reversible), retargets the per-stage OGD learning rate, and bumps every
+  /// stage revision plus the estimator revision so downstream
+  /// revision-keyed memos (core::IncrementalLookahead) cannot serve
+  /// estimates computed under the old config. A no-op returning false when
+  /// `config` matches the live one (no revision bumps — `arms == 1`
+  /// selectors stay byte-identical to selector-off). `input_bucket_rel_tol`
+  /// must not change: the group buckets are keyed by it and merged
+  /// histories cannot be re-bucketed.
+  bool reconfigure(const PredictorConfig& config);
+
+  const PredictorConfig& config() const { return config_; }
+
   /// Estimator interface: predict_exec's scalar value.
   double estimate_exec(dag::TaskId task,
                        const sim::MonitorSnapshot& snapshot) const override {

@@ -58,6 +58,14 @@ void TaskMemorySizer::observe_peak(dag::StageId stage, double peak_mb) {
   peaks.insert(std::upper_bound(peaks.begin(), peaks.end(), peak_mb), peak_mb);
 }
 
+void TaskMemorySizer::reconfigure(const MemoryConfig& config,
+                                  std::uint32_t slots_per_instance) {
+  WIRE_REQUIRE(slots_per_instance > 0, "instance without slots");
+  config_ = config;
+  fair_share_mb_ =
+      config.instance_mem_mb / static_cast<double>(slots_per_instance);
+}
+
 double TaskMemorySizer::reservation_mb(dag::StageId stage, double ref_peak_mb,
                                        std::uint32_t oom_attempts) const {
   WIRE_CHECK(stage < stage_peaks_.size(), "reservation for unknown stage");

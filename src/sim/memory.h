@@ -53,6 +53,12 @@ class TaskMemorySizer {
   double reservation_mb(dag::StageId stage, double ref_peak_mb,
                         std::uint32_t oom_attempts) const;
 
+  /// Swaps the sizing configuration in place, keeping the accumulated peak
+  /// histories (predict::MemoryPredictor::reconfigure). The fair-share
+  /// cold-start estimate is re-derived from the new capacity.
+  void reconfigure(const MemoryConfig& config,
+                   std::uint32_t slots_per_instance);
+
  private:
   MemoryConfig config_;
   double fair_share_mb_ = 0.0;

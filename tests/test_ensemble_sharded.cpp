@@ -305,6 +305,39 @@ TEST(ShardedDriver, MemoryAwareDemandMatchesAcrossShards) {
   }
 }
 
+TEST(ShardedDriver, BanditSelectorMatchesAcrossShards) {
+  // Selector-on cells: every WIRE tenant runs its own BanditSelector (all
+  // seeded from the same bandit.seed — the sharded factory mints tenants
+  // concurrently, so per-tenant state cannot depend on mint order), and the
+  // arm switches it drives through TaskPredictor::reconfigure must stay
+  // invariant to the execution configuration. Aggressive exploration plus a
+  // short switch period keeps arm churn constant; the crashy site keeps the
+  // fault stream in play under that churn.
+  core::WireOptions wire;
+  wire.bandit.arms = 4;
+  wire.bandit.seed = 77;
+  wire.bandit.epsilon0 = 1.0;
+  wire.bandit.decay = 0.0;
+  wire.bandit.switch_period_ticks = 2;
+  EnsembleOptions options;
+  options.strategy = ArbiterStrategy::DemandWeighted;
+  options.site_cap = 6;
+  options.dedicated_baseline = false;
+  for (const bool chaos : {false, true}) {
+    SCOPED_TRACE(chaos ? "site=crashy" : "site=quiet");
+    const sim::CloudConfig site = chaos ? crashy_site() : quiet_site();
+    const EnsembleReport reference =
+        run_report(site, options, 0, 1, exp::PolicyKind::Wire, 4, 13, wire);
+    for (std::uint32_t shards : {1u, 2u, 4u}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      const EnsembleReport sharded = run_report(
+          site, options, shards, 2, exp::PolicyKind::Wire, 4, 13, wire);
+      EXPECT_TRUE(sharded == reference);
+      EXPECT_EQ(sharded.render(), reference.render());
+    }
+  }
+}
+
 TEST(ShardedDriver, ParallelDedicatedBaselineMatchesSequential) {
   // A shard-aware factory lets dedicated-baseline replays run per shard in
   // parallel; slowdown/dedicated-makespan columns must match the sequential

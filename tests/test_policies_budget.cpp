@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "ensemble/arbiter.h"
 #include "exp/settings.h"
 #include "policies/baselines.h"
 #include "policies/budget.h"
@@ -581,6 +582,43 @@ TEST(Budget, ExhaustedPlanReportsZeroAndKeepsTheFloor) {
   // The floor: the single instance survives enforcement.
   EXPECT_TRUE(cmd.releases.empty());
   EXPECT_EQ(cmd.desired_pool, 1u);
+}
+
+TEST(BudgetArbitration, TinyPositiveBudgetStillOutbidsExhaustion) {
+  // The fixed-point rounding regression: a tenant with remaining budget
+  // just above 0 (here 1/64 of a charging unit — llround(units * 16) == 0)
+  // must bid ABOVE the documented exhausted floor, not be starved at
+  // weight 0 like a tenant whose money is actually gone. Pre-fix, tenant 1
+  // below rounds to weight 0: with only zero-weight bidders left the spare
+  // capacity is withheld entirely ("capacity waits") and the solvent
+  // tenant is pinned at its floor share.
+  std::vector<ensemble::TenantDemand> tenants(2);
+  tenants[0].job = 0;
+  tenants[0].arrival_seconds = 0.0;
+  tenants[0].live_instances = 1;
+  tenants[0].requested_pool = 4;
+  tenants[0].remaining_budget_units = 0.0;  // genuinely exhausted
+  tenants[1].job = 1;
+  tenants[1].arrival_seconds = 10.0;
+  tenants[1].live_instances = 1;
+  tenants[1].requested_pool = 4;
+  tenants[1].remaining_budget_units = 1.0 / 64.0;  // nearly broke, solvent
+  const std::vector<std::uint32_t> shares = ensemble::allocate_shares(
+      ensemble::ArbiterStrategy::BudgetWeighted, /*site_cap=*/8, tenants);
+  ASSERT_EQ(shares.size(), 2u);
+  // The exhausted tenant keeps only what it holds; the solvent one's
+  // fixed-point weight is floored at 1, so its full unmet demand is funded
+  // (it is the only solvent bidder and the spare covers it).
+  EXPECT_EQ(shares[0], 1u);
+  EXPECT_EQ(shares[1], 4u);
+
+  // The floor must not disturb the existing rounding anywhere above it: a
+  // tenant at or above 1/32 of a unit rounds to a nonzero weight already,
+  // and an unreported tenant (-1) still bids as one unit (weight 16).
+  tenants[1].remaining_budget_units = -1.0;
+  const std::vector<std::uint32_t> unreported = ensemble::allocate_shares(
+      ensemble::ArbiterStrategy::BudgetWeighted, 8, tenants);
+  EXPECT_EQ(unreported[1], 4u);
 }
 
 }  // namespace

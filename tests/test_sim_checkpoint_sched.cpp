@@ -118,6 +118,43 @@ TEST(CheckpointScheduler, PriorBlendsWithObservation) {
   EXPECT_DOUBLE_EQ(sched.hazard().hazard_per_hour(), 0.75);
 }
 
+TEST(CheckpointScheduler, CrashBeforeExposureYieldsFiniteHazard) {
+  // The crash-before-exposure timeline with a zero-weight prior: instances
+  // crash (or are revoked while provisioning) before any ready
+  // instance-hours accrue. The estimator must NOT report zero hazard —
+  // that read as "reliable cloud" at the exact moment it proved otherwise,
+  // and Young/Daly turned it into an infinite checkpoint interval (crashes
+  // seen, never checkpoints). The estimate is floored at one observed
+  // exposure instance-second.
+  policies::HazardEstimator fresh(/*prior_per_hour=*/0.0,
+                                  /*prior_weight_hours=*/0.0);
+  EXPECT_DOUBLE_EQ(fresh.hazard_per_hour(), 0.0);  // no crash: still zero
+  fresh.record_crash();
+  EXPECT_GT(fresh.hazard_per_hour(), 0.0);
+  EXPECT_TRUE(std::isfinite(fresh.hazard_per_hour()));
+  EXPECT_DOUBLE_EQ(fresh.hazard_per_hour(), 3600.0);  // 1 crash / 1 inst-sec
+  fresh.record_crash();
+  EXPECT_DOUBLE_EQ(fresh.hazard_per_hour(), 7200.0);
+
+  // And the scheduler consuming it now picks a finite (floored) interval
+  // instead of "never".
+  CheckpointConfig config;
+  config.channel_bandwidth_mb_per_s = 1.0;
+  config.hazard_prior_per_hour = 0.0;
+  config.hazard_prior_weight_hours = 0.0;
+  config.min_interval_seconds = 30.0;
+  policies::CheckpointScheduler sched(config);
+  sched.hazard().record_crash();
+  const double interval = sched.interval_seconds(/*write_cost_seconds=*/4.0);
+  EXPECT_TRUE(std::isfinite(interval));
+  EXPECT_GE(interval, config.min_interval_seconds);
+
+  // Once real exposure accrues, the floor disengages and the ordinary
+  // estimate takes over.
+  fresh.add_exposure_hours(4.0);
+  EXPECT_DOUBLE_EQ(fresh.hazard_per_hour(), 0.5);
+}
+
 // Explicit checkpoint events: a killed attempt salvages exactly its last
 // COMMITTED checkpoint; execution past it (and any in-flight write) is lost.
 // The schedule is fully deterministic, so the run's timeline is exact.
